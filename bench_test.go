@@ -1,0 +1,610 @@
+// Package repro's root bench harness regenerates every experiment in
+// DESIGN.md's per-experiment index. The paper (a position paper) has no
+// quantitative tables; its three figures are architecture diagrams, so
+// each figure becomes an executable pipeline benchmark (F1–F3) and each
+// testable prose claim becomes a measured experiment (C1–C7). Run:
+//
+//	go test -bench=. -benchmem
+//
+// EXPERIMENTS.md records the measured shapes against the paper's claims.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cep"
+	"repro/internal/climate"
+	"repro/internal/core"
+	"repro/internal/dews"
+	"repro/internal/dissemination"
+	"repro/internal/forecast"
+	"repro/internal/ik"
+	"repro/internal/mediator"
+	"repro/internal/ontology"
+	"repro/internal/ontology/drought"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+	"repro/internal/wsn"
+)
+
+// --- EXP-F1: Figure 1, the ontology library ---
+
+// BenchmarkF1OntologyClosure measures building the complete unified
+// ontology library (DOLCE + SSN + drought domain) and materializing its
+// entailment closure — the load the ontology segment layer carries at
+// startup.
+func BenchmarkF1OntologyClosure(b *testing.B) {
+	var stats ontology.Stats
+	for i := 0; i < b.N; i++ {
+		o, res, err := drought.BuildMaterialized()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Added == 0 {
+			b.Fatal("no entailments")
+		}
+		stats = o.Stats()
+	}
+	b.ReportMetric(float64(stats.Classes), "classes")
+	b.ReportMetric(float64(stats.Triples), "triples")
+}
+
+// BenchmarkF1Classification measures DOLCE classification of observed
+// properties (the annotator's hot path through the class hierarchy).
+func BenchmarkF1Classification(b *testing.B) {
+	o, _, err := drought.BuildMaterialized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	props := o.SubClasses(rdf.NSSSN.IRI("ObservedProperty"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := props[i%len(props)]
+		if !o.IsSubClassOf(p, rdf.NSSSN.IRI("ObservedProperty")) {
+			b.Fatal("classification failed")
+		}
+	}
+}
+
+// --- EXP-F2: Figure 2, the integration framework ---
+
+// BenchmarkF2IntegrationPipeline measures the full per-reading path of
+// Figure 2: cloud download → mediation → unified publication → CEP.
+func BenchmarkF2IntegrationPipeline(b *testing.B) {
+	onto, _, err := drought.BuildMaterialized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rules, err := cep.ParseRules(dews.SensorRules)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mw, err := core.New(core.Config{Ontology: onto, Rules: rules})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cloud := wsn.NewCloudStore()
+	if err := mw.Protocol().AddSource("bench", cloud); err != nil {
+		b.Fatal(err)
+	}
+	start := time.Date(2015, 1, 1, 6, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cloud.Upload([]wsn.RawReading{{
+			NodeID: "bench-node", Vendor: "libelium", District: "mangaung",
+			PropertyName: "pluviometer", UnitName: "mm", Value: float64(i % 10),
+			Time: start.Add(time.Duration(i) * time.Minute), Seq: uint32(i + 1), BatteryV: 4,
+		}})
+		rep, err := mw.Ingest(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Annotated != 1 {
+			b.Fatalf("annotated %d", rep.Annotated)
+		}
+	}
+}
+
+// BenchmarkF2StageMediation isolates the mediation stage.
+func BenchmarkF2StageMediation(b *testing.B) {
+	onto, _, err := drought.BuildMaterialized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ann := mediator.NewAnnotator(onto)
+	mediator.SeedAlignments(ann.Registry())
+	r := wsn.RawReading{
+		NodeID: "n", Vendor: "pegelonline", District: "mangaung",
+		PropertyName: "Hoehe", UnitName: "cm", Value: 187,
+		Time: time.Now().UTC(), Seq: 1, BatteryV: 4,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ann.Annotate(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF2StageCEP isolates the CEP stage.
+func BenchmarkF2StageCEP(b *testing.B) {
+	rules, err := cep.ParseRules(dews.SensorRules)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := cep.NewEngine(rules)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := eng.Process(cep.Event{
+			Type: "Rainfall", Time: start.Add(time.Duration(i) * time.Minute),
+			Value: float64(i % 7), Confidence: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- EXP-F3: Figure 3, three-tier latency ---
+
+// BenchmarkF3LayerApplication measures the application abstraction layer
+// alone (publish → bounded queue).
+func BenchmarkF3LayerApplication(b *testing.B) {
+	broker := core.NewBroker()
+	sub, err := broker.Subscribe("obs/#", 1<<16, core.DropOldest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := core.Message{Topic: "obs/mangaung/Rainfall", Payload: 1.0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := broker.Publish(msg); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 0 {
+			sub.Poll(0)
+		}
+	}
+}
+
+// BenchmarkF3LayerOntologySegment measures a SPARQL lookup through the
+// ontology segment layer.
+func BenchmarkF3LayerOntologySegment(b *testing.B) {
+	onto, _, err := drought.BuildMaterialized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	seg, err := core.NewSegment(onto, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const q = `
+PREFIX dews: <http://dews.africrid.example/ontology/drought#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT ?c WHERE { ?c rdfs:subClassOf dews:DroughtEvent . }`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sols, err := seg.Select(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sols.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkF3LayerInterfaceProtocol measures the cloud download path.
+func BenchmarkF3LayerInterfaceProtocol(b *testing.B) {
+	p := core.NewProtocolLayer()
+	cloud := wsn.NewCloudStore()
+	if err := p.AddSource("c", cloud); err != nil {
+		b.Fatal(err)
+	}
+	now := time.Now().UTC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cloud.Upload([]wsn.RawReading{{NodeID: "n", Time: now}})
+		batch, err := p.Fetch("c", 0)
+		if err != nil || len(batch) != 1 {
+			b.Fatalf("fetch %d %v", len(batch), err)
+		}
+	}
+}
+
+// --- EXP-C1: fusion improves forecast skill ---
+
+// BenchmarkC1ForecastSkill runs a compact DEWS season (1 district,
+// 6 years) end to end and reports the headline skill metrics as bench
+// metrics — the executable form of the paper's §6 claim.
+func BenchmarkC1ForecastSkill(b *testing.B) {
+	var fusedCSI, sensorCSI, ikCSI float64
+	for i := 0; i < b.N; i++ {
+		system, err := dews.NewSystem(dews.Config{
+			Seed: int64(100 + i), Districts: []string{"mangaung"},
+			Years: 6, TrainYears: 3, NodesPerDistrict: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := system.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fused, _ := res.SkillByName("fused")
+		sensor, _ := res.SkillByName("sensor-only")
+		ikv, _ := res.SkillByName("ik-only")
+		fusedCSI += fused.Contingency.CSI()
+		sensorCSI += sensor.Contingency.CSI()
+		ikCSI += ikv.Contingency.CSI()
+	}
+	n := float64(b.N)
+	b.ReportMetric(fusedCSI/n, "fused-CSI")
+	b.ReportMetric(sensorCSI/n, "sensor-CSI")
+	b.ReportMetric(ikCSI/n, "ik-CSI")
+}
+
+// --- EXP-C2: naming-heterogeneity mediation ---
+
+// BenchmarkC2Mediation measures alignment resolution across the full
+// vendor population (exact + fuzzy paths mixed, as in production).
+func BenchmarkC2Mediation(b *testing.B) {
+	onto, _, err := drought.BuildMaterialized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := mediator.NewRegistry(onto)
+	mediator.SeedAlignments(reg)
+	type pair struct{ vendor, name string }
+	var names []pair
+	for _, v := range wsn.BuiltinVendors() {
+		for _, ch := range v.Channels {
+			names = append(names, pair{v.Name, ch.WireName})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := names[i%len(names)]
+		if _, err := reg.Resolve(p.vendor, p.name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkC2FuzzyColdPath isolates the similarity scan (no cache).
+func BenchmarkC2FuzzyColdPath(b *testing.B) {
+	onto, _, err := drought.BuildMaterialized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := mediator.NewRegistry(onto)
+		reg.LearnThreshold = 1.01 // never cache
+		if _, err := reg.Resolve("hydro", "Hoehe"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- EXP-C3: standards vs semantics coverage ---
+
+// BenchmarkC3StandardsVsSemantics compares a frozen standard mapping
+// table against ontology-mediated resolution as unseen vendor spellings
+// arrive, reporting coverage of both approaches as metrics.
+func BenchmarkC3StandardsVsSemantics(b *testing.B) {
+	onto, _, err := drought.BuildMaterialized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The "standard": exact match on the canonical English terms only.
+	standard := map[string]bool{
+		"rainfall": true, "soil moisture": true, "air temperature": true,
+		"relative humidity": true, "wind speed": true, "water level": true,
+	}
+	// Unseen vendor vocabulary (spelling variants and other languages).
+	unseen := []string{
+		"rain_fall", "RainFall", "rainfall_mm", "Niederschlag", "reenval",
+		"soilMoisture", "soil-moisture", "Bodenfeuchte", "grondvog",
+		"airTemp", "Lufttemperatur", "temperature2m",
+		"windSpeed", "windspoed", "wind_velocity",
+		"Hoehe", "Stav", "waterLevel", "gauge_height",
+	}
+	reg := mediator.NewRegistry(onto)
+	var stdHits, semHits int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := unseen[i%len(unseen)]
+		if standard[name] {
+			stdHits++
+		}
+		if _, err := reg.Resolve("new-vendor", name); err == nil {
+			semHits++
+		}
+	}
+	b.ReportMetric(100*float64(stdHits)/float64(b.N), "standard-coverage-%")
+	b.ReportMetric(100*float64(semHits)/float64(b.N), "semantic-coverage-%")
+}
+
+// --- EXP-C4: CEP scalability ---
+
+// benchCEPWithRules measures event throughput with a given rule count.
+func benchCEPWithRules(b *testing.B, nRules int) {
+	var src string
+	for i := 0; i < nRules; i++ {
+		src += fmt.Sprintf(`
+RULE r%d
+WHEN avg(metric%d) < %d OVER 30d
+COOLDOWN 30d
+EMIT Alert%d
+`, i, i%16, i%5+1, i)
+	}
+	rules, err := cep.ParseRules(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := cep.NewEngine(rules)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := eng.Process(cep.Event{
+			Type:       fmt.Sprintf("metric%d", i%16),
+			Time:       start.Add(time.Duration(i) * time.Minute),
+			Value:      float64(i % 10),
+			Confidence: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkC4CEPRules16(b *testing.B)  { benchCEPWithRules(b, 16) }
+func BenchmarkC4CEPRules64(b *testing.B)  { benchCEPWithRules(b, 64) }
+func BenchmarkC4CEPRules256(b *testing.B) { benchCEPWithRules(b, 256) }
+
+// BenchmarkC4CEPSequenceDetection measures the NFA path with a planted
+// precursor pattern.
+func BenchmarkC4CEPSequenceDetection(b *testing.B) {
+	rules := cep.MustParseRules(`
+RULE chain
+WHEN SEQ(A, B, C) WITHIN 30d
+COOLDOWN 1d
+EMIT Chained
+`)
+	eng, err := cep.NewEngine(rules)
+	if err != nil {
+		b.Fatal(err)
+	}
+	types := []string{"A", "B", "C"}
+	start := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := eng.Process(cep.Event{
+			Type: types[i%3], Time: start.Add(time.Duration(i) * time.Hour),
+			Value: 1, Confidence: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- EXP-C5: dissemination fan-out ---
+
+// BenchmarkC5Dissemination measures hub fan-out across all four channel
+// types with realistic severity filtering.
+func BenchmarkC5Dissemination(b *testing.B) {
+	hub := dissemination.NewHub()
+	sms := dissemination.NewSMSBroadcast()
+	for i := 0; i < 50; i++ {
+		if err := sms.Subscribe("mangaung", fmt.Sprintf("+27-51-%04d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := hub.Register(dissemination.NewSmartBillboard(), forecast.DVINormal); err != nil {
+		b.Fatal(err)
+	}
+	if err := hub.Register(sms, forecast.DVIWarning); err != nil {
+		b.Fatal(err)
+	}
+	if err := hub.Register(dissemination.NewIPRadio("st"), forecast.DVIWatch); err != nil {
+		b.Fatal(err)
+	}
+	if err := hub.Register(dissemination.NewSemanticWeb(), forecast.DVINormal); err != nil {
+		b.Fatal(err)
+	}
+	issued := time.Date(2015, 11, 20, 6, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := float64(i%100) / 100
+		err := hub.Publish(forecast.Bulletin{
+			District: "mangaung", Issued: issued.Add(time.Duration(i) * time.Hour),
+			LeadDays: 30, Probability: p, Band: forecast.BandFromProbability(p),
+			Forecaster: "fused",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- EXP-C6: query engine ---
+
+// BenchmarkC6QueryEngine measures SPARQL throughput over the library plus
+// a season of annotated observations, across selectivity regimes.
+func BenchmarkC6QueryEngine(b *testing.B) {
+	onto, _, err := drought.BuildMaterialized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := onto.Graph().Clone()
+	ann := mediator.NewAnnotator(onto)
+	mediator.SeedAlignments(ann.Registry())
+	gen, err := climate.NewGenerator(climate.DefaultParams(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fleet, err := wsn.NewFleet(5, []string{"mangaung"}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, day := range gen.GenerateDays(90) {
+		for _, n := range fleet.Nodes {
+			if _, err := ann.ToGraph(n.Sample(day), g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	eng := sparql.NewEngine(g)
+	queries := map[string]string{
+		"selective": `
+PREFIX ssn:  <http://dews.africrid.example/ontology/ssn#>
+PREFIX dews: <http://dews.africrid.example/ontology/drought#>
+SELECT ?o ?v WHERE { ?o ssn:observedProperty dews:WaterLevel ; ssn:hasSimpleResult ?v . } LIMIT 10`,
+		"filtered": `
+PREFIX ssn:  <http://dews.africrid.example/ontology/ssn#>
+PREFIX dews: <http://dews.africrid.example/ontology/drought#>
+SELECT ?o ?v WHERE { ?o ssn:observedProperty dews:Rainfall ; ssn:hasSimpleResult ?v . FILTER(?v > 5) }`,
+		"broad": `
+PREFIX ssn: <http://dews.africrid.example/ontology/ssn#>
+SELECT ?o WHERE { ?o a ssn:Observation . }`,
+	}
+	for name, q := range queries {
+		parsed, err := sparql.Parse(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Select(parsed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.ReportMetric(float64(g.Len()), "graph-triples")
+}
+
+// --- EXP-C7: uplink path ---
+
+// benchUplink measures the full mote→cloud path at a given loss rate,
+// reporting goodput.
+func benchUplink(b *testing.B, lossRate float64) {
+	cloud := wsn.NewCloudStore()
+	link := wsn.NewLink(wsn.LinkConfig{LossRate: lossRate, CorruptRate: 0.02, MaxRetries: 4, Seed: 9})
+	gw := wsn.NewGateway(link, cloud)
+	lib, err := wsn.VendorByName("libelium")
+	if err != nil {
+		b.Fatal(err)
+	}
+	node, err := wsn.NewNode(wsn.NodeConfig{
+		ID: "bench", Vendor: lib, District: "mangaung",
+		Modalities: []wsn.Modality{wsn.ModalityRainfall, wsn.ModalitySoilMoisture, wsn.ModalityAirTemperature},
+		Seed:       11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gw.Register(node)
+	day := climate.Day{Date: time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC),
+		RainMM: 3, TempC: 22, SoilMoisture: 0.3, RelHumidity: 60, WindSpeedMS: 3, NDVI: 0.4, WaterLevelM: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		day.Date = day.Date.Add(time.Hour)
+		rs := node.Sample(day)
+		if len(rs) == 0 {
+			continue
+		}
+		if err := gw.Ingest(rs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if gw.Decoded+gw.Dropped > 0 {
+		b.ReportMetric(100*float64(gw.Decoded)/float64(gw.Decoded+gw.Dropped), "goodput-%")
+	}
+}
+
+func BenchmarkC7UplinkLoss0(b *testing.B)  { benchUplink(b, 0) }
+func BenchmarkC7UplinkLoss20(b *testing.B) { benchUplink(b, 0.2) }
+func BenchmarkC7UplinkLoss50(b *testing.B) { benchUplink(b, 0.5) }
+
+// BenchmarkC7PacketCodec isolates the frame codec.
+func BenchmarkC7PacketCodec(b *testing.B) {
+	p := wsn.Packet{
+		NodeID: "fs-mangaung-libelium-03", Seq: 7,
+		Time: time.Date(2015, 11, 20, 6, 0, 0, 0, time.UTC), BatteryV: 3.9,
+		Readings: []wsn.PacketReading{{Code: 1, Value: 8.25}, {Code: 2, Value: 0.31}, {Code: 3, Value: 24.5}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := wsn.EncodePacket(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wsn.DecodePacket(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- EXP-A1: fusion ablation (design-choice study from DESIGN.md) ---
+
+// BenchmarkA1FusionAblation runs one recorded simulation and re-scores
+// the fusion variants, reporting each variant's Brier as a metric. The
+// expected shape: full ≤ every ablated variant.
+func BenchmarkA1FusionAblation(b *testing.B) {
+	sums := make(map[string]float64)
+	for i := 0; i < b.N; i++ {
+		rows, _, err := dews.RunFusionAblation(dews.Config{
+			Seed: int64(300 + i), Districts: []string{"mangaung"},
+			Years: 6, TrainYears: 3, NodesPerDistrict: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			sums[r.Variant] += r.Verif.Brier.Score()
+		}
+	}
+	for _, v := range []string{"full", "no-cep", "no-ik", "no-sensor"} {
+		b.ReportMetric(sums[v]/float64(b.N), v+"-Brier")
+	}
+}
+
+// --- IK substrate micro-benches (support C1) ---
+
+// BenchmarkIKRuleCompilation measures catalogue → CEP rule compilation.
+func BenchmarkIKRuleCompilation(b *testing.B) {
+	cat := ik.Catalogue()
+	for i := 0; i < b.N; i++ {
+		if _, err := ik.CompileRules(cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSPIComputation measures the SPI ground-truth labelling cost.
+func BenchmarkSPIComputation(b *testing.B) {
+	gen, err := climate.NewGenerator(climate.DefaultParams(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	days := gen.GenerateYears(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := climate.Label(days, 90); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

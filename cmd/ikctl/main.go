@@ -1,0 +1,91 @@
+// Command ikctl works with indigenous-knowledge field data: it validates
+// questionnaire files (the paper's §5 collection instrument), lists the
+// indicator catalogue, and compiles the catalogue into the CEP rules the
+// middleware runs.
+//
+// Usage:
+//
+//	ikctl catalogue                 # list the built-in indicator catalogue
+//	ikctl validate reports.txt      # check a questionnaire file
+//	ikctl rules                     # print the compiled CEP rule set
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ik"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ikctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ikctl catalogue | validate <file> | rules")
+	}
+	switch args[0] {
+	case "catalogue":
+		return printCatalogue(out)
+	case "validate":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: ikctl validate <file>")
+		}
+		return validate(args[1], out)
+	case "rules":
+		return printRules(out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func printCatalogue(out io.Writer) error {
+	fmt.Fprintf(out, "%-24s %-5s %-6s %-5s %s\n", "slug", "dir", "lead", "rel", "label")
+	for _, ind := range ik.Catalogue() {
+		fmt.Fprintf(out, "%-24s %-5s %4dd %5.2f  %s\n",
+			ind.Slug, ind.Polarity, ind.LeadTimeDays, ind.BaseReliability, ind.Label)
+	}
+	return nil
+}
+
+func validate(path string, out io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	reports, err := ik.ParseQuestionnaire(f, ik.CatalogueBySlug())
+	if err != nil {
+		return err
+	}
+	byIndicator := make(map[string]int)
+	informants := make(map[string]bool)
+	for _, r := range reports {
+		byIndicator[r.Indicator]++
+		informants[r.Informant] = true
+	}
+	fmt.Fprintf(out, "valid: %d reports from %d informants\n", len(reports), len(informants))
+	for _, ind := range ik.Catalogue() {
+		if n := byIndicator[ind.Slug]; n > 0 {
+			fmt.Fprintf(out, "  %-24s %d\n", ind.Slug, n)
+		}
+	}
+	return nil
+}
+
+func printRules(out io.Writer) error {
+	rules, err := ik.CompileRules(ik.Catalogue())
+	if err != nil {
+		return err
+	}
+	for _, r := range rules {
+		fmt.Fprintln(out, r.String())
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Command sparql queries RDF documents or the built-in unified ontology
+// library with the middleware's SPARQL subset.
+//
+// Usage:
+//
+//	sparql -library 'SELECT ?c WHERE { ?c rdfs:subClassOf dews:DroughtEvent . }'
+//	sparql -in obs.ttl 'ASK { ?s a ssn:Observation . }'
+//	sparql -library -reason 'SELECT ?x WHERE { ?x dews:leadsTo dews:AgriculturalDrought . }'
+//
+// The default prefixes (rdf, rdfs, owl, xsd, dolce, ssn, dews, ik, geo,
+// obs) are pre-bound; PREFIX declarations may override them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ontology"
+	"repro/internal/ontology/drought"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sparql:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sparql", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "", "Turtle file to query (default: stdin unless -library)")
+		library = fs.Bool("library", false, "query the built-in unified ontology library")
+		reason  = fs.Bool("reason", false, "materialize entailments before querying")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need exactly one query argument")
+	}
+	query := fs.Arg(0)
+
+	var g *rdf.Graph
+	switch {
+	case *library:
+		g = drought.Build().Graph()
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err = rdf.ParseTurtle(f)
+		if err != nil {
+			return err
+		}
+	default:
+		var err error
+		g, err = rdf.ParseTurtle(os.Stdin)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *reason {
+		o := ontology.FromGraph(g, rdf.IRI("urn:sparql:input"))
+		if _, err := (ontology.Reasoner{}).Materialize(o); err != nil {
+			return err
+		}
+	}
+
+	res, err := sparql.NewEngine(g).Query(query)
+	if err != nil {
+		return err
+	}
+	switch res := res.(type) {
+	case *sparql.Solutions:
+		fmt.Fprint(out, res.String())
+		fmt.Fprintf(out, "(%d rows)\n", len(res.Rows))
+	case bool:
+		fmt.Fprintln(out, res)
+	case *rdf.Graph:
+		return rdf.WriteTurtle(out, res, nil)
+	}
+	return nil
+}

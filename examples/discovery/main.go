@@ -1,0 +1,86 @@
+// Service discovery walkthrough: the ontology segment layer's "semantic
+// services description module" (Figure 3). Services register with an
+// ontology class as their capability; consumers discover them by asking
+// for a *superclass* — subsumption-aware matchmaking, which a plain
+// string registry cannot do — and the registry itself is queryable with
+// SPARQL like everything else in the middleware.
+//
+// Run: go run ./examples/discovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ontology/drought"
+	"repro/internal/rdf"
+)
+
+func main() {
+	onto, _, err := drought.BuildMaterialized()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mw, err := core.New(core.Config{Ontology: onto})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seg := mw.Segment()
+
+	// Three forecast services with increasingly specific capabilities.
+	services := []core.ServiceDescription{
+		{
+			ID:          rdf.NSDEWS.IRI("svc/met"),
+			Capability:  drought.MeteorologicalDrought,
+			Endpoint:    "event/+/MeteorologicalDrought",
+			Description: "SPI-based meteorological drought inferences",
+		},
+		{
+			ID:          rdf.NSDEWS.IRI("svc/agri"),
+			Capability:  drought.AgriculturalDrought,
+			Endpoint:    "event/+/AgriculturalDrought",
+			Description: "soil-moisture agricultural drought inferences",
+		},
+		{
+			ID:          rdf.NSDEWS.IRI("svc/events"),
+			Capability:  drought.EnvironmentalEvent,
+			Endpoint:    "event/#",
+			Description: "firehose of every environmental event",
+		},
+	}
+	for _, s := range services {
+		if err := seg.RegisterService(s); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("registered %-18s capability=%s\n", s.ID.LocalName(), s.Capability.LocalName())
+	}
+
+	// Discovery by superclass: "who can tell me about droughts, of any
+	// kind?" finds the two specific services via subsumption but not the
+	// over-general firehose (EnvironmentalEvent is a *super*class of
+	// DroughtEvent, not a subclass).
+	fmt.Println("\nDiscover(dews:DroughtEvent):")
+	for _, s := range seg.Discover(drought.DroughtEvent) {
+		fmt.Printf("  %-18s → subscribe to %q\n", s.ID.LocalName(), s.Endpoint)
+	}
+
+	// Exact capability.
+	fmt.Println("\nDiscover(dews:AgriculturalDrought):")
+	for _, s := range seg.Discover(drought.AgriculturalDrought) {
+		fmt.Printf("  %-18s → %q\n", s.ID.LocalName(), s.Endpoint)
+	}
+
+	// The registry is RDF: ask it questions nobody designed an API for.
+	fmt.Println("\nSPARQL over the registry (services whose endpoint covers all districts):")
+	sols, err := seg.Select(`
+PREFIX dews: <http://dews.africrid.example/ontology/drought#>
+SELECT ?svc ?ep WHERE {
+  ?svc a dews:SemanticService ; dews:endpoint ?ep .
+  FILTER(CONTAINS(?ep, "+") || CONTAINS(?ep, "#"))
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(sols.String())
+}

@@ -1,0 +1,74 @@
+// Heterogeneity walkthrough: the §1 problem statement of the paper made
+// executable. Five vendor networks report the same physical world with
+// five different vocabularies and unit systems ("Hoehe" in German, "Stav"
+// in Czech, Fahrenheit, centibar soil tension, ...). The mediator
+// resolves every wire name against the unified ontology — by exact
+// registration, by multilingual label match, or by string-similarity
+// fallback — and normalizes every unit.
+//
+// Run: go run ./examples/heterogeneity
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/mediator"
+	"repro/internal/ontology/drought"
+	"repro/internal/wsn"
+)
+
+func main() {
+	onto, _, err := drought.BuildMaterialized()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ann := mediator.NewAnnotator(onto)
+	mediator.SeedAlignments(ann.Registry())
+
+	// The same moment in the physical world, reported five ways.
+	at := time.Date(2015, 11, 20, 6, 0, 0, 0, time.UTC)
+	readings := []wsn.RawReading{
+		{NodeID: "de-01", Vendor: "pegelonline", District: "mangaung",
+			PropertyName: "Hoehe", UnitName: "cm", Value: 187, Time: at, Seq: 1, BatteryV: 4},
+		{NodeID: "cz-01", Vendor: "chmi", District: "mangaung",
+			PropertyName: "Stav", UnitName: "cm", Value: 187, Time: at, Seq: 1, BatteryV: 4},
+		{NodeID: "us-01", Vendor: "davis", District: "mangaung",
+			PropertyName: "outsideTemp", UnitName: "degF", Value: 76.1, Time: at, Seq: 1, BatteryV: 4},
+		{NodeID: "de-01", Vendor: "pegelonline", District: "mangaung",
+			PropertyName: "Lufttemperatur", UnitName: "K", Value: 297.65, Time: at, Seq: 2, BatteryV: 4},
+		{NodeID: "us-01", Vendor: "davis", District: "mangaung",
+			PropertyName: "soilMoist", UnitName: "cbar", Value: 140, Time: at, Seq: 2, BatteryV: 4},
+		{NodeID: "za-01", Vendor: "agri-sa", District: "mangaung",
+			PropertyName: "grondvog", UnitName: "pct", Value: 30, Time: at, Seq: 1, BatteryV: 4},
+		{NodeID: "za-01", Vendor: "agri-sa", District: "mangaung",
+			PropertyName: "reenval", UnitName: "mm", Value: 12.5, Time: at, Seq: 2, BatteryV: 4},
+		{NodeID: "us-01", Vendor: "davis", District: "mangaung",
+			PropertyName: "rainRate", UnitName: "in", Value: 0.492, Time: at, Seq: 3, BatteryV: 4},
+	}
+
+	fmt.Println("vendor reading                              → unified observation")
+	fmt.Println("--------------------------------------------------------------------------")
+	for _, r := range readings {
+		rec, err := ann.Annotate(r)
+		if err != nil {
+			fmt.Printf("%-43s → FAILED: %v\n", renderRaw(r), err)
+			continue
+		}
+		fmt.Printf("%-43s → %s = %.3f %s (q=%.2f)\n",
+			renderRaw(r), rec.Property.LocalName(), rec.Value,
+			onto.Label(rec.Unit, "en"), rec.Quality)
+	}
+
+	exact, fuzzy, misses := ann.Registry().Stats()
+	fmt.Printf("\nalignment stats: exact=%d fuzzy=%d misses=%d (corpus: %d labels)\n",
+		exact, fuzzy, misses, ann.Registry().LabelCount())
+	fmt.Println("\nNote how Hoehe and Stav (the paper's own example) both resolve to")
+	fmt.Println("dews:WaterLevel, and 76.1°F and 297.65K both become ≈24.5°C: the two")
+	fmt.Println("faces of heterogeneity — naming and cognitive — handled in one pass.")
+}
+
+func renderRaw(r wsn.RawReading) string {
+	return fmt.Sprintf("%-12s %-15s %8.3f %-5s", r.Vendor, r.PropertyName, r.Value, r.UnitName)
+}

@@ -1,0 +1,86 @@
+// Quickstart: the smallest end-to-end use of the semantic middleware.
+//
+// A raw vendor reading — the German hydrology network's "Hoehe" (water
+// level, the paper's own naming-heterogeneity example) — is mediated
+// against the unified ontology, published through the middleware, and
+// queried back with SPARQL.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ontology/drought"
+	"repro/internal/wsn"
+)
+
+func main() {
+	// 1. Build the unified ontology library (Figure 1) with entailments
+	//    materialized.
+	onto, reasonRes, err := drought.BuildMaterialized()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ontology library: %s\n", onto.Stats())
+	fmt.Printf("reasoner added %d entailed triples\n\n", reasonRes.Added)
+
+	// 2. Assemble the middleware (no CEP rules needed for the quickstart).
+	mw, err := core.New(core.Config{Ontology: onto, GraphObservations: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. A cloud store with one heterogeneous reading: property "Hoehe",
+	//    unit centimetres — nothing the application layer understands yet.
+	cloud := wsn.NewCloudStore()
+	cloud.Upload([]wsn.RawReading{{
+		NodeID:       "pegel-modder-river-01",
+		Vendor:       "pegelonline",
+		District:     "mangaung",
+		PropertyName: "Hoehe",
+		UnitName:     "cm",
+		Value:        187.0,
+		Time:         time.Date(2015, 11, 20, 6, 0, 0, 0, time.UTC),
+		Seq:          1,
+		BatteryV:     4.0,
+	}})
+	if err := mw.Protocol().AddSource("demo-cloud", cloud); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Subscribe to unified observations, then ingest.
+	sub, err := mw.Broker().Subscribe("obs/#", 16, core.DropOldest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := mw.Ingest(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingest: fetched=%d annotated=%d failed=%d\n", rep.Fetched, rep.Annotated, rep.Failed)
+
+	for _, msg := range sub.Poll(0) {
+		fmt.Printf("published on %q at %s\n", msg.Topic, msg.Time.Format(time.RFC3339))
+	}
+
+	// 5. Query it back: the vendor's "Hoehe" in centimetres is now a
+	//    dews:WaterLevel observation in metres.
+	sols, err := mw.Segment().Select(`
+PREFIX ssn:  <http://dews.africrid.example/ontology/ssn#>
+PREFIX dews: <http://dews.africrid.example/ontology/drought#>
+SELECT ?obs ?value WHERE {
+  ?obs a ssn:Observation ;
+       ssn:observedProperty dews:WaterLevel ;
+       ssn:hasSimpleResult ?value .
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSPARQL over the integrated graph:\n%s", sols.String())
+	fmt.Println("\nThe 187 cm 'Hoehe' reading is now 1.87 m of dews:WaterLevel —")
+	fmt.Println("naming and unit heterogeneity eliminated by the middleware.")
+}

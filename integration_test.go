@@ -1,0 +1,328 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cep"
+	"repro/internal/core"
+	"repro/internal/dews"
+	"repro/internal/forecast"
+	"repro/internal/ik"
+	"repro/internal/mediator"
+	"repro/internal/ontology/drought"
+	"repro/internal/rdf"
+	"repro/internal/wsn"
+)
+
+// TestFullStackSmoke runs the complete system once and checks the
+// headline invariants across module boundaries.
+func TestFullStackSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	system, err := dews.NewSystem(dews.Config{
+		Seed: 99, Districts: []string{"mangaung", "xhariep"},
+		Years: 5, TrainYears: 3, NodesPerDistrict: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := system.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Annotated == 0 || res.Inferences == 0 || res.EvaluatedDays == 0 {
+		t.Fatalf("pipeline incomplete: %+v", res)
+	}
+	// The DVI map covers both districts after the run.
+	render := system.DVIMap().Render()
+	for _, d := range []string{"mangaung", "xhariep"} {
+		if !strings.Contains(render, d) {
+			t.Errorf("DVI map missing %s:\n%s", d, render)
+		}
+	}
+	// The semantic-web channel can answer a SPARQL question about its
+	// own bulletins.
+	g := system.Web().Graph()
+	if g.Len() == 0 {
+		t.Fatal("semantic-web channel empty")
+	}
+}
+
+// TestMiddlewareGarbageToleration injects malformed and unknown readings
+// into the cloud and checks the middleware degrades gracefully: bad rows
+// are counted, good rows still flow.
+func TestMiddlewareGarbageToleration(t *testing.T) {
+	onto, _, err := drought.BuildMaterialized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, err := core.New(core.Config{Ontology: onto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud := wsn.NewCloudStore()
+	if err := mw.Protocol().AddSource("dirty", cloud); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2015, 11, 20, 6, 0, 0, 0, time.UTC)
+	cloud.Upload([]wsn.RawReading{
+		// Good reading.
+		{NodeID: "ok", Vendor: "libelium", District: "mangaung",
+			PropertyName: "pluviometer", UnitName: "mm", Value: 3, Time: now, Seq: 1, BatteryV: 4},
+		// Unknown property name.
+		{NodeID: "bad1", Vendor: "acme", District: "mangaung",
+			PropertyName: "zorkometer", UnitName: "zk", Value: 1, Time: now, Seq: 1, BatteryV: 4},
+		// Known property, unknown unit.
+		{NodeID: "bad2", Vendor: "libelium", District: "mangaung",
+			PropertyName: "pluviometer", UnitName: "cubits", Value: 1, Time: now, Seq: 2, BatteryV: 4},
+		// Another good one.
+		{NodeID: "ok", Vendor: "libelium", District: "mangaung",
+			PropertyName: "temperature", UnitName: "degC", Value: 24, Time: now, Seq: 3, BatteryV: 4},
+	})
+	rep, err := mw.Ingest(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fetched != 4 || rep.Annotated != 2 || rep.Failed != 2 {
+		t.Fatalf("ingest report = %+v", rep)
+	}
+	failures := mw.Segment().Annotator().Failures()
+	if failures["no-alignment"] != 1 || failures["no-unit-conversion"] != 1 {
+		t.Errorf("failure histogram = %v", failures)
+	}
+}
+
+// TestThresholdSweep is the EXP-C2 operating-point harness: it sweeps the
+// fuzzy-match threshold and logs coverage vs precision over the vendor
+// population, asserting the expected monotone trade-off.
+func TestThresholdSweep(t *testing.T) {
+	onto, _, err := drought.BuildMaterialized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: each wire name's correct property by vendor channel
+	// modality.
+	want := make(map[string]rdf.IRI)
+	modalityProp := map[wsn.Modality]rdf.IRI{
+		wsn.ModalityRainfall:         drought.Rainfall,
+		wsn.ModalitySoilMoisture:     drought.SoilMoisture,
+		wsn.ModalityAirTemperature:   drought.AirTemperature,
+		wsn.ModalityRelativeHumidity: drought.RelativeHumidity,
+		wsn.ModalityWindSpeed:        drought.WindSpeed,
+		wsn.ModalityWaterLevel:       drought.WaterLevel,
+		wsn.ModalityNDVI:             drought.NDVI,
+	}
+	type probe struct{ vendor, name string }
+	var probes []probe
+	for _, v := range wsn.BuiltinVendors() {
+		for m, ch := range v.Channels {
+			probes = append(probes, probe{v.Name, ch.WireName})
+			want[v.Name+"/"+ch.WireName] = modalityProp[m]
+		}
+	}
+	var prevCoverage float64 = 2
+	for _, threshold := range []float64{0.6, 0.7, 0.78, 0.85, 0.95} {
+		reg := mediator.NewRegistry(onto)
+		reg.Threshold = threshold
+		matched, correct := 0, 0
+		for _, p := range probes {
+			a, err := reg.Resolve(p.vendor, p.name)
+			if err != nil {
+				continue
+			}
+			matched++
+			if a.Property == want[p.vendor+"/"+p.name] {
+				correct++
+			}
+		}
+		coverage := float64(matched) / float64(len(probes))
+		precision := 1.0
+		if matched > 0 {
+			precision = float64(correct) / float64(matched)
+		}
+		t.Logf("threshold %.2f: coverage %.2f precision %.2f", threshold, coverage, precision)
+		if coverage > prevCoverage+1e-9 {
+			t.Errorf("coverage must be non-increasing in threshold (%.2f → %.2f)", prevCoverage, coverage)
+		}
+		prevCoverage = coverage
+	}
+}
+
+// TestObservationsToSPARQLAnswer checks the "what/where/when" query of
+// the paper's framing: after ingest, a SPARQL query can ask which
+// district's soil was observed driest.
+func TestObservationsToSPARQLAnswer(t *testing.T) {
+	onto, _, err := drought.BuildMaterialized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, err := core.New(core.Config{Ontology: onto, GraphObservations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud := wsn.NewCloudStore()
+	if err := mw.Protocol().AddSource("c", cloud); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Date(2015, 11, 20, 6, 0, 0, 0, time.UTC)
+	cloud.Upload([]wsn.RawReading{
+		{NodeID: "a", Vendor: "libelium", District: "mangaung",
+			PropertyName: "soil_moisture", UnitName: "frac", Value: 0.12, Time: now, Seq: 1, BatteryV: 4},
+		{NodeID: "b", Vendor: "libelium", District: "xhariep",
+			PropertyName: "soil_moisture", UnitName: "frac", Value: 0.31, Time: now, Seq: 1, BatteryV: 4},
+	})
+	if _, err := mw.Ingest(0); err != nil {
+		t.Fatal(err)
+	}
+	sols, err := mw.Segment().Select(`
+PREFIX ssn:  <http://dews.africrid.example/ontology/ssn#>
+PREFIX dews: <http://dews.africrid.example/ontology/drought#>
+SELECT ?where ?v WHERE {
+  ?obs ssn:observedProperty dews:SoilMoisture ;
+       ssn:hasFeatureOfInterest ?where ;
+       ssn:hasSimpleResult ?v .
+} ORDER BY ?v LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols.Rows) != 1 {
+		t.Fatalf("rows = %d", len(sols.Rows))
+	}
+	where := sols.Rows[0]["where"].(rdf.IRI)
+	if where != drought.Mangaung {
+		t.Errorf("driest district = %s, want Mangaung", where)
+	}
+}
+
+// TestIKQuestionnaireThroughPipeline feeds questionnaire-format reports
+// through the middleware and checks the CEP inference appears.
+func TestIKQuestionnaireThroughPipeline(t *testing.T) {
+	onto, _, err := drought.BuildMaterialized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ikRules, err := ik.CompileRules(ik.Catalogue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mw, err := core.New(core.Config{Ontology: onto, Rules: ikRules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+informant: mme-dikeledi; sign: sifennefene-worms; district: xhariep; date: 2015-08-01; strength: 0.9
+informant: ntate-thabo;  sign: sifennefene-worms; district: xhariep; date: 2015-08-04; strength: 0.8
+`
+	reports, err := ik.ParseQuestionnaire(strings.NewReader(src), ik.CatalogueBySlug())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := mw.Broker().Subscribe("event/xhariep/IKDrySignal", 16, core.DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferences, err := mw.PublishIKReports(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inferences == 0 {
+		t.Fatal("corroborated questionnaire reports should infer a dry signal")
+	}
+	if len(sub.Poll(0)) == 0 {
+		t.Fatal("IKDrySignal not published")
+	}
+}
+
+// TestBackpressureUnderBurst floods a slow subscriber and verifies the
+// broker keeps functioning with honest drop accounting.
+func TestBackpressureUnderBurst(t *testing.T) {
+	b := core.NewBroker()
+	slow, err := b.Subscribe("obs/#", 100, core.DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := b.Subscribe("obs/#", 100000, core.DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const burst = 10000
+	for i := 0; i < burst; i++ {
+		if _, err := b.Publish(core.Message{Topic: fmt.Sprintf("obs/d%d/Rainfall", i%5), Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if slow.Dropped() != burst-100 {
+		t.Errorf("slow dropped %d, want %d", slow.Dropped(), burst-100)
+	}
+	if fast.Delivered() != burst {
+		t.Errorf("fast delivered %d", fast.Delivered())
+	}
+	// The slow subscriber kept the most recent messages.
+	msgs := slow.Poll(0)
+	if msgs[len(msgs)-1].Payload != burst-1 {
+		t.Error("slow subscriber should hold the newest messages")
+	}
+}
+
+// TestCEPOutOfOrderFromLossyUplink checks the realistic failure mode:
+// retransmitted (late) readings are rejected by the shard but do not
+// poison subsequent processing.
+func TestCEPOutOfOrderFromLossyUplink(t *testing.T) {
+	rules := cep.MustParseRules(`
+RULE r WHEN COUNT(Rainfall) >= 1 WITHIN 5d EMIT Seen
+`)
+	eng, err := cep.NewEngine(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	if _, err := eng.Process(cep.Event{Type: "Rainfall", Time: t0.AddDate(0, 0, 2), Value: 1, Confidence: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Late retransmission arrives.
+	if _, err := eng.Process(cep.Event{Type: "Rainfall", Time: t0, Value: 1, Confidence: 1}); err == nil {
+		t.Fatal("late event should be rejected")
+	}
+	// Stream continues normally afterwards.
+	if _, err := eng.Process(cep.Event{Type: "Rainfall", Time: t0.AddDate(0, 0, 3), Value: 1, Confidence: 1}); err != nil {
+		t.Fatalf("engine poisoned by late event: %v", err)
+	}
+}
+
+// TestForecastThresholdOperatingCurve sweeps the decision threshold on a
+// recorded run and checks the POD/FAR trade-off is monotone.
+func TestForecastThresholdOperatingCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := dews.Config{
+		Seed: 13, Districts: []string{"mangaung"},
+		Years: 6, TrainYears: 3, NodesPerDistrict: 3, RecordIssues: true,
+	}
+	system, err := dews.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := system.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := forecast.Fused{
+		Sensor: res.CalibratedSensor,
+		IK:     forecast.IKOnly{BaseRate: res.TrainBase},
+	}
+	prevPOD := 2.0
+	for _, cut := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
+		v := dews.Evaluate("fused", fused, res.Issues, cut, 30)
+		pod := v.Contingency.POD()
+		t.Logf("cut %.2f: POD %.3f FAR %.3f CSI %.3f", cut, pod, v.Contingency.FAR(), v.Contingency.CSI())
+		if pod > prevPOD+1e-9 {
+			t.Errorf("POD must fall as the threshold rises (%.3f → %.3f)", prevPOD, pod)
+		}
+		prevPOD = pod
+	}
+}

@@ -1,0 +1,531 @@
+package cep
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2015, 10, 1, 0, 0, 0, 0, time.UTC)
+
+// mkEvents builds a daily series of one type from values.
+func mkEvents(typ string, start time.Time, values []float64) []Event {
+	out := make([]Event, len(values))
+	for i, v := range values {
+		out[i] = Event{Type: typ, Time: start.AddDate(0, 0, i), Value: v, Confidence: 1}
+	}
+	return out
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"30d", 30 * 24 * time.Hour, true},
+		{"12h", 12 * time.Hour, true},
+		{"45m", 45 * time.Minute, true},
+		{"0d", 0, false},
+		{"d", 0, false},
+		{"30", 0, false},
+		{"30x", 0, false},
+		{"-3d", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseDuration(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseDuration(%q) err = %v", c.in, err)
+			continue
+		}
+		if c.ok && time.Duration(got) != c.want {
+			t.Errorf("ParseDuration(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Round trip of String.
+	for _, s := range []string{"30d", "12h", "45m"} {
+		d, _ := ParseDuration(s)
+		if d.String() != s {
+			t.Errorf("Duration round trip %q = %q", s, d.String())
+		}
+	}
+}
+
+func TestParseRulesBasic(t *testing.T) {
+	rules, err := ParseRules(`
+# drought precursor
+RULE rainfall-deficit
+WHEN avg(rainfall) < 1.2 OVER 30d
+COOLDOWN 14d
+EMIT RainfallDeficit SEVERITY warning CONFIDENCE 0.7 SOURCE sensor
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	r := rules[0]
+	if r.Name != "rainfall-deficit" || r.Emit != "RainfallDeficit" ||
+		r.Severity != "warning" || r.Confidence != 0.7 || r.Source != "sensor" {
+		t.Errorf("rule = %+v", r)
+	}
+	if time.Duration(r.Cooldown) != 14*24*time.Hour {
+		t.Errorf("cooldown = %v", r.Cooldown)
+	}
+	agg, ok := r.When.(AggCondition)
+	if !ok || agg.Fn != AggAvg || agg.EventType != "rainfall" || agg.Op != "<" || agg.Threshold != 1.2 {
+		t.Errorf("condition = %#v", r.When)
+	}
+}
+
+func TestParseRulesComposite(t *testing.T) {
+	rules, err := ParseRules(`
+RULE complex
+WHEN (avg(rain) < 1 OVER 30d AND last(soil) < 0.2 OVER 10d) OR SEQ(A, B, C) WITHIN 45d
+EMIT Alert
+
+RULE counting
+WHEN COUNT(ik-worms) >= 2 WITHIN 30d AND ABSENT rain FOR 21d
+EMIT IKAlert
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	or, ok := rules[0].When.(OrCondition)
+	if !ok || len(or.Subs) != 2 {
+		t.Fatalf("top = %#v", rules[0].When)
+	}
+	if _, ok := or.Subs[0].(AndCondition); !ok {
+		t.Errorf("first branch should be AND: %#v", or.Subs[0])
+	}
+	seq, ok := or.Subs[1].(SeqCondition)
+	if !ok || len(seq.Types) != 3 {
+		t.Errorf("second branch = %#v", or.Subs[1])
+	}
+	and, ok := rules[1].When.(AndCondition)
+	if !ok || len(and.Subs) != 2 {
+		t.Fatalf("rule 2 = %#v", rules[1].When)
+	}
+	if _, ok := and.Subs[1].(AbsenceCondition); !ok {
+		t.Errorf("expected ABSENT: %#v", and.Subs[1])
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no when", "RULE x EMIT Y"},
+		{"no emit", "RULE x WHEN avg(a) < 1 OVER 3d"},
+		{"bad duration", "RULE x WHEN avg(a) < 1 OVER 3y EMIT Y"},
+		{"bad op", "RULE x WHEN avg(a) ~ 1 OVER 3d EMIT Y"},
+		{"bad threshold", "RULE x WHEN avg(a) < banana OVER 3d EMIT Y"},
+		{"seq one type", "RULE x WHEN SEQ(A) WITHIN 3d EMIT Y"},
+		{"unclosed paren", "RULE x WHEN (avg(a) < 1 OVER 3d EMIT Y"},
+		{"bad confidence", "RULE x WHEN avg(a) < 1 OVER 3d EMIT Y CONFIDENCE 2"},
+		{"dup names", "RULE x WHEN avg(a)<1 OVER 3d EMIT Y RULE x WHEN avg(a)<1 OVER 3d EMIT Z"},
+		{"junk condition", "RULE x WHEN banana EMIT Y"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseRules(c.src); err == nil {
+				t.Errorf("expected error for %q", c.src)
+			}
+		})
+	}
+}
+
+func TestMustParseRulesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParseRules("garbage")
+}
+
+func TestRuleStringRoundTrip(t *testing.T) {
+	src := `RULE r1
+WHEN avg(rain) < 1.5 OVER 30d AND COUNT(worms) >= 2 WITHIN 20d
+COOLDOWN 7d
+EMIT Alert SEVERITY severe CONFIDENCE 0.8`
+	rules := MustParseRules(src)
+	again := MustParseRules(rules[0].String())
+	if again[0].Name != rules[0].Name || again[0].Emit != rules[0].Emit ||
+		again[0].Severity != rules[0].Severity || again[0].Confidence != rules[0].Confidence {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", rules[0], again[0])
+	}
+}
+
+func TestAggregateRuleFires(t *testing.T) {
+	eng, err := NewEngine(MustParseRules(`
+RULE dry
+WHEN avg(rainfall) < 1.0 OVER 10d
+EMIT Dry
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15 dry days: rule fires once enough window accumulates (and keeps
+	// firing without cooldown).
+	emitted, err := eng.ProcessAll(mkEvents("rainfall", t0, repeat(0.2, 15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) == 0 {
+		t.Fatal("dry spell should fire")
+	}
+	if emitted[0].Type != "Dry" {
+		t.Errorf("emitted type = %s", emitted[0].Type)
+	}
+	// Wet series: never fires.
+	eng2, _ := NewEngine(MustParseRules(`
+RULE dry
+WHEN avg(rainfall) < 1.0 OVER 10d
+EMIT Dry
+`))
+	emitted, err = eng2.ProcessAll(mkEvents("rainfall", t0, repeat(5, 15)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 0 {
+		t.Errorf("wet series fired %d times", len(emitted))
+	}
+}
+
+func TestCooldownSuppressesRefiring(t *testing.T) {
+	eng, _ := NewEngine(MustParseRules(`
+RULE dry
+WHEN avg(rainfall) < 1.0 OVER 5d
+COOLDOWN 10d
+EMIT Dry
+`))
+	emitted, err := eng.ProcessAll(mkEvents("rainfall", t0, repeat(0, 30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30 days of firing conditions with a 10d cooldown → ~3 firings.
+	if len(emitted) < 2 || len(emitted) > 4 {
+		t.Errorf("emissions with cooldown = %d, want ~3", len(emitted))
+	}
+}
+
+func TestMinMaxSumLastCount(t *testing.T) {
+	src := `
+RULE hot WHEN max(temp) > 35 OVER 5d EMIT Hot
+RULE cold WHEN min(temp) < 0 OVER 5d EMIT Cold
+RULE wet WHEN sum(rain) > 50 OVER 5d EMIT Wet
+RULE now WHEN last(soil) < 0.1 OVER 5d EMIT DrySoil
+RULE busy WHEN COUNT(rain) >= 5 WITHIN 5d EMIT Busy
+`
+	eng, err := NewEngine(MustParseRules(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []Event{
+		{Type: "temp", Time: t0, Value: 36, Confidence: 1},
+		{Type: "temp", Time: t0.AddDate(0, 0, 1), Value: -2, Confidence: 1},
+		{Type: "rain", Time: t0.AddDate(0, 0, 1), Value: 30, Confidence: 1},
+		{Type: "rain", Time: t0.AddDate(0, 0, 2), Value: 30, Confidence: 1},
+		{Type: "soil", Time: t0.AddDate(0, 0, 2), Value: 0.05, Confidence: 1},
+	}
+	emitted, err := eng.ProcessAll(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := make(map[string]int)
+	for _, e := range emitted {
+		types[e.Type]++
+	}
+	for _, want := range []string{"Hot", "Cold", "Wet", "DrySoil"} {
+		if types[want] == 0 {
+			t.Errorf("%s did not fire: %v", want, types)
+		}
+	}
+	if types["Busy"] != 0 {
+		t.Errorf("Busy should not fire with only 2 rain events")
+	}
+}
+
+func TestSequenceDetection(t *testing.T) {
+	eng, _ := NewEngine(MustParseRules(`
+RULE chain
+WHEN SEQ(A, B, C) WITHIN 10d
+EMIT Chained
+`))
+	evs := []Event{
+		{Type: "A", Time: t0, Value: 1, Confidence: 1},
+		{Type: "B", Time: t0.AddDate(0, 0, 2), Value: 1, Confidence: 1},
+		{Type: "C", Time: t0.AddDate(0, 0, 4), Value: 1, Confidence: 1},
+	}
+	emitted, err := eng.ProcessAll(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 1 || emitted[0].Type != "Chained" {
+		t.Fatalf("emitted = %v", emitted)
+	}
+}
+
+func TestSequenceOrderMatters(t *testing.T) {
+	eng, _ := NewEngine(MustParseRules(`
+RULE chain WHEN SEQ(A, B) WITHIN 10d EMIT Chained
+`))
+	evs := []Event{
+		{Type: "B", Time: t0, Value: 1, Confidence: 1},
+		{Type: "A", Time: t0.AddDate(0, 0, 1), Value: 1, Confidence: 1},
+	}
+	emitted, err := eng.ProcessAll(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 0 {
+		t.Errorf("B then A should not match SEQ(A, B): %v", emitted)
+	}
+}
+
+func TestSequenceExpiry(t *testing.T) {
+	eng, _ := NewEngine(MustParseRules(`
+RULE chain WHEN SEQ(A, B) WITHIN 5d EMIT Chained
+`))
+	evs := []Event{
+		{Type: "A", Time: t0, Value: 1, Confidence: 1},
+		{Type: "B", Time: t0.AddDate(0, 0, 8), Value: 1, Confidence: 1}, // too late
+	}
+	emitted, err := eng.ProcessAll(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 0 {
+		t.Errorf("expired sequence matched: %v", emitted)
+	}
+}
+
+func TestAbsenceCondition(t *testing.T) {
+	eng, _ := NewEngine(MustParseRules(`
+RULE silent
+WHEN ABSENT rainfall FOR 7d
+COOLDOWN 30d
+EMIT NoRain
+`))
+	evs := []Event{
+		{Type: "rainfall", Time: t0, Value: 5, Confidence: 1},
+		// Heartbeat events of another type advance the clock.
+		{Type: "tick", Time: t0.AddDate(0, 0, 3), Value: 0, Confidence: 1},
+		{Type: "tick", Time: t0.AddDate(0, 0, 8), Value: 0, Confidence: 1},
+	}
+	emitted, err := eng.ProcessAll(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 1 || emitted[0].Type != "NoRain" {
+		t.Fatalf("absence: %v", emitted)
+	}
+}
+
+func TestRuleChaining(t *testing.T) {
+	eng, _ := NewEngine(MustParseRules(`
+RULE first
+WHEN avg(rain) < 1 OVER 3d
+COOLDOWN 90d
+EMIT Deficit
+
+RULE second
+WHEN COUNT(Deficit) >= 1 WITHIN 10d
+COOLDOWN 90d
+EMIT DroughtWarning SEVERITY severe
+`))
+	emitted, err := eng.ProcessAll(mkEvents("rain", t0, repeat(0, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := make(map[string]bool)
+	for _, e := range emitted {
+		types[e.Type] = true
+	}
+	if !types["Deficit"] || !types["DroughtWarning"] {
+		t.Fatalf("chaining failed: %v", emitted)
+	}
+	// Severity attr propagated.
+	for _, e := range emitted {
+		if e.Type == "DroughtWarning" && e.Attrs["severity"] != "severe" {
+			t.Errorf("severity attr = %q", e.Attrs["severity"])
+		}
+	}
+}
+
+func TestChainCycleDetected(t *testing.T) {
+	eng, _ := NewEngine(MustParseRules(`
+RULE loop
+WHEN COUNT(Ouro) >= 1 WITHIN 10d
+EMIT Ouro
+`))
+	_, err := eng.Process(Event{Type: "Ouro", Time: t0, Value: 1, Confidence: 1})
+	if err == nil || !strings.Contains(err.Error(), "chain") {
+		t.Fatalf("cycle should be detected, got %v", err)
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	eng, _ := NewEngine(MustParseRules(`
+RULE r WHEN avg(a) < 1 OVER 3d EMIT X
+`))
+	if _, err := eng.Process(Event{Type: "a", Time: t0.AddDate(0, 0, 5), Value: 0, Confidence: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Process(Event{Type: "a", Time: t0, Value: 0, Confidence: 1}); err == nil {
+		t.Fatal("out-of-order event should be rejected")
+	}
+	if eng.Stats().OutOfOrder != 1 {
+		t.Errorf("stats = %+v", eng.Stats())
+	}
+}
+
+func TestEventValidation(t *testing.T) {
+	eng, _ := NewEngine(MustParseRules(`
+RULE r WHEN avg(a) < 1 OVER 3d EMIT X
+`))
+	bad := []Event{
+		{},
+		{Type: "a"},
+		{Type: "a", Time: t0, Confidence: 2},
+	}
+	for i, ev := range bad {
+		if _, err := eng.Process(ev); err == nil {
+			t.Errorf("case %d: invalid event accepted", i)
+		}
+	}
+}
+
+func TestConfidencePropagation(t *testing.T) {
+	eng, _ := NewEngine(MustParseRules(`
+RULE r
+WHEN avg(sig) > 0.5 OVER 5d
+COOLDOWN 30d
+EMIT Out CONFIDENCE 0.8
+`))
+	// Low-confidence inputs must produce a lower-confidence emission.
+	evs := []Event{
+		{Type: "sig", Time: t0, Value: 1, Confidence: 0.5},
+		{Type: "sig", Time: t0.AddDate(0, 0, 1), Value: 1, Confidence: 0.5},
+	}
+	emitted, err := eng.ProcessAll(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 1 {
+		t.Fatalf("emitted = %v", emitted)
+	}
+	got := emitted[0].Confidence
+	if got > 0.5 || got < 0.3 {
+		t.Errorf("confidence = %v, want ≈ 0.8 × 0.5", got)
+	}
+}
+
+func TestEngineRejectsBadRules(t *testing.T) {
+	if _, err := NewEngine([]Rule{{Name: "x"}}); err == nil {
+		t.Fatal("rule without WHEN/EMIT should be rejected")
+	}
+}
+
+func TestCaseInsensitiveTypeMatching(t *testing.T) {
+	eng, _ := NewEngine(MustParseRules(`
+RULE r WHEN count(RainFall) >= 1 WITHIN 5d EMIT X
+`))
+	emitted, err := eng.Process(Event{Type: "rainfall", Time: t0, Value: 1, Confidence: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 1 {
+		t.Errorf("case-insensitive match failed: %v", emitted)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := newWindow(5 * 24 * time.Hour)
+	for i := 0; i < 300; i++ {
+		w.add(t0.AddDate(0, 0, i), 1)
+	}
+	if w.count() > 6 {
+		t.Errorf("window count = %d after eviction", w.count())
+	}
+	if sum, _ := w.aggregate(AggSum); sum > 6 {
+		t.Errorf("sum = %v not evicted", sum)
+	}
+	// Compaction must have kept memory bounded.
+	if len(w.times) > 64+10 {
+		t.Errorf("backing array len = %d; compaction failed", len(w.times))
+	}
+}
+
+func TestWindowAggregates(t *testing.T) {
+	w := newWindow(10 * 24 * time.Hour)
+	for i, v := range []float64{3, 1, 4, 1, 5} {
+		w.add(t0.AddDate(0, 0, i), v)
+	}
+	checks := []struct {
+		fn   AggFunc
+		want float64
+	}{
+		{AggCount, 5}, {AggSum, 14}, {AggAvg, 2.8},
+		{AggMin, 1}, {AggMax, 5}, {AggLast, 5},
+	}
+	for _, c := range checks {
+		got, ok := w.aggregate(c.fn)
+		if !ok || got != c.want {
+			t.Errorf("%s = %v (%v), want %v", c.fn, got, ok, c.want)
+		}
+	}
+	empty := newWindow(time.Hour)
+	if _, ok := empty.aggregate(AggAvg); ok {
+		t.Error("empty window avg should report !ok")
+	}
+}
+
+func TestEngineStatsAccounting(t *testing.T) {
+	eng, _ := NewEngine(MustParseRules(`
+RULE r WHEN avg(a) < 1 OVER 5d EMIT X
+`))
+	emitted, err := eng.ProcessAll(mkEvents("a", t0, repeat(0, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.EventsProcessed != 10+len(emitted) {
+		t.Errorf("events processed = %d", st.EventsProcessed)
+	}
+	if st.Emissions != len(emitted) {
+		t.Errorf("emissions = %d, want %d", st.Emissions, len(emitted))
+	}
+	if st.RulesEvaluated == 0 {
+		t.Error("rules evaluated not counted")
+	}
+}
+
+func TestNonListenerEventIgnoredCheaply(t *testing.T) {
+	eng, _ := NewEngine(MustParseRules(`
+RULE r WHEN avg(a) < 1 OVER 5d EMIT X
+`))
+	before := eng.Stats().RulesEvaluated
+	if _, err := eng.Process(Event{Type: "unrelated", Time: t0, Value: 1, Confidence: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().RulesEvaluated != before {
+		t.Error("non-listening rule should not be evaluated")
+	}
+}

@@ -1,0 +1,385 @@
+package cep
+
+import (
+	"fmt"
+	"time"
+)
+
+// maxChainDepth bounds rule chaining (rule A emits an event that fires
+// rule B, ...). Cycles among rules otherwise loop forever.
+const maxChainDepth = 8
+
+// EngineStats summarizes an engine's activity.
+type EngineStats struct {
+	EventsProcessed int
+	RulesEvaluated  int
+	Emissions       int
+	ChainDepthMax   int
+	OutOfOrder      int
+}
+
+// Engine evaluates a fixed rule set over a single time-ordered event
+// stream. It is deliberately single-goroutine (the DEWS layer shards by
+// district); Process must not be called concurrently.
+type Engine struct {
+	rules []Rule
+	// byType maps normalized event type → indexes of rules listening to it.
+	byType map[string][]int
+	// timeDriven lists rules that must be re-evaluated on every event
+	// (those containing ABSENT conditions).
+	timeDriven []int
+	// windows per normalized event type, sized to the largest span any
+	// condition demands for that type.
+	windows map[string]*window
+	// conf tracks a per-type window of confidences (aligned spans).
+	conf map[string]*window
+	// seqStates per rule index → sequence partial-match state.
+	seqStates map[int][]*seqState
+	// lastFire per rule index.
+	lastFire map[int]time.Time
+	// lastSeqComplete per rule index per condition pointer identity is
+	// tricky; keyed by rule idx + condition string instead.
+	seqDone map[string]time.Time
+	clock   time.Time
+	stats   EngineStats
+}
+
+// seqState is one partial sequence match.
+type seqState struct {
+	condKey string
+	types   []string
+	next    int
+	started time.Time
+	within  time.Duration
+}
+
+// NewEngine compiles a rule set. Every rule is validated; window spans
+// are pre-sized.
+func NewEngine(rules []Rule) (*Engine, error) {
+	e := &Engine{
+		rules:     rules,
+		byType:    make(map[string][]int),
+		windows:   make(map[string]*window),
+		conf:      make(map[string]*window),
+		seqStates: make(map[int][]*seqState),
+		lastFire:  make(map[int]time.Time),
+		seqDone:   make(map[string]time.Time),
+	}
+	spans := make(map[string]time.Duration)
+	for i, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		for _, t := range r.When.eventTypes() {
+			e.byType[t] = append(e.byType[t], i)
+		}
+		if hasAbsence(r.When) {
+			e.timeDriven = append(e.timeDriven, i)
+		}
+		collectSpans(r.When, spans)
+	}
+	for t, span := range spans {
+		e.windows[t] = newWindow(span)
+		e.conf[t] = newWindow(span)
+	}
+	return e, nil
+}
+
+// Rules returns the engine's rule set.
+func (e *Engine) Rules() []Rule { return e.rules }
+
+// Stats returns a copy of the engine statistics.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// collectSpans records the maximum window span needed per event type.
+func collectSpans(c Condition, spans map[string]time.Duration) {
+	grow := func(t string, d Duration) {
+		key := normalizeType(t)
+		if time.Duration(d) > spans[key] {
+			spans[key] = time.Duration(d)
+		}
+	}
+	switch c := c.(type) {
+	case AggCondition:
+		grow(c.EventType, c.Over)
+	case CountCondition:
+		grow(c.EventType, c.Within)
+	case AbsenceCondition:
+		grow(c.EventType, c.For)
+	case SeqCondition:
+		for _, t := range c.Types {
+			grow(t, c.Within)
+		}
+	case AndCondition:
+		for _, s := range c.Subs {
+			collectSpans(s, spans)
+		}
+	case OrCondition:
+		for _, s := range c.Subs {
+			collectSpans(s, spans)
+		}
+	}
+}
+
+func hasAbsence(c Condition) bool {
+	switch c := c.(type) {
+	case AbsenceCondition:
+		return true
+	case AndCondition:
+		for _, s := range c.Subs {
+			if hasAbsence(s) {
+				return true
+			}
+		}
+	case OrCondition:
+		for _, s := range c.Subs {
+			if hasAbsence(s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Process feeds one event. It returns every emission the event caused,
+// including chained ones, in firing order. Events must arrive in
+// non-decreasing time order; out-of-order events are rejected.
+func (e *Engine) Process(ev Event) ([]Event, error) {
+	if err := ev.Validate(); err != nil {
+		return nil, err
+	}
+	if !e.clock.IsZero() && ev.Time.Before(e.clock) {
+		e.stats.OutOfOrder++
+		return nil, fmt.Errorf("cep: out-of-order event %s before clock %s", ev, e.clock.Format(time.RFC3339))
+	}
+	var emitted []Event
+	if err := e.process(ev, 0, &emitted); err != nil {
+		return nil, err
+	}
+	return emitted, nil
+}
+
+// ProcessAll sorts the batch by time and feeds it through.
+func (e *Engine) ProcessAll(evs []Event) ([]Event, error) {
+	SortEvents(evs)
+	var out []Event
+	for _, ev := range evs {
+		em, err := e.Process(ev)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, em...)
+	}
+	return out, nil
+}
+
+func (e *Engine) process(ev Event, depth int, emitted *[]Event) error {
+	if depth > maxChainDepth {
+		return fmt.Errorf("cep: rule chain deeper than %d (cycle?) at %s", maxChainDepth, ev.Type)
+	}
+	if depth > e.stats.ChainDepthMax {
+		e.stats.ChainDepthMax = depth
+	}
+	e.clock = ev.Time
+	e.stats.EventsProcessed++
+
+	key := normalizeType(ev.Type)
+	if w, ok := e.windows[key]; ok {
+		w.add(ev.Time, ev.Value)
+		e.conf[key].add(ev.Time, ev.Confidence)
+	}
+	e.advanceSequences(ev)
+
+	// Determine candidate rules: listeners on this type + time-driven.
+	candidates := e.byType[key]
+	for _, idx := range e.timeDriven {
+		candidates = appendUnique(candidates, idx)
+	}
+	for _, idx := range candidates {
+		r := e.rules[idx]
+		e.stats.RulesEvaluated++
+		if r.Cooldown != 0 {
+			if last, ok := e.lastFire[idx]; ok && ev.Time.Before(last.Add(time.Duration(r.Cooldown))) {
+				continue
+			}
+		}
+		if !e.eval(r.When, idx, ev.Time) {
+			continue
+		}
+		e.lastFire[idx] = ev.Time
+		out := Event{
+			Type:       r.Emit,
+			Time:       ev.Time,
+			Value:      1,
+			Confidence: e.emissionConfidence(r, ev),
+			Key:        ev.Key,
+			Attrs: map[string]string{
+				"rule":     r.Name,
+				"severity": r.Severity,
+				"source":   r.Source,
+			},
+		}
+		e.stats.Emissions++
+		*emitted = append(*emitted, out)
+		if err := e.process(out, depth+1, emitted); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// emissionConfidence combines the rule confidence with the mean
+// confidence of the triggering event's type window (the provenance-aware
+// part of the paper's "detection-oriented CEP").
+func (e *Engine) emissionConfidence(r Rule, trigger Event) float64 {
+	conf := r.Confidence
+	if w, ok := e.conf[normalizeType(trigger.Type)]; ok {
+		if mean, ok := w.aggregate(AggAvg); ok {
+			conf *= mean
+		}
+	} else if trigger.Confidence > 0 {
+		conf *= trigger.Confidence
+	}
+	if conf < 0 {
+		return 0
+	}
+	if conf > 1 {
+		return 1
+	}
+	return conf
+}
+
+// advanceSequences updates NFA partial matches for every SEQ condition of
+// rules listening to the event's type (non-listeners cannot advance).
+func (e *Engine) advanceSequences(ev Event) {
+	key := normalizeType(ev.Type)
+	for _, idx := range e.byType[key] {
+		r := e.rules[idx]
+		forEachSeq(r.When, func(sc SeqCondition) {
+			condKey := seqKey(idx, sc)
+			types := sc.eventTypes()
+			// Start a new instance when the event matches the head.
+			if types[0] == key {
+				e.seqStates[idx] = append(e.seqStates[idx], &seqState{
+					condKey: condKey,
+					types:   types,
+					next:    1,
+					started: ev.Time,
+					within:  time.Duration(sc.Within),
+				})
+			}
+			// Advance existing instances (skip brand-new ones at next==1
+			// matching the same event type again is fine — they wait for
+			// the *next* stage).
+			live := e.seqStates[idx][:0]
+			for _, st := range e.seqStates[idx] {
+				if st.condKey != condKey {
+					live = append(live, st)
+					continue
+				}
+				if ev.Time.Sub(st.started) > st.within {
+					continue // expired
+				}
+				if st.next < len(st.types) && st.types[st.next] == key && ev.Time.After(st.started) {
+					st.next++
+				}
+				if st.next >= len(st.types) {
+					e.seqDone[condKey] = ev.Time
+					continue // completed; do not keep
+				}
+				live = append(live, st)
+			}
+			e.seqStates[idx] = live
+		})
+	}
+}
+
+func forEachSeq(c Condition, fn func(SeqCondition)) {
+	switch c := c.(type) {
+	case SeqCondition:
+		fn(c)
+	case AndCondition:
+		for _, s := range c.Subs {
+			forEachSeq(s, fn)
+		}
+	case OrCondition:
+		for _, s := range c.Subs {
+			forEachSeq(s, fn)
+		}
+	}
+}
+
+func seqKey(ruleIdx int, sc SeqCondition) string {
+	return fmt.Sprintf("%d|%s", ruleIdx, sc.String())
+}
+
+// eval evaluates a condition tree at the given time.
+func (e *Engine) eval(c Condition, ruleIdx int, now time.Time) bool {
+	switch c := c.(type) {
+	case AggCondition:
+		w, ok := e.windows[normalizeType(c.EventType)]
+		if !ok {
+			return false
+		}
+		w.observe(now)
+		v, ok := w.aggregate(c.Fn)
+		if !ok {
+			// Empty window: count() is zero, everything else undefined.
+			if c.Fn == AggCount {
+				return c.Op.apply(0, c.Threshold)
+			}
+			return false
+		}
+		return c.Op.apply(v, c.Threshold)
+	case CountCondition:
+		w, ok := e.windows[normalizeType(c.EventType)]
+		if !ok {
+			return c.Op.apply(0, c.Threshold)
+		}
+		w.observe(now)
+		return c.Op.apply(float64(w.count()), c.Threshold)
+	case AbsenceCondition:
+		w, ok := e.windows[normalizeType(c.EventType)]
+		if !ok {
+			return true // never seen
+		}
+		last := w.lastTime()
+		if last.IsZero() {
+			return true
+		}
+		return now.Sub(last) >= time.Duration(c.For)
+	case SeqCondition:
+		// True when a completion happened within the condition's window
+		// of 'now' (sticky semantics so SEQ composes with AND).
+		done, ok := e.seqDone[seqKey(ruleIdx, c)]
+		if !ok {
+			return false
+		}
+		return now.Sub(done) <= time.Duration(c.Within)
+	case AndCondition:
+		for _, s := range c.Subs {
+			if !e.eval(s, ruleIdx, now) {
+				return false
+			}
+		}
+		return true
+	case OrCondition:
+		for _, s := range c.Subs {
+			if e.eval(s, ruleIdx, now) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

@@ -1,0 +1,130 @@
+// Package cep implements the detection-oriented Complex Event Processing
+// engine of the paper's ontology segment layer: the component that
+// "infer[s] patterns leading to drought event based on a set of rules
+// derived from indigenous knowledge".
+//
+// The engine consumes a single time-ordered event stream (the DEWS layer
+// runs one engine per district), maintains per-type sliding windows, and
+// evaluates declarative rules written in a small text DSL:
+//
+//	RULE rainfall-deficit
+//	WHEN avg(rainfall) < 1.2 OVER 30d AND last(soil_moisture) < 0.25
+//	COOLDOWN 14d
+//	EMIT RainfallDeficit SEVERITY warning CONFIDENCE 0.7
+//
+// Rules support windowed aggregates (avg/min/max/sum/count/last),
+// sequence detection (SEQ(A, B, C) WITHIN 45d), event counting
+// (COUNT(x) >= n WITHIN 30d), absence (ABSENT x FOR 21d), boolean
+// composition with AND/OR and parentheses, per-rule cooldowns, and
+// emission of composite events that feed back into the stream so rules
+// can chain (process → event, the paper's DOLCE story).
+package cep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Event is one item on the stream. Type names are free-form; by
+// convention the DEWS layer uses ontology local names ("rainfall",
+// "RainfallDeficit", "ik-MutigaTreeFlowering").
+type Event struct {
+	// Type is the event type name rules match on.
+	Type string
+	// Time is the event timestamp; the engine requires non-decreasing
+	// times within a stream.
+	Time time.Time
+	// Value is the numeric payload aggregates operate on (0 for pure
+	// signals).
+	Value float64
+	// Confidence in [0,1]; emitted composites carry rule confidence
+	// combined with input confidence.
+	Confidence float64
+	// Key is an opaque partition tag (e.g. the district slug); the engine
+	// treats it as payload.
+	Key string
+	// Attrs carries any additional string attributes.
+	Attrs map[string]string
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	return fmt.Sprintf("%s[%s]=%.3f@%s(conf=%.2f)",
+		e.Type, e.Key, e.Value, e.Time.Format("2006-01-02"), e.Confidence)
+}
+
+// Validate reports event well-formedness.
+func (e Event) Validate() error {
+	if e.Type == "" {
+		return fmt.Errorf("cep: event without type")
+	}
+	if e.Time.IsZero() {
+		return fmt.Errorf("cep: event %s without time", e.Type)
+	}
+	if e.Confidence < 0 || e.Confidence > 1 {
+		return fmt.Errorf("cep: event %s confidence %v outside [0,1]", e.Type, e.Confidence)
+	}
+	return nil
+}
+
+// SortEvents orders events by time then type (stable input for the
+// engine when merging sources).
+func SortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if !evs[i].Time.Equal(evs[j].Time) {
+			return evs[i].Time.Before(evs[j].Time)
+		}
+		return evs[i].Type < evs[j].Type
+	})
+}
+
+// Duration is a parsed DSL duration. Only the units the domain needs are
+// supported: d (days), h (hours), m (minutes).
+type Duration time.Duration
+
+// ParseDuration parses "30d", "12h", "45m".
+func ParseDuration(s string) (Duration, error) {
+	if len(s) < 2 {
+		return 0, fmt.Errorf("cep: bad duration %q", s)
+	}
+	unit := s[len(s)-1]
+	num := s[:len(s)-1]
+	var n int
+	for _, r := range num {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("cep: bad duration %q", s)
+		}
+		n = n*10 + int(r-'0')
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("cep: zero duration %q", s)
+	}
+	switch unit {
+	case 'd':
+		return Duration(time.Duration(n) * 24 * time.Hour), nil
+	case 'h':
+		return Duration(time.Duration(n) * time.Hour), nil
+	case 'm':
+		return Duration(time.Duration(n) * time.Minute), nil
+	default:
+		return 0, fmt.Errorf("cep: bad duration unit %q", s)
+	}
+}
+
+// String renders the duration in the DSL's units.
+func (d Duration) String() string {
+	td := time.Duration(d)
+	switch {
+	case td%(24*time.Hour) == 0:
+		return fmt.Sprintf("%dd", td/(24*time.Hour))
+	case td%time.Hour == 0:
+		return fmt.Sprintf("%dh", td/time.Hour)
+	default:
+		return fmt.Sprintf("%dm", td/time.Minute)
+	}
+}
+
+// normalizeType canonicalizes a type name for matching (case-insensitive).
+func normalizeType(s string) string { return strings.ToLower(s) }

@@ -1,0 +1,369 @@
+package cep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseRules parses a document of rules in the CEP DSL. Rules are
+// separated implicitly by the next RULE keyword; '#' starts a line
+// comment.
+func ParseRules(src string) ([]Rule, error) {
+	p := &ruleParser{toks: tokenizeRules(src)}
+	var rules []Rule
+	names := make(map[string]bool)
+	for !p.atEOF() {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		if names[r.Name] {
+			return nil, fmt.Errorf("cep: duplicate rule name %q", r.Name)
+		}
+		names[r.Name] = true
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("cep: no rules in input")
+	}
+	return rules, nil
+}
+
+// MustParseRules is ParseRules for static, programmer-authored rule text.
+func MustParseRules(src string) []Rule {
+	rs, err := ParseRules(src)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// --- tokenizer ---
+
+type ruleTok struct {
+	text string
+	pos  int
+}
+
+func tokenizeRules(src string) []ruleTok {
+	var toks []ruleTok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '(' || c == ')' || c == ',':
+			toks = append(toks, ruleTok{string(c), i})
+			i++
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			j := i + 1
+			if j < len(src) && src[j] == '=' {
+				j++
+			}
+			toks = append(toks, ruleTok{src[i:j], i})
+			i = j
+		default:
+			j := i
+			for j < len(src) && !unicode.IsSpace(rune(src[j])) &&
+				!strings.ContainsRune("(),<>=!#", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, ruleTok{src[i:j], i})
+			i = j
+		}
+	}
+	return toks
+}
+
+type ruleParser struct {
+	toks []ruleTok
+	pos  int
+}
+
+func (p *ruleParser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *ruleParser) peek() string {
+	if p.atEOF() {
+		return ""
+	}
+	return p.toks[p.pos].text
+}
+
+func (p *ruleParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *ruleParser) errf(format string, args ...any) error {
+	where := "end of input"
+	if !p.atEOF() {
+		where = fmt.Sprintf("%q (offset %d)", p.toks[p.pos].text, p.toks[p.pos].pos)
+	}
+	return fmt.Errorf("cep: parse at %s: %s", where, fmt.Sprintf(format, args...))
+}
+
+func (p *ruleParser) expectWord(w string) error {
+	if !strings.EqualFold(p.peek(), w) {
+		return p.errf("expected %s", w)
+	}
+	p.next()
+	return nil
+}
+
+func (p *ruleParser) parseRule() (Rule, error) {
+	r := Rule{Confidence: 1}
+	if err := p.expectWord("RULE"); err != nil {
+		return r, err
+	}
+	r.Name = p.next()
+	if r.Name == "" {
+		return r, p.errf("rule needs a name")
+	}
+	if err := p.expectWord("WHEN"); err != nil {
+		return r, err
+	}
+	cond, err := p.parseOr()
+	if err != nil {
+		return r, err
+	}
+	r.When = cond
+	// Optional clauses until EMIT.
+	for {
+		switch strings.ToUpper(p.peek()) {
+		case "COOLDOWN":
+			p.next()
+			d, err := ParseDuration(p.next())
+			if err != nil {
+				return r, err
+			}
+			r.Cooldown = d
+		case "EMIT":
+			p.next()
+			r.Emit = p.next()
+			if r.Emit == "" {
+				return r, p.errf("EMIT needs an event type")
+			}
+			// Optional EMIT attributes.
+			for {
+				switch strings.ToUpper(p.peek()) {
+				case "SEVERITY":
+					p.next()
+					r.Severity = strings.ToLower(p.next())
+				case "CONFIDENCE":
+					p.next()
+					f, err := strconv.ParseFloat(p.next(), 64)
+					if err != nil || f < 0 || f > 1 {
+						return r, p.errf("CONFIDENCE needs a number in [0,1]")
+					}
+					r.Confidence = f
+				case "SOURCE":
+					p.next()
+					r.Source = strings.ToLower(p.next())
+				default:
+					if err := r.Validate(); err != nil {
+						return r, err
+					}
+					return r, nil
+				}
+			}
+		default:
+			return r, p.errf("expected COOLDOWN or EMIT")
+		}
+	}
+}
+
+func (p *ruleParser) parseOr() (Condition, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	subs := []Condition{left}
+	for strings.EqualFold(p.peek(), "OR") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, right)
+	}
+	if len(subs) == 1 {
+		return left, nil
+	}
+	return OrCondition{Subs: subs}, nil
+}
+
+func (p *ruleParser) parseAnd() (Condition, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	subs := []Condition{left}
+	for strings.EqualFold(p.peek(), "AND") {
+		p.next()
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, right)
+	}
+	if len(subs) == 1 {
+		return left, nil
+	}
+	return AndCondition{Subs: subs}, nil
+}
+
+func (p *ruleParser) parsePrimary() (Condition, error) {
+	tok := p.peek()
+	switch {
+	case tok == "(":
+		p.next()
+		c, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ")" {
+			return nil, p.errf("expected )")
+		}
+		p.next()
+		return c, nil
+	case strings.EqualFold(tok, "SEQ"):
+		return p.parseSeq()
+	case strings.EqualFold(tok, "COUNT"):
+		return p.parseCount()
+	case strings.EqualFold(tok, "ABSENT"):
+		return p.parseAbsent()
+	default:
+		if _, ok := aggNames[strings.ToLower(tok)]; ok {
+			return p.parseAgg()
+		}
+		return nil, p.errf("expected condition")
+	}
+}
+
+func (p *ruleParser) parseAgg() (Condition, error) {
+	fn := aggNames[strings.ToLower(p.next())]
+	if p.peek() != "(" {
+		return nil, p.errf("expected ( after aggregate")
+	}
+	p.next()
+	evType := p.next()
+	if evType == "" || evType == ")" {
+		return nil, p.errf("aggregate needs an event type")
+	}
+	if p.peek() != ")" {
+		return nil, p.errf("expected ) after aggregate argument")
+	}
+	p.next()
+	op := CmpOp(p.next())
+	if !validCmp(op) {
+		return nil, p.errf("expected comparison operator, got %q", op)
+	}
+	threshold, err := strconv.ParseFloat(p.next(), 64)
+	if err != nil {
+		return nil, p.errf("expected numeric threshold")
+	}
+	if err := p.expectWord("OVER"); err != nil {
+		return nil, err
+	}
+	d, err := ParseDuration(p.next())
+	if err != nil {
+		return nil, err
+	}
+	return AggCondition{Fn: fn, EventType: evType, Op: op, Threshold: threshold, Over: d}, nil
+}
+
+func (p *ruleParser) parseSeq() (Condition, error) {
+	p.next() // SEQ
+	if p.peek() != "(" {
+		return nil, p.errf("expected ( after SEQ")
+	}
+	p.next()
+	var types []string
+	for {
+		t := p.next()
+		if t == "" {
+			return nil, p.errf("unterminated SEQ")
+		}
+		types = append(types, t)
+		switch p.peek() {
+		case ",":
+			p.next()
+		case ")":
+			p.next()
+			if len(types) < 2 {
+				return nil, p.errf("SEQ needs at least two event types")
+			}
+			if err := p.expectWord("WITHIN"); err != nil {
+				return nil, err
+			}
+			d, err := ParseDuration(p.next())
+			if err != nil {
+				return nil, err
+			}
+			return SeqCondition{Types: types, Within: d}, nil
+		default:
+			return nil, p.errf("expected , or ) in SEQ")
+		}
+	}
+}
+
+func (p *ruleParser) parseCount() (Condition, error) {
+	p.next() // COUNT
+	if p.peek() != "(" {
+		return nil, p.errf("expected ( after COUNT")
+	}
+	p.next()
+	evType := p.next()
+	if p.peek() != ")" {
+		return nil, p.errf("expected ) after COUNT argument")
+	}
+	p.next()
+	op := CmpOp(p.next())
+	if !validCmp(op) {
+		return nil, p.errf("expected comparison operator")
+	}
+	threshold, err := strconv.ParseFloat(p.next(), 64)
+	if err != nil {
+		return nil, p.errf("expected numeric threshold")
+	}
+	if err := p.expectWord("WITHIN"); err != nil {
+		return nil, err
+	}
+	d, err := ParseDuration(p.next())
+	if err != nil {
+		return nil, err
+	}
+	return CountCondition{EventType: evType, Op: op, Threshold: threshold, Within: d}, nil
+}
+
+func (p *ruleParser) parseAbsent() (Condition, error) {
+	p.next() // ABSENT
+	evType := p.next()
+	if evType == "" {
+		return nil, p.errf("ABSENT needs an event type")
+	}
+	if err := p.expectWord("FOR"); err != nil {
+		return nil, err
+	}
+	d, err := ParseDuration(p.next())
+	if err != nil {
+		return nil, err
+	}
+	return AbsenceCondition{EventType: evType, For: d}, nil
+}
+
+func validCmp(op CmpOp) bool {
+	switch op {
+	case "<", "<=", ">", ">=", "=", "==", "!=":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+package cep
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickWindowConservation: window aggregates always agree with a
+// naive recomputation over the retained samples, across random add
+// sequences and spans.
+func TestQuickWindowConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spanDays := 1 + rng.Intn(60)
+		w := newWindow(time.Duration(spanDays) * 24 * time.Hour)
+		type sample struct {
+			at time.Time
+			v  float64
+		}
+		var all []sample
+		cur := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+		for i := 0; i < 200; i++ {
+			cur = cur.Add(time.Duration(rng.Intn(48)) * time.Hour)
+			v := rng.NormFloat64() * 10
+			w.add(cur, v)
+			all = append(all, sample{cur, v})
+		}
+		// Naive reference over the window (exclusive cutoff like evict).
+		cutoff := cur.Add(-time.Duration(spanDays) * 24 * time.Hour)
+		var refSum float64
+		refCount := 0
+		refMin, refMax := 1e18, -1e18
+		for _, s := range all {
+			if s.at.After(cutoff) {
+				refSum += s.v
+				refCount++
+				if s.v < refMin {
+					refMin = s.v
+				}
+				if s.v > refMax {
+					refMax = s.v
+				}
+			}
+		}
+		if w.count() != refCount {
+			return false
+		}
+		if refCount == 0 {
+			_, ok := w.aggregate(AggAvg)
+			return !ok
+		}
+		sum, _ := w.aggregate(AggSum)
+		if diff := sum - refSum; diff > 1e-6 || diff < -1e-6 {
+			return false
+		}
+		min, _ := w.aggregate(AggMin)
+		max, _ := w.aggregate(AggMax)
+		return min == refMin && max == refMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEngineDeterminism: processing the same random event batch
+// twice through fresh engines yields identical emissions.
+func TestQuickEngineDeterminism(t *testing.T) {
+	rules := MustParseRules(`
+RULE a WHEN avg(x) < 0 OVER 10d COOLDOWN 5d EMIT NegX
+RULE b WHEN COUNT(y) >= 3 WITHIN 7d COOLDOWN 7d EMIT ManyY
+RULE c WHEN SEQ(NegX, ManyY) WITHIN 30d COOLDOWN 30d EMIT Chain
+`)
+	gen := func(seed int64) []Event {
+		rng := rand.New(rand.NewSource(seed))
+		cur := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+		var evs []Event
+		for i := 0; i < 150; i++ {
+			cur = cur.Add(time.Duration(1+rng.Intn(24)) * time.Hour)
+			typ := "x"
+			if rng.Intn(2) == 0 {
+				typ = "y"
+			}
+			evs = append(evs, Event{Type: typ, Time: cur, Value: rng.NormFloat64(), Confidence: 1})
+		}
+		return evs
+	}
+	f := func(seed int64) bool {
+		e1, err := NewEngine(rules)
+		if err != nil {
+			return false
+		}
+		e2, err := NewEngine(rules)
+		if err != nil {
+			return false
+		}
+		out1, err1 := e1.ProcessAll(gen(seed))
+		out2, err2 := e2.ProcessAll(gen(seed))
+		if (err1 == nil) != (err2 == nil) || len(out1) != len(out2) {
+			return false
+		}
+		for i := range out1 {
+			if out1[i].Type != out2[i].Type || !out1[i].Time.Equal(out2[i].Time) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEmissionConfidenceBounds: emitted confidences stay in [0,1]
+// for arbitrary input confidences.
+func TestQuickEmissionConfidenceBounds(t *testing.T) {
+	rules := MustParseRules(`
+RULE a WHEN COUNT(x) >= 1 WITHIN 5d EMIT Out CONFIDENCE 0.9
+`)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng, err := NewEngine(rules)
+		if err != nil {
+			return false
+		}
+		cur := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+		for i := 0; i < 50; i++ {
+			cur = cur.Add(time.Hour)
+			out, err := eng.Process(Event{Type: "x", Time: cur, Value: 1, Confidence: rng.Float64()})
+			if err != nil {
+				return false
+			}
+			for _, e := range out {
+				if e.Confidence < 0 || e.Confidence > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+package cep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AggFunc enumerates the windowed aggregates.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggAvg AggFunc = iota + 1
+	AggMin
+	AggMax
+	AggSum
+	AggCount
+	AggLast
+)
+
+var aggNames = map[string]AggFunc{
+	"avg": AggAvg, "min": AggMin, "max": AggMax,
+	"sum": AggSum, "count": AggCount, "last": AggLast,
+}
+
+// String names the aggregate.
+func (f AggFunc) String() string {
+	for n, v := range aggNames {
+		if v == f {
+			return n
+		}
+	}
+	return fmt.Sprintf("AggFunc(%d)", int(f))
+}
+
+// CmpOp is a comparison operator in conditions.
+type CmpOp string
+
+// apply evaluates the comparison.
+func (op CmpOp) apply(a, b float64) bool {
+	switch op {
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	case "=", "==":
+		return a == b
+	case "!=":
+		return a != b
+	default:
+		return false
+	}
+}
+
+// Condition is a node of a rule's WHEN tree.
+type Condition interface {
+	fmt.Stringer
+	// eventTypes returns the (normalized) event types the condition
+	// listens to, so the engine can index rules by input.
+	eventTypes() []string
+}
+
+// AggCondition compares a windowed aggregate against a constant:
+// avg(rainfall) < 1.2 OVER 30d.
+type AggCondition struct {
+	Fn        AggFunc
+	EventType string
+	Op        CmpOp
+	Threshold float64
+	Over      Duration
+	// EmptyIsFalse: an empty window makes the condition false (default);
+	// count() aggregates treat empty windows as zero instead.
+}
+
+// String implements Condition.
+func (c AggCondition) String() string {
+	return fmt.Sprintf("%s(%s) %s %g OVER %s", c.Fn, c.EventType, c.Op, c.Threshold, c.Over)
+}
+
+func (c AggCondition) eventTypes() []string { return []string{normalizeType(c.EventType)} }
+
+// SeqCondition matches an ordered sequence of event types within a span:
+// SEQ(RainfallDeficit, SoilMoistureDecline) WITHIN 45d.
+type SeqCondition struct {
+	Types  []string
+	Within Duration
+}
+
+// String implements Condition.
+func (c SeqCondition) String() string {
+	return fmt.Sprintf("SEQ(%s) WITHIN %s", strings.Join(c.Types, ", "), c.Within)
+}
+
+func (c SeqCondition) eventTypes() []string {
+	out := make([]string, len(c.Types))
+	for i, t := range c.Types {
+		out[i] = normalizeType(t)
+	}
+	return out
+}
+
+// CountCondition counts events of a type within a span:
+// COUNT(ik-worms) >= 2 WITHIN 30d.
+type CountCondition struct {
+	EventType string
+	Op        CmpOp
+	Threshold float64
+	Within    Duration
+}
+
+// String implements Condition.
+func (c CountCondition) String() string {
+	return fmt.Sprintf("COUNT(%s) %s %g WITHIN %s", c.EventType, c.Op, c.Threshold, c.Within)
+}
+
+func (c CountCondition) eventTypes() []string { return []string{normalizeType(c.EventType)} }
+
+// AbsenceCondition is true when no event of the type arrived for the
+// given span: ABSENT rainfall FOR 21d.
+type AbsenceCondition struct {
+	EventType string
+	For       Duration
+}
+
+// String implements Condition.
+func (c AbsenceCondition) String() string {
+	return fmt.Sprintf("ABSENT %s FOR %s", c.EventType, c.For)
+}
+
+func (c AbsenceCondition) eventTypes() []string { return []string{normalizeType(c.EventType)} }
+
+// AndCondition is a conjunction.
+type AndCondition struct{ Subs []Condition }
+
+// String implements Condition.
+func (c AndCondition) String() string { return joinConds(c.Subs, " AND ") }
+
+func (c AndCondition) eventTypes() []string { return unionTypes(c.Subs) }
+
+// OrCondition is a disjunction.
+type OrCondition struct{ Subs []Condition }
+
+// String implements Condition.
+func (c OrCondition) String() string { return joinConds(c.Subs, " OR ") }
+
+func (c OrCondition) eventTypes() []string { return unionTypes(c.Subs) }
+
+func joinConds(subs []Condition, sep string) string {
+	parts := make([]string, len(subs))
+	for i, s := range subs {
+		parts[i] = s.String()
+	}
+	return "(" + strings.Join(parts, sep) + ")"
+}
+
+func unionTypes(subs []Condition) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range subs {
+		for _, t := range s.eventTypes() {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// Rule is one compiled CEP rule.
+type Rule struct {
+	// Name identifies the rule (unique within an engine).
+	Name string
+	// When is the condition tree.
+	When Condition
+	// Cooldown suppresses re-firing for the given span (0 = fire freely).
+	Cooldown Duration
+	// Emit is the composite event type produced on firing.
+	Emit string
+	// Severity is an optional label attached to emissions ("watch",
+	// "warning", "severe", "extreme").
+	Severity string
+	// Confidence is the rule's own confidence in [0,1] (default 1).
+	Confidence float64
+	// Source tags where the rule came from ("ik", "sensor", "fusion").
+	Source string
+}
+
+// Validate checks rule well-formedness.
+func (r Rule) Validate() error {
+	switch {
+	case r.Name == "":
+		return fmt.Errorf("cep: rule without name")
+	case r.When == nil:
+		return fmt.Errorf("cep: rule %s without WHEN", r.Name)
+	case r.Emit == "":
+		return fmt.Errorf("cep: rule %s without EMIT", r.Name)
+	case r.Confidence < 0 || r.Confidence > 1:
+		return fmt.Errorf("cep: rule %s confidence %v outside [0,1]", r.Name, r.Confidence)
+	}
+	return nil
+}
+
+// String renders the rule in DSL form.
+func (r Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RULE %s\nWHEN %s\n", r.Name, r.When)
+	if r.Cooldown != 0 {
+		fmt.Fprintf(&b, "COOLDOWN %s\n", r.Cooldown)
+	}
+	fmt.Fprintf(&b, "EMIT %s", r.Emit)
+	if r.Severity != "" {
+		fmt.Fprintf(&b, " SEVERITY %s", r.Severity)
+	}
+	if r.Confidence != 0 && r.Confidence != 1 {
+		fmt.Fprintf(&b, " CONFIDENCE %g", r.Confidence)
+	}
+	return b.String()
+}

@@ -1,0 +1,222 @@
+package cep
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCmpOpApply(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b float64
+		want bool
+	}{
+		{"<", 1, 2, true}, {"<", 2, 1, false},
+		{"<=", 2, 2, true}, {"<=", 3, 2, false},
+		{">", 2, 1, true}, {">", 1, 2, false},
+		{">=", 2, 2, true}, {">=", 1, 2, false},
+		{"=", 2, 2, true}, {"=", 1, 2, false},
+		{"==", 2, 2, true},
+		{"!=", 1, 2, true}, {"!=", 2, 2, false},
+		{"~", 1, 1, false}, // unknown op is never true
+	}
+	for _, c := range cases {
+		if got := c.op.apply(c.a, c.b); got != c.want {
+			t.Errorf("%v.apply(%v,%v) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestConditionStringsAndTypes(t *testing.T) {
+	or := OrCondition{Subs: []Condition{
+		AndCondition{Subs: []Condition{
+			AggCondition{Fn: AggAvg, EventType: "rain", Op: "<", Threshold: 1, Over: mustDur(t, "30d")},
+			AbsenceCondition{EventType: "rain", For: mustDur(t, "7d")},
+		}},
+		SeqCondition{Types: []string{"A", "B"}, Within: mustDur(t, "10d")},
+		CountCondition{EventType: "worms", Op: ">=", Threshold: 2, Within: mustDur(t, "20d")},
+	}}
+	s := or.String()
+	for _, frag := range []string{"avg(rain)", "ABSENT rain FOR 7d", "SEQ(A, B)", "COUNT(worms)", "AND", "OR"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("condition string %q missing %q", s, frag)
+		}
+	}
+	types := or.eventTypes()
+	// rain, a, b, worms (normalized, deduplicated).
+	if len(types) != 4 {
+		t.Errorf("eventTypes = %v", types)
+	}
+	seen := make(map[string]bool)
+	for _, ty := range types {
+		if seen[ty] {
+			t.Errorf("duplicate type %q", ty)
+		}
+		seen[ty] = true
+		if ty != strings.ToLower(ty) {
+			t.Errorf("type %q not normalized", ty)
+		}
+	}
+}
+
+func TestRuleValidateBranches(t *testing.T) {
+	good := Rule{Name: "r", When: CountCondition{EventType: "x", Op: ">=", Threshold: 1, Within: mustDur(t, "5d")}, Emit: "E", Confidence: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Rule{
+		{},
+		{Name: "r"},
+		{Name: "r", When: good.When},
+		{Name: "r", When: good.When, Emit: "E", Confidence: -0.1},
+		{Name: "r", When: good.When, Emit: "E", Confidence: 1.1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d should fail: %+v", i, r)
+		}
+	}
+}
+
+func TestEngineRulesAccessor(t *testing.T) {
+	rules := MustParseRules(`RULE r WHEN avg(x) < 1 OVER 5d EMIT E`)
+	eng, err := NewEngine(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Rules(); len(got) != 1 || got[0].Name != "r" {
+		t.Errorf("Rules() = %v", got)
+	}
+}
+
+func TestAbsenceInsideOr(t *testing.T) {
+	// hasAbsence must find ABSENT nested under OR so the rule becomes
+	// time-driven.
+	eng, err := NewEngine(MustParseRules(`
+RULE r
+WHEN avg(rain) < -999 OVER 5d OR ABSENT rain FOR 3d
+COOLDOWN 30d
+EMIT Quiet
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []Event{
+		{Type: "rain", Time: t0, Value: 5, Confidence: 1},
+		{Type: "tick", Time: t0.AddDate(0, 0, 4), Value: 0, Confidence: 1},
+	}
+	emitted, err := eng.ProcessAll(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 1 || emitted[0].Type != "Quiet" {
+		t.Fatalf("OR-nested absence did not fire: %v", emitted)
+	}
+}
+
+func TestSeqInsideAndFires(t *testing.T) {
+	eng, err := NewEngine(MustParseRules(`
+RULE r
+WHEN SEQ(A, B) WITHIN 10d AND COUNT(B) >= 1 WITHIN 10d
+COOLDOWN 30d
+EMIT Both
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := []Event{
+		{Type: "A", Time: t0, Value: 1, Confidence: 1},
+		{Type: "B", Time: t0.AddDate(0, 0, 2), Value: 1, Confidence: 1},
+	}
+	emitted, err := eng.ProcessAll(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 1 {
+		t.Fatalf("AND-nested SEQ: %v", emitted)
+	}
+}
+
+func TestAbsenceOfNeverSeenType(t *testing.T) {
+	eng, err := NewEngine(MustParseRules(`
+RULE r
+WHEN ABSENT ghost FOR 1d
+COOLDOWN 365d
+EMIT NoGhost
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted, err := eng.Process(Event{Type: "ghost-unrelated", Time: t0, Value: 0, Confidence: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 1 {
+		t.Fatalf("absence of never-seen type should hold: %v", emitted)
+	}
+}
+
+func TestCountOfUnknownTypeComparesToZero(t *testing.T) {
+	// COUNT over a type no rule window tracks (possible via OR branches
+	// pruned by span collection) behaves as zero. Construct directly.
+	r := Rule{
+		Name: "r",
+		When: CountCondition{EventType: "never", Op: "<=", Threshold: 0, Within: mustDur(t, "5d")},
+		Emit: "Zero", Confidence: 1,
+	}
+	eng, err := NewEngine([]Rule{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "never" IS tracked here (it's in the rule), so add an event of a
+	// different type via the time-driven path: COUNT rules are listener-
+	// driven, so fire it with its own type once.
+	emitted, err := eng.Process(Event{Type: "never", Time: t0, Value: 1, Confidence: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One event in window → count 1 → "<= 0" false.
+	if len(emitted) != 0 {
+		t.Fatalf("count<=0 with one event fired: %v", emitted)
+	}
+}
+
+func TestParseCountErrors(t *testing.T) {
+	bad := []string{
+		`RULE r WHEN COUNT x ) >= 1 WITHIN 5d EMIT E`,
+		`RULE r WHEN COUNT(x >= 1 WITHIN 5d EMIT E`,
+		`RULE r WHEN COUNT(x) banana 1 WITHIN 5d EMIT E`,
+		`RULE r WHEN COUNT(x) >= one WITHIN 5d EMIT E`,
+		`RULE r WHEN COUNT(x) >= 1 OVER 5d EMIT E`,
+		`RULE r WHEN COUNT(x) >= 1 WITHIN nope EMIT E`,
+		`RULE r WHEN ABSENT FOR 5d EMIT E`,
+		`RULE r WHEN ABSENT x UNTIL 5d EMIT E`,
+		`RULE r WHEN ABSENT x FOR xyz EMIT E`,
+	}
+	for _, src := range bad {
+		if _, err := ParseRules(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestWindowLastTimeEmpty(t *testing.T) {
+	w := newWindow(time.Hour)
+	if !w.lastTime().IsZero() {
+		t.Error("empty window lastTime should be zero")
+	}
+	w.add(t0, 1)
+	if !w.lastTime().Equal(t0) {
+		t.Error("lastTime should be the newest sample")
+	}
+}
+
+func mustDur(t *testing.T, s string) Duration {
+	t.Helper()
+	d, err := ParseDuration(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,96 @@
+package cep
+
+import (
+	"math"
+	"time"
+)
+
+// window is a time-bounded buffer of (time, value) samples for one event
+// type, supporting O(1) amortized eviction and O(1) running aggregates
+// for sum/count; min/max fall back to a scan on demand (windows are small
+// at daily cadence).
+type window struct {
+	span   time.Duration
+	times  []time.Time
+	values []float64
+	sum    float64
+	head   int // index of the first live sample
+}
+
+func newWindow(span time.Duration) *window {
+	return &window{span: span}
+}
+
+// add appends a sample and evicts everything older than span before t.
+func (w *window) add(t time.Time, v float64) {
+	w.times = append(w.times, t)
+	w.values = append(w.values, v)
+	w.sum += v
+	w.evict(t)
+}
+
+// observe advances time without adding a sample (for absence checks and
+// aggregate reads at arbitrary times).
+func (w *window) observe(t time.Time) { w.evict(t) }
+
+func (w *window) evict(now time.Time) {
+	cutoff := now.Add(-w.span)
+	for w.head < len(w.times) && !w.times[w.head].After(cutoff) {
+		w.sum -= w.values[w.head]
+		w.head++
+	}
+	// Compact when the dead prefix dominates.
+	if w.head > 64 && w.head*2 > len(w.times) {
+		n := copy(w.times, w.times[w.head:])
+		w.times = w.times[:n]
+		m := copy(w.values, w.values[w.head:])
+		w.values = w.values[:m]
+		w.head = 0
+	}
+}
+
+func (w *window) count() int { return len(w.times) - w.head }
+
+func (w *window) aggregate(fn AggFunc) (float64, bool) {
+	n := w.count()
+	if n == 0 {
+		return 0, false
+	}
+	switch fn {
+	case AggCount:
+		return float64(n), true
+	case AggSum:
+		return w.sum, true
+	case AggAvg:
+		return w.sum / float64(n), true
+	case AggMin:
+		min := math.Inf(1)
+		for _, v := range w.values[w.head:] {
+			if v < min {
+				min = v
+			}
+		}
+		return min, true
+	case AggMax:
+		max := math.Inf(-1)
+		for _, v := range w.values[w.head:] {
+			if v > max {
+				max = v
+			}
+		}
+		return max, true
+	case AggLast:
+		return w.values[len(w.values)-1], true
+	default:
+		return 0, false
+	}
+}
+
+// lastTime returns the newest sample time (zero when empty — callers use
+// it for ABSENT checks).
+func (w *window) lastTime() time.Time {
+	if len(w.times) == 0 {
+		return time.Time{}
+	}
+	return w.times[len(w.times)-1]
+}

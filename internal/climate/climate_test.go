@@ -1,0 +1,357 @@
+package climate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newGen(t *testing.T, seed int64) *Generator {
+	t.Helper()
+	g, err := NewGenerator(DefaultParams(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeneratorReproducible(t *testing.T) {
+	a := newGen(t, 7).GenerateDays(400)
+	b := newGen(t, 7).GenerateDays(400)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("day %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := newGen(t, 8).GenerateDays(400)
+	same := true
+	for i := range a {
+		if a[i].RainMM != c[i].RainMM {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGeneratorParamsValidation(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.AnnualRainMM = 0 },
+		func(p *Params) { p.SoilCapacityMM = -1 },
+		func(p *Params) { p.StartDate = time.Time{} },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams(1)
+		mutate(&p)
+		if _, err := NewGenerator(p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGeneratorRanges(t *testing.T) {
+	days := newGen(t, 42).GenerateYears(5)
+	for i, d := range days {
+		if d.RainMM < 0 {
+			t.Fatalf("day %d: negative rain %v", i, d.RainMM)
+		}
+		if d.SoilMoisture < 0 || d.SoilMoisture > 1 {
+			t.Fatalf("day %d: soil moisture %v outside [0,1]", i, d.SoilMoisture)
+		}
+		if d.RelHumidity < 0 || d.RelHumidity > 100 {
+			t.Fatalf("day %d: humidity %v outside [0,100]", i, d.RelHumidity)
+		}
+		if d.WindSpeedMS < 0 {
+			t.Fatalf("day %d: negative wind %v", i, d.WindSpeedMS)
+		}
+		if d.NDVI < 0 || d.NDVI > 1 {
+			t.Fatalf("day %d: NDVI %v outside [0,1]", i, d.NDVI)
+		}
+		if d.TempC < -20 || d.TempC > 50 {
+			t.Fatalf("day %d: implausible temperature %v", i, d.TempC)
+		}
+	}
+}
+
+func TestAnnualRainfallCalibration(t *testing.T) {
+	days := newGen(t, 3).GenerateYears(20)
+	var total float64
+	for _, d := range days {
+		total += d.RainMM
+	}
+	annual := total / 20
+	// Within ±40% of the target — it is a stochastic generator, not a fit.
+	if annual < 330 || annual > 770 {
+		t.Errorf("annual rainfall %v mm far from 550 target", annual)
+	}
+}
+
+func TestSummerRainfallRegime(t *testing.T) {
+	days := newGen(t, 5).GenerateYears(10)
+	var summer, winter float64
+	for _, d := range days {
+		m := d.Date.Month()
+		switch m {
+		case time.December, time.January, time.February:
+			summer += d.RainMM
+		case time.June, time.July, time.August:
+			winter += d.RainMM
+		}
+	}
+	if summer < 3*winter {
+		t.Errorf("expected summer-dominant rainfall: summer=%v winter=%v", summer, winter)
+	}
+}
+
+func TestDateProgression(t *testing.T) {
+	g := newGen(t, 1)
+	d1 := g.Next()
+	d2 := g.Next()
+	if !d2.Date.Equal(d1.Date.AddDate(0, 0, 1)) {
+		t.Errorf("dates should be consecutive: %v then %v", d1.Date, d2.Date)
+	}
+}
+
+func TestSPIFitAndProperties(t *testing.T) {
+	days := newGen(t, 11).GenerateYears(15)
+	rain := make([]float64, len(days))
+	for i, d := range days {
+		rain[i] = d.RainMM
+	}
+	spi, err := NewSPI(90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spi.Fitted() {
+		t.Error("not fitted yet")
+	}
+	if _, err := spi.Value(10); err == nil {
+		t.Error("Value before Fit should error")
+	}
+	if err := spi.Fit(rain); err != nil {
+		t.Fatal(err)
+	}
+	shape, scale, pz := spi.Params()
+	if shape <= 0 || scale <= 0 || pz < 0 || pz > 1 {
+		t.Fatalf("bad params: %v %v %v", shape, scale, pz)
+	}
+	series, err := spi.Series(rain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up NaN prefix.
+	for i := 0; i < 89; i++ {
+		if !math.IsNaN(series[i]) {
+			t.Fatalf("day %d should be NaN warm-up", i)
+		}
+	}
+	// Distribution: mean ≈ 0, sd ≈ 1 over the fitted climatology.
+	var sum, sum2 float64
+	n := 0
+	for _, v := range series[89:] {
+		sum += v
+		sum2 += v * v
+		n++
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sum2/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.25 {
+		t.Errorf("SPI mean %v should be near 0", mean)
+	}
+	if sd < 0.6 || sd > 1.4 {
+		t.Errorf("SPI sd %v should be near 1", sd)
+	}
+}
+
+func TestSPIMonotoneInTotal(t *testing.T) {
+	days := newGen(t, 13).GenerateYears(10)
+	rain := make([]float64, len(days))
+	for i, d := range days {
+		rain[i] = d.RainMM
+	}
+	spi, _ := NewSPI(90)
+	if err := spi.Fit(rain); err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw1, raw2 float64) bool {
+		a := math.Abs(math.Mod(raw1, 300))
+		b := math.Abs(math.Mod(raw2, 300))
+		if a > b {
+			a, b = b, a
+		}
+		va, err1 := spi.Value(a)
+		vb, err2 := spi.Value(b)
+		return err1 == nil && err2 == nil && va <= vb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSPIWindowValidation(t *testing.T) {
+	if _, err := NewSPI(2); err == nil {
+		t.Error("tiny window should be rejected")
+	}
+	spi, _ := NewSPI(30)
+	if err := spi.Fit([]float64{1, 2, 3}); err == nil {
+		t.Error("too-short climatology should be rejected")
+	}
+	allDry := make([]float64, 400)
+	if err := spi.Fit(allDry); err == nil {
+		t.Error("all-dry climatology should be rejected")
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.8413, 1.0},
+		{0.1587, -1.0},
+		{0.9772, 2.0},
+		{0.0228, -2.0},
+	}
+	for _, c := range cases {
+		if got := normQuantile(c.p); math.Abs(got-c.want) > 0.01 {
+			t.Errorf("normQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(normQuantile(0), -1) || !math.IsInf(normQuantile(1), 1) {
+		t.Error("boundary quantiles should be ±Inf")
+	}
+}
+
+func TestGammaCDF(t *testing.T) {
+	// For shape k=1 the gamma is Exp(1): CDF(x) = 1 - e^-x.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-x)
+		if got := gammaCDF(x, 1); math.Abs(got-want) > 1e-9 {
+			t.Errorf("gammaCDF(%v,1) = %v, want %v", x, got, want)
+		}
+	}
+	if gammaCDF(0, 2) != 0 {
+		t.Error("CDF(0) should be 0")
+	}
+	if got := gammaCDF(1000, 2); math.Abs(got-1) > 1e-9 {
+		t.Errorf("CDF(large) = %v, want ~1", got)
+	}
+	// Monotone in x.
+	prev := 0.0
+	for x := 0.1; x < 20; x += 0.3 {
+		cur := gammaCDF(x, 2.3)
+		if cur < prev-1e-12 {
+			t.Fatalf("gammaCDF not monotone at %v", x)
+		}
+		prev = cur
+	}
+}
+
+func TestLabelGroundTruth(t *testing.T) {
+	days := newGen(t, 21).GenerateYears(15)
+	truth, err := Label(days, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth.SPI) != len(days) || len(truth.Severity) != len(days) {
+		t.Fatal("truth arrays must match series length")
+	}
+	frac := truth.DroughtFraction()
+	if frac <= 0 || frac > 0.6 {
+		t.Errorf("drought fraction %v implausible (generator should produce some droughts)", frac)
+	}
+	if len(truth.Episodes) == 0 {
+		t.Fatal("15 years should contain at least one drought episode")
+	}
+	for _, ep := range truth.Episodes {
+		if ep.Days <= 0 {
+			t.Errorf("episode with non-positive length: %+v", ep)
+		}
+		if ep.Peak >= -1.0 {
+			t.Errorf("episode peak %v should be < -1 (onset condition)", ep.Peak)
+		}
+		if ep.End.Before(ep.Start) {
+			t.Errorf("episode ends before it starts: %+v", ep)
+		}
+	}
+}
+
+func TestLabelEmpty(t *testing.T) {
+	if _, err := Label(nil, 90); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestSeverityFromSPI(t *testing.T) {
+	cases := []struct {
+		spi  float64
+		want Severity
+	}{
+		{0.5, SeverityNormal},
+		{-0.4, SeverityNormal},
+		{-0.7, SeverityWatch},
+		{-1.2, SeverityWarning},
+		{-1.7, SeveritySevere},
+		{-2.5, SeverityExtreme},
+		{math.NaN(), SeverityNormal},
+	}
+	for _, c := range cases {
+		if got := SeverityFromSPI(c.spi); got != c.want {
+			t.Errorf("SeverityFromSPI(%v) = %v, want %v", c.spi, got, c.want)
+		}
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	for s, want := range map[Severity]string{
+		SeverityNormal: "normal", SeverityWatch: "watch",
+		SeverityWarning: "warning", SeveritySevere: "severe",
+		SeverityExtreme: "extreme",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestENSOModulatesDrought(t *testing.T) {
+	// With strong ENSO forcing, multi-year variability should create more
+	// distinct episodes than a forcing-free run of the same seed.
+	p := DefaultParams(31)
+	p.ENSOStrength = 0.8
+	g1, _ := NewGenerator(p)
+	t1, err := Label(g1.GenerateYears(20), 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := DefaultParams(31)
+	p2.ENSOStrength = 0
+	g2, _ := NewGenerator(p2)
+	t2, err := Label(g2.GenerateYears(20), 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not a strict invariant, but forced runs should not have *fewer* dry
+	// days by a large margin.
+	if t1.DroughtFraction() < t2.DroughtFraction()*0.3 {
+		t.Errorf("ENSO-forced drought fraction %v vs unforced %v looks wrong",
+			t1.DroughtFraction(), t2.DroughtFraction())
+	}
+}
+
+func TestWindowSums(t *testing.T) {
+	s := windowSums([]float64{1, 2, 3, 4}, 2)
+	want := []float64{3, 5, 7}
+	if len(s) != len(want) {
+		t.Fatalf("windowSums = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("windowSums[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+	if windowSums([]float64{1}, 5) != nil {
+		t.Error("short input should yield nil")
+	}
+}

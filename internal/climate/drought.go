@@ -1,0 +1,150 @@
+package climate
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Severity is the ground-truth drought severity of a day, aligned with
+// the DVI scale of the drought ontology.
+type Severity int
+
+// Severity bands (SPI thresholds per McKee et al.).
+const (
+	SeverityNormal  Severity = iota
+	SeverityWatch            // SPI < -0.5
+	SeverityWarning          // SPI < -1.0
+	SeveritySevere           // SPI < -1.5
+	SeverityExtreme          // SPI < -2.0
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case SeverityNormal:
+		return "normal"
+	case SeverityWatch:
+		return "watch"
+	case SeverityWarning:
+		return "warning"
+	case SeveritySevere:
+		return "severe"
+	case SeverityExtreme:
+		return "extreme"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// SeverityFromSPI maps an SPI value to a severity band.
+func SeverityFromSPI(spi float64) Severity {
+	switch {
+	case math.IsNaN(spi):
+		return SeverityNormal
+	case spi < -2.0:
+		return SeverityExtreme
+	case spi < -1.5:
+		return SeveritySevere
+	case spi < -1.0:
+		return SeverityWarning
+	case spi < -0.5:
+		return SeverityWatch
+	default:
+		return SeverityNormal
+	}
+}
+
+// Episode is a contiguous drought episode in the ground truth.
+type Episode struct {
+	Start, End time.Time
+	// Peak is the most negative SPI reached.
+	Peak float64
+	// Days is the episode length.
+	Days int
+}
+
+// Truth is the ground-truth labelling of a simulated series.
+type Truth struct {
+	// SPI holds the SPI value per day (NaN during warm-up).
+	SPI []float64
+	// Severity holds the per-day severity band.
+	Severity []Severity
+	// InDrought marks days belonging to a drought episode
+	// (onset at SPI < -1, release at SPI > 0 — standard run definition).
+	InDrought []bool
+	// Episodes lists the distinct episodes.
+	Episodes []Episode
+}
+
+// Label computes ground truth for a daily series using an SPI fitted on
+// the series itself (the usual climatological convention) with the given
+// accumulation window.
+func Label(days []Day, windowDays int) (*Truth, error) {
+	if len(days) == 0 {
+		return nil, fmt.Errorf("climate: empty series")
+	}
+	rain := make([]float64, len(days))
+	for i, d := range days {
+		rain[i] = d.RainMM
+	}
+	spi, err := NewSPI(windowDays)
+	if err != nil {
+		return nil, err
+	}
+	if err := spi.Fit(rain); err != nil {
+		return nil, err
+	}
+	series, err := spi.Series(rain)
+	if err != nil {
+		return nil, err
+	}
+	t := &Truth{
+		SPI:       series,
+		Severity:  make([]Severity, len(days)),
+		InDrought: make([]bool, len(days)),
+	}
+	inEpisode := false
+	var ep Episode
+	for i, v := range series {
+		t.Severity[i] = SeverityFromSPI(v)
+		if math.IsNaN(v) {
+			continue
+		}
+		if !inEpisode && v < -1.0 {
+			inEpisode = true
+			ep = Episode{Start: days[i].Date, Peak: v}
+		}
+		if inEpisode {
+			t.InDrought[i] = true
+			ep.Days++
+			if v < ep.Peak {
+				ep.Peak = v
+			}
+			if v > 0 {
+				ep.End = days[i].Date
+				inEpisode = false
+				t.Episodes = append(t.Episodes, ep)
+			}
+		}
+	}
+	if inEpisode {
+		ep.End = days[len(days)-1].Date
+		t.Episodes = append(t.Episodes, ep)
+	}
+	return t, nil
+}
+
+// DroughtFraction returns the fraction of labelled days in drought.
+func (t *Truth) DroughtFraction() float64 {
+	if len(t.InDrought) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range t.InDrought {
+		if d {
+			n++
+		}
+	}
+	return float64(n) / float64(len(t.InDrought))
+}

@@ -1,0 +1,238 @@
+package climate
+
+import (
+	"fmt"
+	"math"
+)
+
+// SPI computes the standardized precipitation index over a trailing
+// accumulation window: rainfall sums are fitted to a gamma distribution
+// (Thom's maximum-likelihood approximation, with a mixed-distribution
+// correction for zero totals) and transformed to standard normal
+// quantiles. SPI < -1 indicates moderate drought, < -1.5 severe, < -2
+// extreme (McKee et al. 1993 convention).
+type SPI struct {
+	// WindowDays is the accumulation window (30 = SPI-1, 90 = SPI-3).
+	WindowDays int
+	shape      float64 // fitted gamma k
+	scale      float64 // fitted gamma θ
+	probZero   float64 // probability of an all-dry window
+	fitted     bool
+}
+
+// NewSPI returns an SPI calculator for the given window.
+func NewSPI(windowDays int) (*SPI, error) {
+	if windowDays < 5 {
+		return nil, fmt.Errorf("climate: SPI window %d too short", windowDays)
+	}
+	return &SPI{WindowDays: windowDays}, nil
+}
+
+// Fit estimates the gamma parameters from a climatology of daily rainfall
+// (several years of data). It must be called before Value.
+func (s *SPI) Fit(dailyRain []float64) error {
+	sums := windowSums(dailyRain, s.WindowDays)
+	if len(sums) < 30 {
+		return fmt.Errorf("climate: need at least 30 windows to fit SPI, got %d", len(sums))
+	}
+	var nonzero []float64
+	for _, v := range sums {
+		if v > 0 {
+			nonzero = append(nonzero, v)
+		}
+	}
+	s.probZero = float64(len(sums)-len(nonzero)) / float64(len(sums))
+	if len(nonzero) < 10 {
+		return fmt.Errorf("climate: too few wet windows (%d) to fit gamma", len(nonzero))
+	}
+	// Thom (1958) approximation: A = ln(mean) - mean(ln x),
+	// k = (1 + sqrt(1 + 4A/3)) / (4A), θ = mean/k.
+	var sum, sumLog float64
+	for _, v := range nonzero {
+		sum += v
+		sumLog += math.Log(v)
+	}
+	n := float64(len(nonzero))
+	mean := sum / n
+	a := math.Log(mean) - sumLog/n
+	if a <= 0 {
+		// Degenerate (all equal); fall back to a tight distribution.
+		a = 1e-6
+	}
+	s.shape = (1 + math.Sqrt(1+4*a/3)) / (4 * a)
+	s.scale = mean / s.shape
+	s.fitted = true
+	return nil
+}
+
+// Fitted reports whether Fit has succeeded.
+func (s *SPI) Fitted() bool { return s.fitted }
+
+// Params returns the fitted (shape, scale, probZero).
+func (s *SPI) Params() (shape, scale, probZero float64) {
+	return s.shape, s.scale, s.probZero
+}
+
+// Value computes the SPI for a window total.
+func (s *SPI) Value(windowTotalMM float64) (float64, error) {
+	if !s.fitted {
+		return 0, fmt.Errorf("climate: SPI not fitted")
+	}
+	// Mixed distribution: H(x) = q + (1-q) G(x).
+	var h float64
+	if windowTotalMM <= 0 {
+		h = s.probZero / 2 // midpoint convention for the atom at zero
+		if h <= 0 {
+			h = 1e-4
+		}
+	} else {
+		g := gammaCDF(windowTotalMM/s.scale, s.shape)
+		h = s.probZero + (1-s.probZero)*g
+	}
+	h = clamp(h, 1e-6, 1-1e-6)
+	return normQuantile(h), nil
+}
+
+// Series computes the SPI for every day of a daily-rain series (NaN for
+// the warm-up prefix shorter than the window).
+func (s *SPI) Series(dailyRain []float64) ([]float64, error) {
+	if !s.fitted {
+		return nil, fmt.Errorf("climate: SPI not fitted")
+	}
+	out := make([]float64, len(dailyRain))
+	var running float64
+	for i := range dailyRain {
+		running += dailyRain[i]
+		if i >= s.WindowDays {
+			running -= dailyRain[i-s.WindowDays]
+		}
+		if i < s.WindowDays-1 {
+			out[i] = math.NaN()
+			continue
+		}
+		v, err := s.Value(running)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// windowSums returns the trailing-window totals for every complete window.
+func windowSums(daily []float64, w int) []float64 {
+	if len(daily) < w {
+		return nil
+	}
+	out := make([]float64, 0, len(daily)-w+1)
+	var running float64
+	for i, v := range daily {
+		running += v
+		if i >= w {
+			running -= daily[i-w]
+		}
+		if i >= w-1 {
+			out = append(out, running)
+		}
+	}
+	return out
+}
+
+// gammaCDF is the regularized lower incomplete gamma P(k, x) computed by
+// series expansion (x < k+1) or continued fraction (x ≥ k+1) — the
+// standard Numerical-Recipes decomposition.
+func gammaCDF(x, k float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x < k+1 {
+		return gammaSeries(x, k)
+	}
+	return 1 - gammaContinuedFraction(x, k)
+}
+
+func gammaSeries(x, k float64) float64 {
+	const maxIter = 500
+	const eps = 1e-12
+	ap := k
+	sum := 1.0 / k
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(k)
+	return sum * math.Exp(-x+k*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(x, k float64) float64 {
+	const maxIter = 500
+	const eps = 1e-12
+	const tiny = 1e-300
+	b := x + 1 - k
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - k)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(k)
+	return math.Exp(-x+k*math.Log(x)-lg) * h
+}
+
+// normQuantile is the inverse standard normal CDF (Acklam's rational
+// approximation; |ε| < 1.15e-9 over the full domain).
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

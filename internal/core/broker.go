@@ -1,0 +1,224 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// DropPolicy says what a full subscriber queue does with a new message.
+type DropPolicy int
+
+// Drop policies.
+const (
+	// DropOldest evicts the oldest queued message (default: fresh data
+	// beats stale data in a monitoring system).
+	DropOldest DropPolicy = iota
+	// DropNewest rejects the incoming message.
+	DropNewest
+)
+
+// Subscription is one subscriber's bounded mailbox.
+type Subscription struct {
+	// ID is the broker-assigned identity.
+	ID int
+	// Pattern is the topic filter.
+	Pattern string
+
+	policy DropPolicy
+	mu     sync.Mutex
+	queue  []Message
+	cap    int
+	// dropped counts messages lost to backpressure.
+	dropped int
+	// delivered counts messages enqueued.
+	delivered int
+	closed    bool
+}
+
+// Poll removes and returns up to max queued messages (all when max <= 0).
+func (s *Subscription) Poll(max int) []Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.queue)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Message, n)
+	copy(out, s.queue[:n])
+	s.queue = append(s.queue[:0], s.queue[n:]...)
+	return out
+}
+
+// Pending returns the queue depth.
+func (s *Subscription) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Dropped returns how many messages backpressure discarded.
+func (s *Subscription) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Delivered returns how many messages were enqueued in total.
+func (s *Subscription) Delivered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered
+}
+
+func (s *Subscription) offer(m Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if len(s.queue) >= s.cap {
+		if s.policy == DropNewest {
+			s.dropped++
+			return
+		}
+		// DropOldest.
+		copy(s.queue, s.queue[1:])
+		s.queue = s.queue[:len(s.queue)-1]
+		s.dropped++
+	}
+	s.queue = append(s.queue, m)
+	s.delivered++
+}
+
+// BrokerStats summarizes broker activity.
+type BrokerStats struct {
+	Published     int
+	Deliveries    int
+	Drops         int
+	Subscriptions int
+}
+
+// Broker is the application abstraction layer's pub/sub fabric. Delivery
+// is synchronous fan-out into bounded per-subscriber queues; subscribers
+// poll. This keeps the middleware deterministic under test while still
+// exposing real backpressure semantics.
+type Broker struct {
+	mu         sync.RWMutex
+	subs       map[int]*Subscription
+	ackSubs    map[int]*AckSubscription
+	nextID     int
+	published  int
+	deliveries int
+	// retained keeps the last message per concrete topic so late
+	// subscribers can catch up (MQTT-style retained messages).
+	retained map[string]Message
+}
+
+// NewBroker returns an empty broker.
+func NewBroker() *Broker {
+	return &Broker{
+		subs:     make(map[int]*Subscription),
+		retained: make(map[string]Message),
+	}
+}
+
+// Subscribe registers a pattern with a queue capacity (default 1024 when
+// <= 0) and a drop policy. Retained messages matching the pattern are
+// replayed into the new subscription immediately.
+func (b *Broker) Subscribe(pattern string, capacity int, policy DropPolicy) (*Subscription, error) {
+	if err := ValidatePattern(pattern); err != nil {
+		return nil, err
+	}
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	sub := &Subscription{ID: b.nextID, Pattern: pattern, cap: capacity, policy: policy}
+	b.subs[sub.ID] = sub
+
+	// Replay retained messages in deterministic topic order.
+	topics := make([]string, 0, len(b.retained))
+	for t := range b.retained {
+		if TopicMatch(pattern, t) {
+			topics = append(topics, t)
+		}
+	}
+	sort.Strings(topics)
+	for _, t := range topics {
+		sub.offer(b.retained[t])
+	}
+	return sub, nil
+}
+
+// Unsubscribe removes a subscription.
+func (b *Broker) Unsubscribe(sub *Subscription) {
+	if sub == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sub.mu.Lock()
+	sub.closed = true
+	sub.mu.Unlock()
+	delete(b.subs, sub.ID)
+}
+
+// Publish fans a message out to every matching subscription, retains it,
+// and returns the number of subscriptions it reached.
+func (b *Broker) Publish(m Message) (int, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	b.published++
+	b.retained[m.Topic] = m
+	// Snapshot matching subs under the read side of the lock.
+	var matched []*Subscription
+	for _, s := range b.subs {
+		if TopicMatch(s.Pattern, m.Topic) {
+			matched = append(matched, s)
+		}
+	}
+	var matchedAck []*AckSubscription
+	for _, s := range b.ackSubs {
+		if TopicMatch(s.Pattern, m.Topic) {
+			matchedAck = append(matchedAck, s)
+		}
+	}
+	b.deliveries += len(matched) + len(matchedAck)
+	b.mu.Unlock()
+
+	for _, s := range matched {
+		s.offer(m)
+	}
+	for _, s := range matchedAck {
+		s.offer(m)
+	}
+	return len(matched) + len(matchedAck), nil
+}
+
+// Stats returns current broker statistics.
+func (b *Broker) Stats() BrokerStats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	drops := 0
+	for _, s := range b.subs {
+		drops += s.Dropped()
+	}
+	return BrokerStats{
+		Published:     b.published,
+		Deliveries:    b.deliveries,
+		Drops:         drops,
+		Subscriptions: len(b.subs),
+	}
+}
+
+// Retained returns the retained message for a concrete topic.
+func (b *Broker) Retained(topic string) (Message, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	m, ok := b.retained[topic]
+	return m, ok
+}

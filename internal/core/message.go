@@ -1,0 +1,119 @@
+// Package core implements the paper's primary contribution: the
+// ontology-based semantic middleware, structured exactly as Figure 3's
+// three-tier architecture:
+//
+//   - the application abstraction layer (broker.go): a topic-based
+//     publish/subscribe message fabric with wildcard subscriptions,
+//     bounded subscriber queues and explicit backpressure accounting —
+//     "a high level of software abstraction that allows communication
+//     among the applications and the semantic middleware";
+//
+//   - the ontology segment layer (segment.go): the unified ontology with
+//     its reasoner, the SPARQL query engine, the semantic annotator, the
+//     CEP inference engine (sharded per district) and the semantic
+//     service description registry;
+//
+//   - the interface protocol layer (protocol.go): the adapter that
+//     "liaise[s] with the storage database in the cloud for downloading
+//     the semi-processed sensory reading".
+//
+// middleware.go wires the three tiers into one facade.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Message is the envelope circulating on the application abstraction
+// layer.
+type Message struct {
+	// Topic is a '/'-separated hierarchical subject, e.g.
+	// "obs/mangaung/Rainfall" or "event/xhariep/DroughtWarning".
+	Topic string
+	// Time is the event time of the payload.
+	Time time.Time
+	// Payload carries the typed body (ssn.Record, cep.Event, ...).
+	Payload any
+	// Headers carries string metadata.
+	Headers map[string]string
+}
+
+// Validate checks envelope well-formedness.
+func (m Message) Validate() error {
+	if m.Topic == "" {
+		return fmt.Errorf("core: message without topic")
+	}
+	for _, seg := range strings.Split(m.Topic, "/") {
+		if seg == "" {
+			return fmt.Errorf("core: topic %q has empty segment", m.Topic)
+		}
+		if seg == "+" || seg == "#" {
+			return fmt.Errorf("core: topic %q contains wildcard; wildcards are for subscriptions", m.Topic)
+		}
+	}
+	return nil
+}
+
+// TopicMatch reports whether a concrete topic matches a subscription
+// pattern. Patterns use MQTT-style wildcards: '+' matches exactly one
+// segment, '#' (only as the final segment) matches any remainder
+// including none.
+func TopicMatch(pattern, topic string) bool {
+	ps := strings.Split(pattern, "/")
+	ts := strings.Split(topic, "/")
+	for i, p := range ps {
+		if p == "#" {
+			return i == len(ps)-1
+		}
+		if i >= len(ts) {
+			return false
+		}
+		if p != "+" && p != ts[i] {
+			return false
+		}
+	}
+	return len(ps) == len(ts)
+}
+
+// ValidatePattern checks a subscription pattern.
+func ValidatePattern(pattern string) error {
+	if pattern == "" {
+		return fmt.Errorf("core: empty subscription pattern")
+	}
+	segs := strings.Split(pattern, "/")
+	for i, s := range segs {
+		switch {
+		case s == "":
+			return fmt.Errorf("core: pattern %q has empty segment", pattern)
+		case s == "#" && i != len(segs)-1:
+			return fmt.Errorf("core: pattern %q: '#' only allowed at the end", pattern)
+		case strings.ContainsAny(s, "+#") && len(s) > 1:
+			return fmt.Errorf("core: pattern %q: wildcard must be a whole segment", pattern)
+		}
+	}
+	return nil
+}
+
+// Standard topic builders used across the system.
+
+// TopicObservation names the observation topic for a district/property.
+func TopicObservation(district, property string) string {
+	return "obs/" + district + "/" + property
+}
+
+// TopicEvent names the inference topic for a district/event type.
+func TopicEvent(district, eventType string) string {
+	return "event/" + district + "/" + eventType
+}
+
+// TopicIK names the IK report topic for a district/indicator slug.
+func TopicIK(district, indicator string) string {
+	return "ik/" + district + "/" + indicator
+}
+
+// TopicBulletin names the forecast bulletin topic for a district.
+func TopicBulletin(district string) string {
+	return "bulletin/" + district
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cep"
+	"repro/internal/ik"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+)
+
+// Config configures the middleware facade.
+type Config struct {
+	// Ontology is the materialized unified ontology (required).
+	Ontology *ontology.Ontology
+	// Rules is the CEP rule set (sensor-derived + IK-derived).
+	Rules []cep.Rule
+	// GraphObservations controls whether annotated observations are also
+	// materialized into the RDF data graph (costs memory; queries over
+	// observations need it).
+	GraphObservations bool
+}
+
+// IngestReport summarizes one ingest cycle.
+type IngestReport struct {
+	// Fetched is the number of raw readings pulled from sources.
+	Fetched int
+	// Annotated is the number successfully mediated.
+	Annotated int
+	// Failed is the number the mediator rejected.
+	Failed int
+	// Inferences is the number of CEP emissions.
+	Inferences int
+}
+
+// Middleware is the assembled three-tier semantic middleware.
+type Middleware struct {
+	broker   *Broker
+	segment  *Segment
+	protocol *ProtocolLayer
+	cfg      Config
+	// ikCatalogue indexes indicator slugs for IK report publication.
+	ikCatalogue map[string]ik.Indicator
+	ikTracker   *ik.InformantTracker
+}
+
+// New assembles the middleware.
+func New(cfg Config) (*Middleware, error) {
+	if cfg.Ontology == nil {
+		return nil, fmt.Errorf("core: middleware needs an ontology")
+	}
+	seg, err := NewSegment(cfg.Ontology, cfg.Rules)
+	if err != nil {
+		return nil, err
+	}
+	return &Middleware{
+		broker:      NewBroker(),
+		segment:     seg,
+		protocol:    NewProtocolLayer(),
+		cfg:         cfg,
+		ikCatalogue: ik.CatalogueBySlug(),
+		ikTracker:   ik.NewInformantTracker(),
+	}, nil
+}
+
+// Broker exposes the application abstraction layer.
+func (m *Middleware) Broker() *Broker { return m.broker }
+
+// Segment exposes the ontology segment layer.
+func (m *Middleware) Segment() *Segment { return m.segment }
+
+// Protocol exposes the interface protocol layer.
+func (m *Middleware) Protocol() *ProtocolLayer { return m.protocol }
+
+// IKTracker exposes the informant reliability tracker.
+func (m *Middleware) IKTracker() *ik.InformantTracker { return m.ikTracker }
+
+// Ingest runs one full cycle of Figure 2's integration framework:
+// download semi-processed readings from every cloud source, mediate them
+// against the unified ontology, publish the unified observations on the
+// broker, feed the per-district CEP shards, and publish every inference.
+func (m *Middleware) Ingest(limit int) (IngestReport, error) {
+	var rep IngestReport
+	raw, err := m.protocol.FetchAll(limit)
+	if err != nil {
+		return rep, err
+	}
+	rep.Fetched = len(raw)
+	records, failed := m.segment.Annotator().AnnotateBatch(raw)
+	rep.Annotated = len(records)
+	rep.Failed = failed
+
+	for _, rec := range records {
+		district := districtSlug(rec.Feature)
+		// 1. Publish the unified observation.
+		topic := TopicObservation(district, rec.Property.LocalName())
+		if _, err := m.broker.Publish(Message{
+			Topic:   topic,
+			Time:    rec.Time,
+			Payload: rec,
+			Headers: map[string]string{"unit": rec.Unit.LocalName()},
+		}); err != nil {
+			return rep, err
+		}
+		// 2. Materialize into the data graph if configured.
+		if m.cfg.GraphObservations {
+			if err := rec.ToGraph(m.segment.Graph()); err != nil {
+				return rep, err
+			}
+		}
+		// 3. Feed the CEP shard.
+		eng, err := m.segment.CEPEngine(district)
+		if err != nil {
+			return rep, err
+		}
+		emitted, err := eng.Process(cep.Event{
+			Type:       rec.Property.LocalName(),
+			Time:       rec.Time,
+			Value:      rec.Value,
+			Confidence: rec.Quality,
+			Key:        district,
+		})
+		if err != nil {
+			// Out-of-order readings happen with lossy uplinks; skip, count
+			// nothing, keep going.
+			continue
+		}
+		if err := m.publishInferences(district, emitted); err != nil {
+			return rep, err
+		}
+		rep.Inferences += len(emitted)
+	}
+	return rep, nil
+}
+
+// PublishIKReports injects indigenous-knowledge reports: each becomes an
+// IK topic message and a CEP event on the district shard; inferences
+// (IKDrySignal, IKDroughtWarning, ...) are published like sensor-derived
+// ones.
+func (m *Middleware) PublishIKReports(reports []ik.Report) (int, error) {
+	events, err := ik.EventsFromReports(reports, m.ikCatalogue, m.ikTracker)
+	if err != nil {
+		return 0, err
+	}
+	inferences := 0
+	for i, ev := range events {
+		if _, err := m.broker.Publish(Message{
+			Topic:   TopicIK(ev.Key, strings.TrimPrefix(ev.Type, "ik-")),
+			Time:    ev.Time,
+			Payload: reports[i],
+		}); err != nil {
+			return inferences, err
+		}
+		if m.cfg.GraphObservations {
+			m.graphIKReport(reports[i], ev.Confidence)
+		}
+		eng, err := m.segment.CEPEngine(ev.Key)
+		if err != nil {
+			return inferences, err
+		}
+		emitted, err := eng.Process(ev)
+		if err != nil {
+			continue // out-of-order reports are dropped, not fatal
+		}
+		if err := m.publishInferences(ev.Key, emitted); err != nil {
+			return inferences, err
+		}
+		inferences += len(emitted)
+	}
+	return inferences, nil
+}
+
+// publishInferences publishes CEP emissions and mirrors them into the
+// data graph with provenance.
+func (m *Middleware) publishInferences(district string, emitted []cep.Event) error {
+	for _, ev := range emitted {
+		if _, err := m.broker.Publish(Message{
+			Topic:   TopicEvent(district, ev.Type),
+			Time:    ev.Time,
+			Payload: ev,
+			Headers: map[string]string{
+				"severity": ev.Attrs["severity"],
+				"rule":     ev.Attrs["rule"],
+			},
+		}); err != nil {
+			return err
+		}
+		if m.cfg.GraphObservations {
+			m.graphInference(district, ev)
+		}
+	}
+	return nil
+}
+
+// graphInference writes an inferred event as RDF: a node typed by the
+// (ontology) event class when the emission name matches one, tagged with
+// time, district, severity and confidence.
+func (m *Middleware) graphInference(district string, ev cep.Event) {
+	g := m.segment.Graph()
+	node := rdf.NSOBS.IRI(fmt.Sprintf("inference/%s/%s/%d", district, ev.Type, ev.Time.Unix()))
+	cls := rdf.NSDEWS.IRI(ev.Type)
+	if !m.segment.Ontology().IsClass(cls) {
+		cls = rdf.NSDEWS.IRI("EnvironmentalEvent")
+	}
+	g.MustAdd(rdf.T(node, rdf.RDFType, cls))
+	g.MustAdd(rdf.T(node, rdf.NSDEWS.IRI("atTime"),
+		rdf.NewTypedLiteral(ev.Time.UTC().Format(time.RFC3339), rdf.XSDDateTime)))
+	g.MustAdd(rdf.T(node, rdf.NSDEWS.IRI("confidence"), rdf.NewFloat(ev.Confidence)))
+	if district != "" {
+		g.MustAdd(rdf.T(node, rdf.NSDEWS.IRI("affectsRegion"), rdf.NSGEO.IRI(district)))
+	}
+	if sev := ev.Attrs["severity"]; sev != "" {
+		g.MustAdd(rdf.T(node, rdf.NSDEWS.IRI("hasSeverity"), rdf.NSDEWS.IRI("dvi"+capitalize(sev))))
+	}
+}
+
+// graphIKReport writes an IK report into the data graph: a node typed by
+// the indicator's ontology class, linked to its informant (with the
+// tracker's current reliability), district and time — so SPARQL can ask
+// "which signs were reported where, by whom, how reliable" exactly like
+// it asks about sensor observations.
+func (m *Middleware) graphIKReport(r ik.Report, confidence float64) {
+	ind, ok := m.ikCatalogue[r.Indicator]
+	if !ok {
+		return
+	}
+	g := m.segment.Graph()
+	node := rdf.NSOBS.IRI(fmt.Sprintf("ik/%s/%s/%d", r.District, r.Indicator, r.Time.Unix()))
+	g.MustAdd(rdf.T(node, rdf.RDFType, ind.Class))
+	informant := rdf.NSIK.IRI("informant/" + r.Informant)
+	g.MustAdd(rdf.T(node, rdf.NSIK.IRI("reportedBy"), informant))
+	g.MustAdd(rdf.T(informant, rdf.RDFType, rdf.NSIK.IRI("Informant")))
+	g.MustAdd(rdf.T(informant, rdf.NSIK.IRI("reliability"), rdf.NewFloat(m.ikTracker.Reliability(r.Informant))))
+	g.MustAdd(rdf.T(node, rdf.NSDEWS.IRI("atTime"),
+		rdf.NewTypedLiteral(r.Time.UTC().Format(time.RFC3339), rdf.XSDDateTime)))
+	g.MustAdd(rdf.T(node, rdf.NSDEWS.IRI("confidence"), rdf.NewFloat(confidence)))
+	g.MustAdd(rdf.T(node, rdf.NSIK.IRI("strength"), rdf.NewFloat(r.Strength)))
+	if r.District != "" {
+		g.MustAdd(rdf.T(node, rdf.NSDEWS.IRI("affectsRegion"), rdf.NSGEO.IRI(r.District)))
+	}
+}
+
+// districtSlug converts a feature IRI to a broker topic segment.
+func districtSlug(feature rdf.IRI) string {
+	if feature == "" {
+		return "unknown"
+	}
+	return strings.ToLower(feature.LocalName())
+}
+
+// capitalize upper-cases the first ASCII letter ("watch" → "Watch").
+func capitalize(s string) string {
+	if s == "" {
+		return s
+	}
+	if s[0] >= 'a' && s[0] <= 'z' {
+		return string(s[0]-'a'+'A') + s[1:]
+	}
+	return s
+}

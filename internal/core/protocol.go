@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/wsn"
+)
+
+// ReadingSource abstracts the cloud storage the interface protocol layer
+// downloads from (§4.2.3). wsn.CloudStore satisfies it; a production
+// deployment would put an HTTP client here.
+type ReadingSource interface {
+	// Download returns up to limit readings from cursor and the next
+	// cursor (limit <= 0 means all).
+	Download(cursor int, limit int) ([]wsn.RawReading, int, error)
+}
+
+var _ ReadingSource = (*wsn.CloudStore)(nil)
+
+// ProtocolLayer is the interface protocol layer: it tracks a download
+// cursor per source and hands batches of semi-processed readings upward.
+type ProtocolLayer struct {
+	mu      sync.Mutex
+	sources map[string]ReadingSource
+	cursors map[string]int
+	// fetched counts readings pulled per source.
+	fetched map[string]int
+}
+
+// NewProtocolLayer returns an empty layer.
+func NewProtocolLayer() *ProtocolLayer {
+	return &ProtocolLayer{
+		sources: make(map[string]ReadingSource),
+		cursors: make(map[string]int),
+		fetched: make(map[string]int),
+	}
+}
+
+// AddSource registers a named reading source.
+func (p *ProtocolLayer) AddSource(name string, src ReadingSource) error {
+	if name == "" || src == nil {
+		return fmt.Errorf("core: source needs a name and an implementation")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.sources[name]; exists {
+		return fmt.Errorf("core: source %q already registered", name)
+	}
+	p.sources[name] = src
+	return nil
+}
+
+// Fetch downloads up to limit new readings from one source, advancing its
+// cursor.
+func (p *ProtocolLayer) Fetch(name string, limit int) ([]wsn.RawReading, error) {
+	p.mu.Lock()
+	src, ok := p.sources[name]
+	cursor := p.cursors[name]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown source %q", name)
+	}
+	batch, next, err := src.Download(cursor, limit)
+	if err != nil {
+		return nil, fmt.Errorf("core: download from %q: %w", name, err)
+	}
+	p.mu.Lock()
+	p.cursors[name] = next
+	p.fetched[name] += len(batch)
+	p.mu.Unlock()
+	return batch, nil
+}
+
+// FetchAll downloads up to limit readings from every source (in sorted
+// name order for determinism).
+func (p *ProtocolLayer) FetchAll(limit int) ([]wsn.RawReading, error) {
+	p.mu.Lock()
+	names := make([]string, 0, len(p.sources))
+	for n := range p.sources {
+		names = append(names, n)
+	}
+	p.mu.Unlock()
+	sort.Strings(names)
+	var out []wsn.RawReading
+	for _, n := range names {
+		batch, err := p.Fetch(n, limit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, batch...)
+	}
+	return out, nil
+}
+
+// Fetched returns the total readings pulled from a source.
+func (p *ProtocolLayer) Fetched(name string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fetched[name]
+}

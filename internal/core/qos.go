@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Delivery is one message handed to an acknowledged subscriber. The
+// subscriber must Ack the sequence number; unacked deliveries are
+// returned to the queue by Redeliver (at-least-once semantics).
+type Delivery struct {
+	// Seq is the subscription-scoped delivery sequence number.
+	Seq uint64
+	// Message is the delivered envelope.
+	Message Message
+}
+
+// AckSubscription is a bounded mailbox with manual acknowledgement: the
+// middleware's at-least-once QoS tier for consumers that must not lose
+// bulletins (e.g. the SMS channel). Messages move queue → in-flight on
+// Fetch, disappear on Ack, and return to the queue head on Redeliver.
+type AckSubscription struct {
+	// ID is the broker-assigned identity.
+	ID int
+	// Pattern is the topic filter.
+	Pattern string
+
+	mu       sync.Mutex
+	queue    []Delivery
+	inflight map[uint64]Delivery
+	capacity int
+	seq      uint64
+	dropped  int
+	acked    int
+	closed   bool
+}
+
+func (s *AckSubscription) offer(m Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	// Backpressure counts queue + in-flight: unacked work is still work.
+	if len(s.queue)+len(s.inflight) >= s.capacity {
+		s.dropped++
+		return // at-least-once drops newest: losing old unacked silently would lie
+	}
+	s.seq++
+	s.queue = append(s.queue, Delivery{Seq: s.seq, Message: m})
+}
+
+// Fetch moves up to max messages (all when max <= 0) into the in-flight
+// set and returns them.
+func (s *AckSubscription) Fetch(max int) []Delivery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.queue)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Delivery, n)
+	copy(out, s.queue[:n])
+	s.queue = append(s.queue[:0], s.queue[n:]...)
+	if s.inflight == nil {
+		s.inflight = make(map[uint64]Delivery)
+	}
+	for _, d := range out {
+		s.inflight[d.Seq] = d
+	}
+	return out
+}
+
+// Ack acknowledges a delivery; unknown sequence numbers error (they
+// indicate double-ack or ack-after-redeliver bugs in the consumer).
+func (s *AckSubscription) Ack(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.inflight[seq]; !ok {
+		return fmt.Errorf("core: ack of unknown delivery %d", seq)
+	}
+	delete(s.inflight, seq)
+	s.acked++
+	return nil
+}
+
+// Redeliver returns every in-flight delivery to the queue head in
+// sequence order and reports how many moved.
+func (s *AckSubscription) Redeliver() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.inflight) == 0 {
+		return 0
+	}
+	back := make([]Delivery, 0, len(s.inflight))
+	for _, d := range s.inflight {
+		back = append(back, d)
+	}
+	sort.Slice(back, func(i, j int) bool { return back[i].Seq < back[j].Seq })
+	s.queue = append(back, s.queue...)
+	n := len(s.inflight)
+	s.inflight = make(map[uint64]Delivery)
+	return n
+}
+
+// Pending returns (queued, in-flight) depths.
+func (s *AckSubscription) Pending() (queued, inflight int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), len(s.inflight)
+}
+
+// Acked returns the number of acknowledged deliveries.
+func (s *AckSubscription) Acked() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acked
+}
+
+// Dropped returns messages refused due to backpressure.
+func (s *AckSubscription) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// SubscribeAck registers an at-least-once subscription (capacity default
+// 1024). Retained messages are replayed like for plain subscriptions.
+func (b *Broker) SubscribeAck(pattern string, capacity int) (*AckSubscription, error) {
+	if err := ValidatePattern(pattern); err != nil {
+		return nil, err
+	}
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	sub := &AckSubscription{ID: b.nextID, Pattern: pattern, capacity: capacity}
+	if b.ackSubs == nil {
+		b.ackSubs = make(map[int]*AckSubscription)
+	}
+	b.ackSubs[sub.ID] = sub
+
+	topics := make([]string, 0, len(b.retained))
+	for t := range b.retained {
+		if TopicMatch(pattern, t) {
+			topics = append(topics, t)
+		}
+	}
+	sort.Strings(topics)
+	for _, t := range topics {
+		sub.offer(b.retained[t])
+	}
+	return sub, nil
+}
+
+// UnsubscribeAck removes an acknowledged subscription.
+func (b *Broker) UnsubscribeAck(sub *AckSubscription) {
+	if sub == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sub.mu.Lock()
+	sub.closed = true
+	sub.mu.Unlock()
+	delete(b.ackSubs, sub.ID)
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cep"
+	"repro/internal/mediator"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// ServiceDescription is a semantic service description in the registry
+// ("semantic services description module" of Figure 3): a capability is
+// an ontology class; discovery is subsumption-aware.
+type ServiceDescription struct {
+	// ID is the service IRI.
+	ID rdf.IRI
+	// Capability is the ontology class the service provides
+	// (e.g. dews:MeteorologicalDrought forecasts).
+	Capability rdf.IRI
+	// Endpoint is the broker topic (or URL) the service serves on.
+	Endpoint string
+	// Description is human documentation.
+	Description string
+}
+
+// Validate checks the description.
+func (s ServiceDescription) Validate() error {
+	switch {
+	case s.ID == "":
+		return fmt.Errorf("core: service without ID")
+	case s.Capability == "":
+		return fmt.Errorf("core: service %s without capability", s.ID)
+	case s.Endpoint == "":
+		return fmt.Errorf("core: service %s without endpoint", s.ID)
+	}
+	return nil
+}
+
+// Segment is the ontology segment layer: unified ontology + reasoner
+// output, data graph, query engine, annotator, per-key CEP engines, and
+// the service registry.
+type Segment struct {
+	onto *ontology.Ontology
+	// data holds assertional knowledge produced at run time
+	// (observations, inferred events); the ontology graph is merged in so
+	// queries see both.
+	data      *rdf.Graph
+	engine    *sparql.Engine
+	annotator *mediator.Annotator
+
+	rules []cep.Rule
+
+	mu       sync.Mutex
+	cepByKey map[string]*cep.Engine
+	services map[rdf.IRI]ServiceDescription
+}
+
+// NewSegment builds the layer around a materialized ontology and a CEP
+// rule set. The data graph starts as a clone of the ontology graph so
+// SPARQL queries span schema and data.
+func NewSegment(o *ontology.Ontology, rules []cep.Rule) (*Segment, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	data := o.Graph().Clone()
+	s := &Segment{
+		onto:      o,
+		data:      data,
+		engine:    sparql.NewEngine(data),
+		annotator: mediator.NewAnnotator(o),
+		rules:     rules,
+		cepByKey:  make(map[string]*cep.Engine),
+		services:  make(map[rdf.IRI]ServiceDescription),
+	}
+	mediator.SeedAlignments(s.annotator.Registry())
+	return s, nil
+}
+
+// Ontology exposes the unified ontology.
+func (s *Segment) Ontology() *ontology.Ontology { return s.onto }
+
+// Annotator exposes the mediator.
+func (s *Segment) Annotator() *mediator.Annotator { return s.annotator }
+
+// Graph exposes the combined schema+data graph.
+func (s *Segment) Graph() *rdf.Graph { return s.data }
+
+// Query runs a SPARQL query over schema+data.
+func (s *Segment) Query(src string) (any, error) { return s.engine.Query(src) }
+
+// Select runs a SELECT query.
+func (s *Segment) Select(src string) (*sparql.Solutions, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.Select(q)
+}
+
+// CEPEngine returns (creating on first use) the engine shard for a
+// partition key (district). Each shard gets a fresh compilation of the
+// configured rule set.
+func (s *Segment) CEPEngine(key string) (*cep.Engine, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.cepByKey[key]; ok {
+		return e, nil
+	}
+	e, err := cep.NewEngine(s.rules)
+	if err != nil {
+		return nil, err
+	}
+	s.cepByKey[key] = e
+	return e, nil
+}
+
+// CEPKeys lists the active shards in sorted order.
+func (s *Segment) CEPKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.cepByKey))
+	for k := range s.cepByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RegisterService adds (or replaces) a service description and mirrors
+// it into the data graph so it is queryable via SPARQL.
+func (s *Segment) RegisterService(desc ServiceDescription) error {
+	if err := desc.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.services[desc.ID] = desc
+	svcClass := rdf.NSDEWS.IRI("SemanticService")
+	g := s.data
+	g.MustAdd(rdf.T(desc.ID, rdf.RDFType, svcClass))
+	g.MustAdd(rdf.T(desc.ID, rdf.NSDEWS.IRI("capability"), desc.Capability))
+	g.MustAdd(rdf.T(desc.ID, rdf.NSDEWS.IRI("endpoint"), rdf.NewLiteral(desc.Endpoint)))
+	if desc.Description != "" {
+		g.MustAdd(rdf.T(desc.ID, rdf.RDFSComment, rdf.NewLangLiteral(desc.Description, "en")))
+	}
+	return nil
+}
+
+// Discover returns services whose capability is the requested class or a
+// subclass of it, sorted by ID.
+func (s *Segment) Discover(capability rdf.IRI) []ServiceDescription {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ServiceDescription
+	for _, desc := range s.services {
+		if desc.Capability == capability || s.onto.IsSubClassOf(desc.Capability, capability) {
+			out = append(out, desc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Services lists every registered service sorted by ID.
+func (s *Segment) Services() []ServiceDescription {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ServiceDescription, 0, len(s.services))
+	for _, d := range s.services {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

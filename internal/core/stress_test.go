@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestAckSubscriptionConcurrent exercises the at-least-once path under
+// concurrent publishers and a concurrent fetch/ack/redeliver consumer —
+// the shape a real SMS channel worker has. Run with -race.
+func TestAckSubscriptionConcurrent(t *testing.T) {
+	b := NewBroker()
+	sub, err := b.SubscribeAck("load/#", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers   = 4
+		perWriter = 500
+		totalMsgs = writers * perWriter
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := b.Publish(Message{Topic: fmt.Sprintf("load/%d", w), Payload: i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Consumer: fetch batches, ack half, redeliver the rest, repeat.
+	consumed := make(map[uint64]bool)
+	var consumedMu sync.Mutex
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			ds := sub.Fetch(64)
+			if len(ds) == 0 {
+				consumedMu.Lock()
+				n := len(consumed)
+				consumedMu.Unlock()
+				if n >= totalMsgs {
+					return
+				}
+				sub.Redeliver()
+				continue
+			}
+			for i, d := range ds {
+				if i%2 == 0 {
+					if err := sub.Ack(d.Seq); err != nil {
+						t.Error(err)
+						return
+					}
+					consumedMu.Lock()
+					consumed[d.Seq] = true
+					consumedMu.Unlock()
+				}
+			}
+			sub.Redeliver()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if len(consumed) != totalMsgs {
+		t.Fatalf("consumed %d of %d", len(consumed), totalMsgs)
+	}
+	if sub.Dropped() != 0 {
+		t.Errorf("dropped %d with ample capacity", sub.Dropped())
+	}
+}
+
+// TestSegmentConcurrentQueryAndCEP runs SPARQL queries concurrently with
+// CEP shard creation and service registration. Run with -race.
+func TestSegmentConcurrentQueryAndCEP(t *testing.T) {
+	m := buildMiddleware(t)
+	seg := m.Segment()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := seg.Select(`
+PREFIX dews: <http://dews.africrid.example/ontology/drought#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT ?c WHERE { ?c rdfs:subClassOf dews:DroughtEvent . }`); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := seg.CEPEngine(fmt.Sprintf("district-%d-%d", w, i%5)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(seg.CEPKeys()) != 20 {
+		t.Errorf("shards = %d, want 20", len(seg.CEPKeys()))
+	}
+}

@@ -1,0 +1,94 @@
+package dews
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/forecast"
+)
+
+func TestRunFusionAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := smallConfig(7)
+	cfg.Years, cfg.TrainYears = 8, 4
+	rows, res, err := RunFusionAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("variants = %d", len(rows))
+	}
+	if len(res.Issues) == 0 {
+		t.Fatal("no issues recorded")
+	}
+	byName := make(map[string]forecast.Verification)
+	for _, r := range rows {
+		byName[r.Variant] = r.Verif
+		if r.Verif.Contingency.N() != len(res.Issues) {
+			t.Errorf("%s scored %d of %d issues", r.Variant, r.Verif.Contingency.N(), len(res.Issues))
+		}
+	}
+	t.Logf("\n%s", FormatAblationTable(rows))
+
+	full := byName["full"]
+	// Every ablated variant should be ≤ full on Brier within tolerance —
+	// removing evidence must not make the forecast much better.
+	for _, name := range []string{"no-cep", "no-ik", "no-sensor"} {
+		if byName[name].Brier.Score() < full.Brier.Score()*0.95 {
+			t.Errorf("%s Brier %.4f markedly better than full %.4f — fusion is hurting",
+				name, byName[name].Brier.Score(), full.Brier.Score())
+		}
+	}
+	// Removing the sensor stream should hurt much more than removing CEP.
+	if byName["no-sensor"].Brier.Score() <= byName["no-cep"].Brier.Score() {
+		t.Logf("note: no-sensor (%.4f) not worse than no-cep (%.4f) on this seed",
+			byName["no-sensor"].Brier.Score(), byName["no-cep"].Brier.Score())
+	}
+	table := FormatAblationTable(rows)
+	if !strings.Contains(table, "no-ik") {
+		t.Errorf("table missing variants: %s", table)
+	}
+}
+
+func TestEvaluateOffline(t *testing.T) {
+	issues := []Issue{
+		{District: "x", Features: forecast.Features{RainSum90: 10, ClimRain90: 100, SoilMoisture: 0.05}, Observed: true},
+		{District: "x", Features: forecast.Features{RainSum90: 100, ClimRain90: 100, SoilMoisture: 0.4}, Observed: false},
+	}
+	v := Evaluate("test", forecast.Persistence{}, issues, 0, 30)
+	if v.Contingency.N() != 2 {
+		t.Fatalf("scored %d", v.Contingency.N())
+	}
+	if v.Name != "test" || v.LeadDays != 30 {
+		t.Errorf("metadata = %+v", v)
+	}
+}
+
+func TestFusedWeightDisabling(t *testing.T) {
+	sensor := forecast.SensorStat{Intercept: -1}
+	ikOnly := forecast.IKOnly{BaseRate: 0.2}
+	// Sensors read near-normal while IK and CEP point dry, so each
+	// stream's marginal contribution is unambiguous (and probabilities
+	// stay off the clamp).
+	f := forecast.Features{
+		RainSum30: 38, ClimRain30: 40, RainSum90: 115, ClimRain90: 120,
+		SoilMoisture: 0.3, NDVI: 0.45,
+		IKDryConsensus: 0.9, CEPDrySignals: 1, CEPConfidence: 0.7,
+	}
+	full := forecast.Fused{Sensor: sensor, IK: ikOnly}.Forecast(f)
+	noCEP := forecast.Fused{Sensor: sensor, IK: ikOnly, WCEP: -1}.Forecast(f)
+	if noCEP >= full {
+		t.Errorf("disabling CEP should lower the dry-case probability: %v vs %v", noCEP, full)
+	}
+	noIK := forecast.Fused{Sensor: sensor, IK: ikOnly, WIK: -1}.Forecast(f)
+	if noIK >= full {
+		t.Errorf("disabling IK should lower the dry-case probability: %v vs %v", noIK, full)
+	}
+	// Degenerate double-disable still yields a sane probability.
+	p := forecast.Fused{Sensor: sensor, IK: ikOnly, WSensor: -1, WIK: -1}.Forecast(f)
+	if p <= 0 || p >= 1 {
+		t.Errorf("degenerate fusion p = %v", p)
+	}
+}

@@ -1,0 +1,257 @@
+package dews
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ik"
+)
+
+// smallConfig keeps unit-test runs fast: one district, short span.
+func smallConfig(seed int64) Config {
+	return Config{
+		Seed:             seed,
+		Districts:        []string{"mangaung"},
+		NodesPerDistrict: 3,
+		Years:            6,
+		TrainYears:       3,
+		LeadDays:         30,
+		Informants:       6,
+		IKReportRate:     0.03,
+	}
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	c := Config{Seed: 1}
+	c.applyDefaults()
+	if len(c.Districts) != 5 {
+		t.Errorf("default districts = %v", c.Districts)
+	}
+	if c.Years == 0 || c.TrainYears == 0 || c.LeadDays == 0 {
+		t.Error("defaults not applied")
+	}
+	bad := Config{Years: 3, TrainYears: 5, LeadDays: 30}
+	if err := bad.Validate(); err == nil {
+		t.Error("TrainYears >= Years should fail")
+	}
+	bad2 := Config{Years: 5, TrainYears: 2, LeadDays: 0}
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero lead should fail")
+	}
+}
+
+func TestNewSystem(t *testing.T) {
+	s, err := NewSystem(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Middleware() == nil || s.Web() == nil || s.Billboard() == nil {
+		t.Fatal("accessors nil")
+	}
+	if len(s.districts) != 1 {
+		t.Fatalf("districts = %d", len(s.districts))
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run is slow")
+	}
+	s, err := NewSystem(smallConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fetched == 0 || res.Annotated == 0 {
+		t.Fatalf("pipeline moved no data: %+v", res)
+	}
+	annotRate := float64(res.Annotated) / float64(res.Fetched)
+	if annotRate < 0.9 {
+		t.Errorf("annotation rate %.2f too low", annotRate)
+	}
+	if res.EvaluatedDays == 0 {
+		t.Fatal("no forecasts verified")
+	}
+	if len(res.Skill) != 5 {
+		t.Fatalf("forecasters = %d", len(res.Skill))
+	}
+	names := map[string]bool{}
+	for _, v := range res.Skill {
+		names[v.Name] = true
+		if v.Contingency.N() != res.EvaluatedDays {
+			t.Errorf("%s verified %d of %d", v.Name, v.Contingency.N(), res.EvaluatedDays)
+		}
+	}
+	for _, want := range []string{"climatology", "persistence", "sensor-only", "ik-only", "fused"} {
+		if !names[want] {
+			t.Errorf("missing forecaster %s", want)
+		}
+	}
+	if len(res.Bulletins) == 0 {
+		t.Error("no bulletins disseminated")
+	}
+	if res.Hub.Received == 0 || res.Hub.Delivered["billboard"] == 0 {
+		t.Errorf("hub stats = %+v", res.Hub)
+	}
+	table := FormatSkillTable(res)
+	if !strings.Contains(table, "fused") {
+		t.Errorf("table = %s", table)
+	}
+	// Directional claim (paper §6): fusion should not be worse than the
+	// best single source on Brier score by a meaningful margin.
+	fused, _ := res.SkillByName("fused")
+	sensorOnly, _ := res.SkillByName("sensor-only")
+	ikOnly, _ := res.SkillByName("ik-only")
+	best := sensorOnly.Brier.Score()
+	if b := ikOnly.Brier.Score(); b < best {
+		best = b
+	}
+	if fused.Brier.Score() > best*1.15 {
+		t.Errorf("fused Brier %.4f clearly worse than best single-source %.4f\n%s",
+			fused.Brier.Score(), best, table)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := smallConfig(17)
+	cfg.Years, cfg.TrainYears = 4, 2
+	s1, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fetched != r2.Fetched || r1.Annotated != r2.Annotated ||
+		r1.Inferences != r2.Inferences || r1.EvaluatedDays != r2.EvaluatedDays {
+		t.Errorf("non-deterministic run: %+v vs %+v", r1, r2)
+	}
+	for i := range r1.Skill {
+		if r1.Skill[i].Brier.Score() != r2.Skill[i].Brier.Score() {
+			t.Errorf("forecaster %s Brier differs across identical runs", r1.Skill[i].Name)
+		}
+	}
+}
+
+func TestFeatureBuilder(t *testing.T) {
+	var clim, tempC [367]float64
+	for d := 1; d <= 366; d++ {
+		clim[d] = 1.5
+		tempC[d] = 20
+	}
+	fb := newFeatureBuilder("x", &clim, &tempC, ik.NewInformantTracker())
+	date := time.Date(2015, 11, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 100; i++ {
+		fb.addDay(2.0, 0.3, 0.5, 22, true, true, true)
+	}
+	f := fb.features(date)
+	if f.RainSum30 != 60 || f.RainSum90 != 180 {
+		t.Errorf("rain sums = %v / %v", f.RainSum30, f.RainSum90)
+	}
+	if f.ClimRain30 != 45 || f.ClimRain90 != 135 {
+		t.Errorf("clim sums = %v / %v", f.ClimRain30, f.ClimRain90)
+	}
+	if f.SoilMoisture != 0.3 || f.NDVI != 0.5 {
+		t.Errorf("point features = %+v", f)
+	}
+	if f.TempAnomaly != 2 {
+		t.Errorf("temp anomaly = %v", f.TempAnomaly)
+	}
+}
+
+func TestFeatureBuilderIKWindows(t *testing.T) {
+	var clim, tempC [367]float64
+	fb := newFeatureBuilder("x", &clim, &tempC, ik.NewInformantTracker())
+	date := time.Date(2015, 11, 1, 0, 0, 0, 0, time.UTC)
+	// Two dry reports inside the 45d window, one stale beyond it.
+	fb.addIKReport(ik.Report{Informant: "a", Indicator: "mutiga-flowering", Time: date.AddDate(0, 0, -10), Strength: 0.9})
+	fb.addIKReport(ik.Report{Informant: "b", Indicator: "sifennefene-worms", Time: date.AddDate(0, 0, -20), Strength: 0.8})
+	fb.addIKReport(ik.Report{Informant: "c", Indicator: "mutiga-flowering", Time: date.AddDate(0, 0, -90), Strength: 1})
+	fb.addIKReport(ik.Report{Informant: "d", Indicator: "moon-halo", Time: date.AddDate(0, 0, -5), Strength: 0.7})
+	f := fb.features(date)
+	if f.IKDryConsensus <= 0 {
+		t.Error("dry consensus missing")
+	}
+	if f.IKWetConsensus <= 0 {
+		t.Error("wet consensus missing")
+	}
+	// Stale report evicted: asking again sees only live ones.
+	if len(fb.ikReports) != 3 {
+		t.Errorf("live reports = %d, want 3", len(fb.ikReports))
+	}
+}
+
+func TestFeatureBuilderCEPWindow(t *testing.T) {
+	var clim, tempC [367]float64
+	fb := newFeatureBuilder("x", &clim, &tempC, ik.NewInformantTracker())
+	date := time.Date(2015, 11, 1, 0, 0, 0, 0, time.UTC)
+	fb.addCEPSignal("RainfallDeficit", date.AddDate(0, 0, -5), 0.8)
+	fb.addCEPSignal("IKDroughtWarning", date.AddDate(0, 0, -10), 0.6)
+	fb.addCEPSignal("RainfallDeficit", date.AddDate(0, 0, -60), 0.9) // stale
+	fb.addCEPSignal("NotADroughtSignal", date, 1.0)                  // ignored type
+	f := fb.features(date)
+	if f.CEPDrySignals != 2 {
+		t.Errorf("CEP signals = %d, want 2", f.CEPDrySignals)
+	}
+	if f.CEPConfidence < 0.69 || f.CEPConfidence > 0.71 {
+		t.Errorf("CEP confidence = %v, want 0.7", f.CEPConfidence)
+	}
+}
+
+func TestClimSumWrapsYear(t *testing.T) {
+	var clim [367]float64
+	for d := 1; d <= 366; d++ {
+		clim[d] = 1
+	}
+	if got := climSum(&clim, 10, 30); got != 30 {
+		t.Errorf("wrap sum = %v", got)
+	}
+}
+
+func TestFitClimatology(t *testing.T) {
+	start := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	days := 365 * 3
+	rain := make([]float64, days)
+	temp := make([]float64, days)
+	for i := range rain {
+		rain[i] = 2
+		temp[i] = 18
+	}
+	cr, ct := fitClimatology(rain, temp, start)
+	for d := 1; d <= 365; d++ {
+		if cr[d] < 1.9 || cr[d] > 2.1 {
+			t.Fatalf("clim rain[%d] = %v", d, cr[d])
+		}
+		if ct[d] < 17.9 || ct[d] > 18.1 {
+			t.Fatalf("clim temp[%d] = %v", d, ct[d])
+		}
+	}
+}
+
+func TestSensorRulesParse(t *testing.T) {
+	s, err := NewSystem(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The middleware accepted the combined rule set; sanity-check the CEP
+	// shard compiles per district.
+	if _, err := s.Middleware().Segment().CEPEngine("mangaung"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package dews assembles the complete IoT-based Drought Early Warning
+// System of the paper's §5: the climate truth drives a heterogeneous WSN
+// whose readings cross the lossy uplink into the cloud store; the
+// semantic middleware downloads, mediates and integrates them with
+// indigenous-knowledge reports through the CEP engine; forecasters
+// consume the unified features; and bulletins fan out through the
+// dissemination hub. A Run verifies every forecaster against the
+// climate ground truth, producing the skill tables of EXP-C1.
+package dews
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/forecast"
+	"repro/internal/ik"
+)
+
+// featureBuilder maintains one district's rolling feature state from the
+// middleware's observation/event streams.
+type featureBuilder struct {
+	district string
+	// dailyRain holds observed district-mean rainfall per simulated day.
+	dailyRain []float64
+	// latest point observations.
+	soil, ndvi, temp   float64
+	haveSoil, haveNDVI bool
+	// tempByDOY is the training climatology of temperature.
+	tempByDOY *[367]float64
+	// climDaily is the training climatology of daily rainfall by DOY.
+	climDaily *[367]float64
+	// ikReports holds recent reports for consensus windows.
+	ikReports []ik.Report
+	// cepSignals holds recent drought-pointing inference times+confidence.
+	cepSignals []cepSignal
+	tracker    *ik.InformantTracker
+	catalogue  map[string]ik.Indicator
+}
+
+type cepSignal struct {
+	at   time.Time
+	conf float64
+}
+
+// droughtSignalTypes are the CEP emission types counted as
+// drought-pointing evidence.
+var droughtSignalTypes = map[string]bool{
+	"RainfallDeficit":     true,
+	"SoilMoistureDecline": true,
+	"HeatWave":            true,
+	"VegetationStress":    true,
+	"IKDroughtWarning":    true,
+	"DroughtWarning":      true,
+}
+
+func newFeatureBuilder(district string, climDaily, tempByDOY *[367]float64, tracker *ik.InformantTracker) *featureBuilder {
+	return &featureBuilder{
+		district:  district,
+		climDaily: climDaily,
+		tempByDOY: tempByDOY,
+		tracker:   tracker,
+		catalogue: ik.CatalogueBySlug(),
+		soil:      0.25, ndvi: 0.4,
+	}
+}
+
+// addDay records one day's observed district means. Missing values (no
+// surviving readings) carry the previous state for point values and 0
+// for rain.
+func (fb *featureBuilder) addDay(rainMean float64, soil, ndvi, temp float64, haveSoil, haveNDVI, haveTemp bool) {
+	fb.dailyRain = append(fb.dailyRain, rainMean)
+	if haveSoil {
+		fb.soil = soil
+		fb.haveSoil = true
+	}
+	if haveNDVI {
+		fb.ndvi = ndvi
+		fb.haveNDVI = true
+	}
+	if haveTemp {
+		fb.temp = temp
+	}
+}
+
+func (fb *featureBuilder) addIKReport(r ik.Report) {
+	fb.ikReports = append(fb.ikReports, r)
+}
+
+func (fb *featureBuilder) addCEPSignal(eventType string, at time.Time, conf float64) {
+	if droughtSignalTypes[eventType] {
+		fb.cepSignals = append(fb.cepSignals, cepSignal{at: at, conf: conf})
+	}
+}
+
+// features assembles the forecast feature vector for the given date.
+func (fb *featureBuilder) features(date time.Time) forecast.Features {
+	f := forecast.Features{
+		Date:         date,
+		RainSum30:    trailingSum(fb.dailyRain, 30),
+		RainSum90:    trailingSum(fb.dailyRain, 90),
+		SoilMoisture: fb.soil,
+		NDVI:         fb.ndvi,
+	}
+	doy := date.YearDay()
+	f.ClimRain30 = climSum(fb.climDaily, doy, 30)
+	f.ClimRain90 = climSum(fb.climDaily, doy, 90)
+	f.TempAnomaly = fb.temp - fb.tempByDOY[doy]
+
+	// IK consensus over the trailing 45 days, split by polarity.
+	cutoff := date.AddDate(0, 0, -45)
+	var dry, wet []ik.Report
+	live := fb.ikReports[:0]
+	for _, r := range fb.ikReports {
+		if r.Time.Before(cutoff) {
+			continue
+		}
+		live = append(live, r)
+		ind, ok := fb.catalogue[r.Indicator]
+		if !ok {
+			continue
+		}
+		if ind.Polarity == ik.PolarityDry {
+			dry = append(dry, r)
+		} else {
+			wet = append(wet, r)
+		}
+	}
+	fb.ikReports = live
+	f.IKDryConsensus = ik.ConsensusStrength(dry, fb.tracker)
+	f.IKWetConsensus = ik.ConsensusStrength(wet, fb.tracker)
+
+	// CEP signals over the trailing 30 days.
+	sigCut := date.AddDate(0, 0, -30)
+	liveSig := fb.cepSignals[:0]
+	var confSum float64
+	for _, s := range fb.cepSignals {
+		if s.at.Before(sigCut) {
+			continue
+		}
+		liveSig = append(liveSig, s)
+		confSum += s.conf
+	}
+	fb.cepSignals = liveSig
+	f.CEPDrySignals = len(liveSig)
+	if len(liveSig) > 0 {
+		f.CEPConfidence = confSum / float64(len(liveSig))
+	}
+	return f
+}
+
+func trailingSum(vals []float64, n int) float64 {
+	start := len(vals) - n
+	if start < 0 {
+		start = 0
+	}
+	var sum float64
+	for _, v := range vals[start:] {
+		sum += v
+	}
+	return sum
+}
+
+// climSum sums the climatological daily rainfall for the n days ending
+// at day-of-year doy (wrapping the year boundary).
+func climSum(clim *[367]float64, doy, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		d := doy - i
+		for d < 1 {
+			d += 365
+		}
+		if d > 366 {
+			d -= 365
+		}
+		sum += clim[d]
+	}
+	return sum
+}
+
+// fitClimatology computes per-DOY mean daily rainfall and temperature
+// from a training prefix of observed district means.
+func fitClimatology(dailyRain, dailyTemp []float64, startDate time.Time) (rain, temp *[367]float64) {
+	var rainSum, tempSum, count [367]float64
+	for i := range dailyRain {
+		doy := startDate.AddDate(0, 0, i).YearDay()
+		rainSum[doy] += dailyRain[i]
+		tempSum[doy] += dailyTemp[i]
+		count[doy]++
+	}
+	rain, temp = new([367]float64), new([367]float64)
+	for d := 1; d <= 366; d++ {
+		if count[d] > 0 {
+			rain[d] = rainSum[d] / count[d]
+			temp[d] = tempSum[d] / count[d]
+		}
+	}
+	// Smooth over a ±7-day window to tame single-year noise.
+	smooth := func(a *[367]float64) {
+		var out [367]float64
+		for d := 1; d <= 365; d++ {
+			var s float64
+			for k := -7; k <= 7; k++ {
+				dd := d + k
+				for dd < 1 {
+					dd += 365
+				}
+				for dd > 365 {
+					dd -= 365
+				}
+				s += a[dd]
+			}
+			out[d] = s / 15
+		}
+		out[366] = out[365]
+		*a = out
+	}
+	smooth(rain)
+	smooth(temp)
+	return rain, temp
+}
+
+// nanToZero guards aggregates.
+func nanToZero(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

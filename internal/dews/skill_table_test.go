@@ -1,0 +1,28 @@
+package dews
+
+import "testing"
+
+// TestSkillTableShape logs the EXP-C1 table for a medium run so the shape
+// is visible in -v output (and fails only on gross inversions).
+func TestSkillTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := smallConfig(42)
+	cfg.Years, cfg.TrainYears = 10, 5
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatSkillTable(res))
+	clim, _ := res.SkillByName("climatology")
+	fused, _ := res.SkillByName("fused")
+	if fused.Brier.Score() >= clim.Brier.Score() {
+		t.Errorf("fused (%.4f) should beat climatology (%.4f) on Brier",
+			fused.Brier.Score(), clim.Brier.Score())
+	}
+}

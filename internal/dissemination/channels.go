@@ -1,0 +1,287 @@
+// Package dissemination implements the paper's output channels: "the
+// information in form of drought vulnerability index is disseminated to
+// the targeted end-user via various output IoT channels such as the
+// smart screen [billboards], semantic web and mobile apps", plus the IP
+// radio the motivation section calls for. A Hub fans bulletins out to
+// every registered channel with per-channel severity filtering and
+// delivery accounting.
+package dissemination
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/forecast"
+)
+
+// Channel is one output medium.
+type Channel interface {
+	// Name identifies the channel ("sms", "billboard", ...).
+	Name() string
+	// Deliver pushes one bulletin to the medium.
+	Deliver(b forecast.Bulletin) error
+}
+
+// --- smart billboard ---
+
+// SmartBillboard models the strategically-placed smart screens: it keeps
+// the latest bulletin per district and renders a display board.
+type SmartBillboard struct {
+	mu      sync.RWMutex
+	current map[string]forecast.Bulletin
+	updates int
+}
+
+// NewSmartBillboard returns an empty billboard network.
+func NewSmartBillboard() *SmartBillboard {
+	return &SmartBillboard{current: make(map[string]forecast.Bulletin)}
+}
+
+// Name implements Channel.
+func (*SmartBillboard) Name() string { return "billboard" }
+
+// Deliver implements Channel.
+func (s *SmartBillboard) Deliver(b forecast.Bulletin) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.current[b.District] = b
+	s.updates++
+	return nil
+}
+
+// Display renders the board: one line per district, sorted.
+func (s *SmartBillboard) Display() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	districts := make([]string, 0, len(s.current))
+	for d := range s.current {
+		districts = append(districts, d)
+	}
+	sort.Strings(districts)
+	var sb strings.Builder
+	for _, d := range districts {
+		sb.WriteString(s.current[d].Headline())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Updates returns the number of refreshes.
+func (s *SmartBillboard) Updates() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.updates
+}
+
+// --- SMS broadcast ---
+
+// SMSBroadcast models the mobile channel: a per-district subscriber list
+// receiving 160-character messages.
+type SMSBroadcast struct {
+	mu sync.Mutex
+	// subscribers maps district → phone numbers.
+	subscribers map[string][]string
+	// sent logs (number, text) pairs.
+	sent []SMSMessage
+}
+
+// SMSMessage is one logged SMS.
+type SMSMessage struct {
+	To   string
+	Text string
+}
+
+// NewSMSBroadcast returns an empty broadcaster.
+func NewSMSBroadcast() *SMSBroadcast {
+	return &SMSBroadcast{subscribers: make(map[string][]string)}
+}
+
+// Name implements Channel.
+func (*SMSBroadcast) Name() string { return "sms" }
+
+// Subscribe adds a phone number for a district.
+func (s *SMSBroadcast) Subscribe(district, phone string) error {
+	if district == "" || phone == "" {
+		return fmt.Errorf("dissemination: subscription needs district and phone")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subscribers[district] = append(s.subscribers[district], phone)
+	return nil
+}
+
+// Deliver implements Channel: every district subscriber gets the
+// headline, truncated to the 160-character SMS limit.
+func (s *SMSBroadcast) Deliver(b forecast.Bulletin) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	text := b.Headline()
+	if len(text) > 160 {
+		text = text[:157] + "..."
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, phone := range s.subscribers[b.District] {
+		s.sent = append(s.sent, SMSMessage{To: phone, Text: text})
+	}
+	return nil
+}
+
+// Sent returns a copy of the send log.
+func (s *SMSBroadcast) Sent() []SMSMessage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SMSMessage, len(s.sent))
+	copy(out, s.sent)
+	return out
+}
+
+// --- IP radio ---
+
+// IPRadio models community radio bulletins: an ordered broadcast script
+// of localized announcements.
+type IPRadio struct {
+	mu       sync.Mutex
+	script   []string
+	language string
+}
+
+// NewIPRadio returns a radio channel announcing in the given language
+// tag ("en", "st", ...). The tag only labels the script; translation is
+// out of scope.
+func NewIPRadio(language string) *IPRadio {
+	return &IPRadio{language: language}
+}
+
+// Name implements Channel.
+func (*IPRadio) Name() string { return "ip-radio" }
+
+// Deliver implements Channel.
+func (r *IPRadio) Deliver(b forecast.Bulletin) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.script = append(r.script, fmt.Sprintf("(%s) %s", r.language, b.Headline()))
+	return nil
+}
+
+// Script returns the accumulated broadcast script.
+func (r *IPRadio) Script() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.script))
+	copy(out, r.script)
+	return out
+}
+
+// --- hub ---
+
+// Route is one channel registration: the channel plus its minimum
+// severity (SMS subscribers should not be woken for "normal").
+type Route struct {
+	Channel Channel
+	// MinBand is the lowest DVI band the channel receives.
+	MinBand forecast.DVIBand
+}
+
+// HubStats summarizes fan-out accounting.
+type HubStats struct {
+	Received  int
+	Delivered map[string]int
+	Filtered  map[string]int
+	Errors    map[string]int
+}
+
+// Hub fans bulletins out to registered channels.
+type Hub struct {
+	mu     sync.Mutex
+	routes []Route
+	stats  HubStats
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{stats: HubStats{
+		Delivered: make(map[string]int),
+		Filtered:  make(map[string]int),
+		Errors:    make(map[string]int),
+	}}
+}
+
+// Register adds a channel with a severity floor.
+func (h *Hub) Register(ch Channel, minBand forecast.DVIBand) error {
+	if ch == nil {
+		return fmt.Errorf("dissemination: nil channel")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, r := range h.routes {
+		if r.Channel.Name() == ch.Name() {
+			return fmt.Errorf("dissemination: channel %q already registered", ch.Name())
+		}
+	}
+	h.routes = append(h.routes, Route{Channel: ch, MinBand: minBand})
+	return nil
+}
+
+// Publish fans one bulletin out. Channel errors are recorded, not
+// propagated — one broken billboard must not silence the SMS channel.
+func (h *Hub) Publish(b forecast.Bulletin) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	routes := make([]Route, len(h.routes))
+	copy(routes, h.routes)
+	h.stats.Received++
+	h.mu.Unlock()
+
+	for _, r := range routes {
+		name := r.Channel.Name()
+		if b.Band < r.MinBand {
+			h.mu.Lock()
+			h.stats.Filtered[name]++
+			h.mu.Unlock()
+			continue
+		}
+		err := r.Channel.Deliver(b)
+		h.mu.Lock()
+		if err != nil {
+			h.stats.Errors[name]++
+		} else {
+			h.stats.Delivered[name]++
+		}
+		h.mu.Unlock()
+	}
+	return nil
+}
+
+// Stats returns a deep copy of the accounting.
+func (h *Hub) Stats() HubStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := HubStats{
+		Received:  h.stats.Received,
+		Delivered: make(map[string]int, len(h.stats.Delivered)),
+		Filtered:  make(map[string]int, len(h.stats.Filtered)),
+		Errors:    make(map[string]int, len(h.stats.Errors)),
+	}
+	for k, v := range h.stats.Delivered {
+		out.Delivered[k] = v
+	}
+	for k, v := range h.stats.Filtered {
+		out.Filtered[k] = v
+	}
+	for k, v := range h.stats.Errors {
+		out.Errors[k] = v
+	}
+	return out
+}

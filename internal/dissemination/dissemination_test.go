@@ -1,0 +1,253 @@
+package dissemination
+
+import (
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/forecast"
+)
+
+func bulletin(district string, p float64) forecast.Bulletin {
+	return forecast.Bulletin{
+		District:    district,
+		Issued:      time.Date(2015, 11, 20, 6, 0, 0, 0, time.UTC),
+		LeadDays:    30,
+		Probability: p,
+		Band:        forecast.BandFromProbability(p),
+		Forecaster:  "fused",
+	}
+}
+
+func TestSmartBillboard(t *testing.T) {
+	b := NewSmartBillboard()
+	if err := b.Deliver(bulletin("mangaung", 0.7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Deliver(bulletin("xhariep", 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	// Replacement: newer bulletin for same district wins.
+	if err := b.Deliver(bulletin("mangaung", 0.9)); err != nil {
+		t.Fatal(err)
+	}
+	d := b.Display()
+	if !strings.Contains(d, "mangaung") || !strings.Contains(d, "xhariep") {
+		t.Errorf("display = %q", d)
+	}
+	if !strings.Contains(d, "EXTREME") {
+		t.Errorf("latest bulletin should win: %q", d)
+	}
+	if b.Updates() != 3 {
+		t.Errorf("updates = %d", b.Updates())
+	}
+	if err := b.Deliver(forecast.Bulletin{}); err == nil {
+		t.Error("invalid bulletin should be rejected")
+	}
+}
+
+func TestSMSBroadcast(t *testing.T) {
+	s := NewSMSBroadcast()
+	if err := s.Subscribe("mangaung", "+27-51-000-0001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("mangaung", "+27-51-000-0002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("xhariep", "+27-51-000-0003"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Subscribe("", ""); err == nil {
+		t.Error("empty subscription should fail")
+	}
+	if err := s.Deliver(bulletin("mangaung", 0.8)); err != nil {
+		t.Fatal(err)
+	}
+	sent := s.Sent()
+	if len(sent) != 2 {
+		t.Fatalf("sent = %d, want 2 (district-scoped)", len(sent))
+	}
+	for _, m := range sent {
+		if len(m.Text) > 160 {
+			t.Errorf("SMS over 160 chars: %q", m.Text)
+		}
+		if !strings.Contains(m.Text, "SEVERE") {
+			t.Errorf("text = %q", m.Text)
+		}
+	}
+}
+
+func TestIPRadio(t *testing.T) {
+	r := NewIPRadio("st")
+	if err := r.Deliver(bulletin("fezile-dabi", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	script := r.Script()
+	if len(script) != 1 || !strings.HasPrefix(script[0], "(st)") {
+		t.Errorf("script = %v", script)
+	}
+}
+
+// failingChannel simulates a broken medium.
+type failingChannel struct{}
+
+func (failingChannel) Name() string                    { return "broken" }
+func (failingChannel) Deliver(forecast.Bulletin) error { return errors.New("antenna down") }
+
+func TestHubFanOutAndFiltering(t *testing.T) {
+	hub := NewHub()
+	board := NewSmartBillboard()
+	sms := NewSMSBroadcast()
+	if err := sms.Subscribe("mangaung", "+27-51-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Register(board, forecast.DVINormal); err != nil {
+		t.Fatal(err)
+	}
+	// SMS only from warning upward.
+	if err := hub.Register(sms, forecast.DVIWarning); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Register(failingChannel{}, forecast.DVINormal); err != nil {
+		t.Fatal(err)
+	}
+	// Low-severity bulletin: board yes, SMS filtered, broken errors.
+	if err := hub.Publish(bulletin("mangaung", 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	// High-severity bulletin: everyone.
+	if err := hub.Publish(bulletin("mangaung", 0.9)); err != nil {
+		t.Fatal(err)
+	}
+	st := hub.Stats()
+	if st.Received != 2 {
+		t.Errorf("received = %d", st.Received)
+	}
+	if st.Delivered["billboard"] != 2 {
+		t.Errorf("billboard = %d", st.Delivered["billboard"])
+	}
+	if st.Delivered["sms"] != 1 || st.Filtered["sms"] != 1 {
+		t.Errorf("sms delivered=%d filtered=%d", st.Delivered["sms"], st.Filtered["sms"])
+	}
+	if st.Errors["broken"] != 2 {
+		t.Errorf("broken errors = %d", st.Errors["broken"])
+	}
+	if len(sms.Sent()) != 1 {
+		t.Errorf("sms messages = %d", len(sms.Sent()))
+	}
+}
+
+func TestHubValidation(t *testing.T) {
+	hub := NewHub()
+	if err := hub.Register(nil, forecast.DVINormal); err == nil {
+		t.Error("nil channel should fail")
+	}
+	b := NewSmartBillboard()
+	if err := hub.Register(b, forecast.DVINormal); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Register(NewSmartBillboard(), forecast.DVINormal); err == nil {
+		t.Error("duplicate channel name should fail")
+	}
+	if err := hub.Publish(forecast.Bulletin{}); err == nil {
+		t.Error("invalid bulletin should fail")
+	}
+}
+
+func TestSemanticWebDeliverAndServe(t *testing.T) {
+	sw := NewSemanticWeb()
+	if err := sw.Deliver(bulletin("mangaung", 0.7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Deliver(bulletin("xhariep", 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(sw)
+	defer srv.Close()
+
+	// Turtle dump.
+	resp, err := srv.Client().Get(srv.URL + "/bulletins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/turtle") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "Bulletin") {
+		t.Errorf("turtle = %s", body)
+	}
+
+	// SPARQL endpoint.
+	q := `PREFIX dews: <http://dews.africrid.example/ontology/drought#>
+SELECT ?b ?band WHERE { ?b a dews:Bulletin ; dews:dviBand ?band . }`
+	resp, err = srv.Client().Get(srv.URL + "/sparql?query=" + urlQueryEscape(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("sparql status = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "severe") {
+		t.Errorf("sparql result = %s", body)
+	}
+
+	// Errors.
+	resp, _ = srv.Client().Get(srv.URL + "/sparql")
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("missing query status = %d", resp.StatusCode)
+	}
+	resp, _ = srv.Client().Get(srv.URL + "/sparql?query=GARBAGE")
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("bad query status = %d", resp.StatusCode)
+	}
+	resp, _ = srv.Client().Get(srv.URL + "/nope")
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown path status = %d", resp.StatusCode)
+	}
+	resp, _ = srv.Client().Get(srv.URL + "/health")
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("health status = %d", resp.StatusCode)
+	}
+}
+
+func TestSemanticWebGraphSnapshot(t *testing.T) {
+	sw := NewSemanticWeb()
+	if err := sw.Deliver(bulletin("mangaung", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	g := sw.Graph()
+	if g.Len() == 0 {
+		t.Fatal("empty snapshot")
+	}
+	before := g.Len()
+	// Mutating the snapshot must not affect the channel.
+	if err := sw.Deliver(bulletin("xhariep", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != before {
+		t.Error("snapshot aliased live graph")
+	}
+}
+
+// urlQueryEscape is a minimal query escaper for tests.
+func urlQueryEscape(s string) string {
+	r := strings.NewReplacer(
+		" ", "%20", "\n", "%0A", "#", "%23", "?", "%3F",
+		"{", "%7B", "}", "%7D", "<", "%3C", ">", "%3E", ";", "%3B", "+", "%2B",
+	)
+	return r.Replace(s)
+}

@@ -1,0 +1,120 @@
+package dissemination
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/forecast"
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+// SemanticWeb is the semantic-web output channel: bulletins are
+// materialized as RDF and served over HTTP —
+//
+//	GET /bulletins          → Turtle document of all bulletins
+//	GET /sparql?query=...   → SELECT/ASK results as text
+//	GET /health             → liveness probe
+//
+// It implements both Channel (for the hub) and http.Handler (for
+// serving).
+type SemanticWeb struct {
+	mu    sync.RWMutex
+	graph *rdf.Graph
+	seq   int
+}
+
+var (
+	_ Channel      = (*SemanticWeb)(nil)
+	_ http.Handler = (*SemanticWeb)(nil)
+)
+
+// NewSemanticWeb returns an empty channel.
+func NewSemanticWeb() *SemanticWeb {
+	return &SemanticWeb{graph: rdf.NewGraph()}
+}
+
+// Name implements Channel.
+func (*SemanticWeb) Name() string { return "semantic-web" }
+
+// bulletin vocabulary (within the drought namespace).
+var (
+	bulletinClass = rdf.NSDEWS.IRI("Bulletin")
+	probProp      = rdf.NSDEWS.IRI("probability")
+	bandProp      = rdf.NSDEWS.IRI("dviBand")
+	leadProp      = rdf.NSDEWS.IRI("leadDays")
+	regionProp    = rdf.NSDEWS.IRI("affectsRegion")
+	issuedProp    = rdf.NSDEWS.IRI("issued")
+)
+
+// Deliver implements Channel: the bulletin becomes RDF.
+func (s *SemanticWeb) Deliver(b forecast.Bulletin) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	node := rdf.NSOBS.IRI(fmt.Sprintf("bulletin/%s/%d", b.District, s.seq))
+	g := s.graph
+	g.MustAdd(rdf.T(node, rdf.RDFType, bulletinClass))
+	g.MustAdd(rdf.T(node, regionProp, rdf.NSGEO.IRI(b.District)))
+	g.MustAdd(rdf.T(node, probProp, rdf.NewFloat(b.Probability)))
+	g.MustAdd(rdf.T(node, bandProp, rdf.NewLiteral(b.Band.String())))
+	g.MustAdd(rdf.T(node, leadProp, rdf.NewInt(int64(b.LeadDays))))
+	g.MustAdd(rdf.T(node, issuedProp,
+		rdf.NewTypedLiteral(b.Issued.UTC().Format(time.RFC3339), rdf.XSDDateTime)))
+	return nil
+}
+
+// Graph returns a snapshot of the bulletin graph.
+func (s *SemanticWeb) Graph() *rdf.Graph {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graph.Clone()
+}
+
+// ServeHTTP implements http.Handler.
+func (s *SemanticWeb) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/health":
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	case "/bulletins":
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		w.Header().Set("Content-Type", "text/turtle; charset=utf-8")
+		if err := rdf.WriteTurtle(w, s.graph, nil); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "/sparql":
+		query := r.URL.Query().Get("query")
+		if query == "" {
+			http.Error(w, "missing ?query=", http.StatusBadRequest)
+			return
+		}
+		s.mu.RLock()
+		engine := sparql.NewEngine(s.graph)
+		res, err := engine.Query(query)
+		s.mu.RUnlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		switch res := res.(type) {
+		case *sparql.Solutions:
+			fmt.Fprint(w, res.String())
+		case bool:
+			fmt.Fprintln(w, res)
+		case *rdf.Graph:
+			if err := rdf.WriteTurtle(w, res, nil); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}
+	default:
+		http.NotFound(w, r)
+	}
+}

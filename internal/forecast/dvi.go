@@ -1,0 +1,137 @@
+package forecast
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// DVIBand is a drought-vulnerability-index category aligned with the
+// ontology's severity scale.
+type DVIBand int
+
+// DVI bands.
+const (
+	DVINormal DVIBand = iota
+	DVIWatch
+	DVIWarning
+	DVISevere
+	DVIExtreme
+)
+
+// String names the band.
+func (b DVIBand) String() string {
+	switch b {
+	case DVINormal:
+		return "normal"
+	case DVIWatch:
+		return "watch"
+	case DVIWarning:
+		return "warning"
+	case DVISevere:
+		return "severe"
+	case DVIExtreme:
+		return "extreme"
+	default:
+		return fmt.Sprintf("DVIBand(%d)", int(b))
+	}
+}
+
+// BandFromProbability maps a drought probability to a DVI band using the
+// operational thresholds (0.25/0.45/0.65/0.85).
+func BandFromProbability(p float64) DVIBand {
+	switch {
+	case p >= 0.85:
+		return DVIExtreme
+	case p >= 0.65:
+		return DVISevere
+	case p >= 0.45:
+		return DVIWarning
+	case p >= 0.25:
+		return DVIWatch
+	default:
+		return DVINormal
+	}
+}
+
+// Bulletin is the disseminated forecast product: "the information in
+// form of drought vulnerability index is disseminated to the targeted
+// end-user via various output IoT channels" (§4).
+type Bulletin struct {
+	// District is the target region slug.
+	District string
+	// Issued is the issue time.
+	Issued time.Time
+	// LeadDays is the forecast horizon.
+	LeadDays int
+	// Probability is the fused drought probability.
+	Probability float64
+	// Band is the DVI category.
+	Band DVIBand
+	// Evidence lists the contributing signals (human-readable).
+	Evidence []string
+	// Forecaster names the producing model.
+	Forecaster string
+}
+
+// Validate checks bulletin well-formedness.
+func (b Bulletin) Validate() error {
+	switch {
+	case b.District == "":
+		return fmt.Errorf("forecast: bulletin without district")
+	case b.Issued.IsZero():
+		return fmt.Errorf("forecast: bulletin without issue time")
+	case b.LeadDays <= 0:
+		return fmt.Errorf("forecast: bulletin lead %d must be positive", b.LeadDays)
+	case b.Probability < 0 || b.Probability > 1:
+		return fmt.Errorf("forecast: bulletin probability %v outside [0,1]", b.Probability)
+	}
+	return nil
+}
+
+// Headline renders the one-line form used by SMS and radio channels.
+func (b Bulletin) Headline() string {
+	return fmt.Sprintf("[%s] %s: drought %s (p=%.0f%%, %dd outlook)",
+		b.Issued.Format("2006-01-02"), b.District, strings.ToUpper(b.Band.String()),
+		b.Probability*100, b.LeadDays)
+}
+
+// Detail renders the multi-line form used by billboards and the web
+// channel.
+func (b Bulletin) Detail() string {
+	var sb strings.Builder
+	sb.WriteString(b.Headline())
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "model: %s\n", b.Forecaster)
+	for _, e := range b.Evidence {
+		fmt.Fprintf(&sb, "  - %s\n", e)
+	}
+	return sb.String()
+}
+
+// MakeBulletin assembles a bulletin from a forecast and its features.
+func MakeBulletin(district string, f Features, fc Forecaster, leadDays int) Bulletin {
+	p := fc.Forecast(f)
+	b := Bulletin{
+		District:    district,
+		Issued:      f.Date,
+		LeadDays:    leadDays,
+		Probability: p,
+		Band:        BandFromProbability(p),
+		Forecaster:  fc.Name(),
+	}
+	if d := relDeficit(f.RainSum90, f.ClimRain90); d > 0.2 {
+		b.Evidence = append(b.Evidence, fmt.Sprintf("90-day rainfall %.0f%% below climatology", d*100))
+	}
+	if f.SoilMoisture < 0.18 {
+		b.Evidence = append(b.Evidence, fmt.Sprintf("soil moisture low (%.2f)", f.SoilMoisture))
+	}
+	if f.IKDryConsensus > 0.3 {
+		b.Evidence = append(b.Evidence, fmt.Sprintf("indigenous indicators point dry (consensus %.2f)", f.IKDryConsensus))
+	}
+	if f.CEPDrySignals > 0 {
+		b.Evidence = append(b.Evidence, fmt.Sprintf("%d drought-precursor inference(s), mean confidence %.2f",
+			f.CEPDrySignals, f.CEPConfidence))
+	}
+	return b
+}

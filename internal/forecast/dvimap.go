@@ -1,0 +1,131 @@
+package forecast
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// VulnerabilityMap maintains the latest DVI per district — the "spatial
+// distribution of drought vulnerability index" the paper's motivation
+// section wants disseminated. It renders as a sorted table with severity
+// bars for billboard/web display. Safe for concurrent use.
+type VulnerabilityMap struct {
+	mu      sync.RWMutex
+	entries map[string]Bulletin
+}
+
+// NewVulnerabilityMap returns an empty map.
+func NewVulnerabilityMap() *VulnerabilityMap {
+	return &VulnerabilityMap{entries: make(map[string]Bulletin)}
+}
+
+// Update records a bulletin; only the newest per district is kept.
+func (m *VulnerabilityMap) Update(b Bulletin) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur, ok := m.entries[b.District]
+	if ok && cur.Issued.After(b.Issued) {
+		return nil // stale update
+	}
+	m.entries[b.District] = b
+	return nil
+}
+
+// Entry returns the latest bulletin for a district.
+func (m *VulnerabilityMap) Entry(district string) (Bulletin, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	b, ok := m.entries[district]
+	return b, ok
+}
+
+// Districts lists covered districts sorted by severity (worst first),
+// then name.
+func (m *VulnerabilityMap) Districts() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.entries))
+	for d := range m.entries {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		bi, bj := m.entries[out[i]], m.entries[out[j]]
+		if bi.Band != bj.Band {
+			return bi.Band > bj.Band
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// WorstBand returns the highest severity on the map.
+func (m *VulnerabilityMap) WorstBand() DVIBand {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	worst := DVINormal
+	for _, b := range m.entries {
+		if b.Band > worst {
+			worst = b.Band
+		}
+	}
+	return worst
+}
+
+// MeanProbability averages drought probability across districts.
+func (m *VulnerabilityMap) MeanProbability() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if len(m.entries) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, b := range m.entries {
+		sum += b.Probability
+	}
+	return sum / float64(len(m.entries))
+}
+
+// Render draws the spatial DVI table:
+//
+//	DVI map (issued 2015-11-20, 30d outlook)
+//	lejweleputswa      ██████████ extreme  97%
+//	xhariep            ████------ watch    38%
+//	mangaung           ##-------- normal    4%
+func (m *VulnerabilityMap) Render() string {
+	districts := m.Districts()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if len(districts) == 0 {
+		return "DVI map: no data\n"
+	}
+	var newest time.Time
+	lead := 0
+	for _, b := range m.entries {
+		if b.Issued.After(newest) {
+			newest = b.Issued
+			lead = b.LeadDays
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DVI map (issued %s, %dd outlook)\n", newest.Format("2006-01-02"), lead)
+	for _, d := range districts {
+		b := m.entries[d]
+		fmt.Fprintf(&sb, "%-20s %s %-8s %3.0f%%\n", d, bar(b.Probability), b.Band, b.Probability*100)
+	}
+	return sb.String()
+}
+
+// bar renders a 10-cell probability bar.
+func bar(p float64) string {
+	filled := int(p*10 + 0.5)
+	if filled > 10 {
+		filled = 10
+	}
+	return strings.Repeat("#", filled) + strings.Repeat("-", 10-filled)
+}

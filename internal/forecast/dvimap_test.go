@@ -1,0 +1,110 @@
+package forecast
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mapBulletin(district string, p float64, issued time.Time) Bulletin {
+	return Bulletin{
+		District: district, Issued: issued, LeadDays: 30,
+		Probability: p, Band: BandFromProbability(p), Forecaster: "fused",
+	}
+}
+
+func TestVulnerabilityMapUpdateAndOrder(t *testing.T) {
+	m := NewVulnerabilityMap()
+	at := time.Date(2015, 11, 20, 0, 0, 0, 0, time.UTC)
+	if err := m.Update(mapBulletin("mangaung", 0.05, at)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(mapBulletin("xhariep", 0.5, at)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(mapBulletin("lejweleputswa", 0.95, at)); err != nil {
+		t.Fatal(err)
+	}
+	ds := m.Districts()
+	if len(ds) != 3 || ds[0] != "lejweleputswa" || ds[2] != "mangaung" {
+		t.Errorf("severity ordering = %v", ds)
+	}
+	if m.WorstBand() != DVIExtreme {
+		t.Errorf("worst = %v", m.WorstBand())
+	}
+	mean := m.MeanProbability()
+	if mean < 0.49 || mean > 0.51 {
+		t.Errorf("mean = %v", mean)
+	}
+	if _, ok := m.Entry("xhariep"); !ok {
+		t.Error("entry missing")
+	}
+	if _, ok := m.Entry("ghost"); ok {
+		t.Error("phantom entry")
+	}
+}
+
+func TestVulnerabilityMapStaleUpdateIgnored(t *testing.T) {
+	m := NewVulnerabilityMap()
+	newer := time.Date(2015, 11, 20, 0, 0, 0, 0, time.UTC)
+	older := newer.AddDate(0, 0, -7)
+	if err := m.Update(mapBulletin("mangaung", 0.9, newer)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(mapBulletin("mangaung", 0.1, older)); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Entry("mangaung")
+	if b.Probability != 0.9 {
+		t.Errorf("stale update overwrote newer: %v", b.Probability)
+	}
+}
+
+func TestVulnerabilityMapRender(t *testing.T) {
+	m := NewVulnerabilityMap()
+	if got := m.Render(); !strings.Contains(got, "no data") {
+		t.Errorf("empty render = %q", got)
+	}
+	at := time.Date(2015, 11, 20, 0, 0, 0, 0, time.UTC)
+	if err := m.Update(mapBulletin("mangaung", 0.97, at)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Update(mapBulletin("xhariep", 0.0, at)); err != nil {
+		t.Fatal(err)
+	}
+	out := m.Render()
+	if !strings.Contains(out, "##########") {
+		t.Errorf("97%% should render a full bar:\n%s", out)
+	}
+	if !strings.Contains(out, "----------") {
+		t.Errorf("0%% should render an empty bar:\n%s", out)
+	}
+	if !strings.Contains(out, "extreme") || !strings.Contains(out, "normal") {
+		t.Errorf("bands missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2015-11-20") {
+		t.Errorf("issue date missing:\n%s", out)
+	}
+}
+
+func TestVulnerabilityMapRejectsInvalid(t *testing.T) {
+	m := NewVulnerabilityMap()
+	if err := m.Update(Bulletin{}); err == nil {
+		t.Error("invalid bulletin should be rejected")
+	}
+}
+
+func TestBarBounds(t *testing.T) {
+	if bar(0) != "----------" {
+		t.Errorf("bar(0) = %q", bar(0))
+	}
+	if bar(1) != "##########" {
+		t.Errorf("bar(1) = %q", bar(1))
+	}
+	if bar(1.7) != "##########" {
+		t.Errorf("bar(>1) must clamp: %q", bar(1.7))
+	}
+	if got := bar(0.5); strings.Count(got, "#") != 5 {
+		t.Errorf("bar(0.5) = %q", got)
+	}
+}

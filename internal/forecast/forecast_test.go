@@ -1,0 +1,361 @@
+package forecast
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestContingencyScores(t *testing.T) {
+	var c Contingency
+	// 30 hits, 10 misses, 20 false alarms, 40 correct negatives.
+	for i := 0; i < 30; i++ {
+		c.Add(true, true)
+	}
+	for i := 0; i < 10; i++ {
+		c.Add(false, true)
+	}
+	for i := 0; i < 20; i++ {
+		c.Add(true, false)
+	}
+	for i := 0; i < 40; i++ {
+		c.Add(false, false)
+	}
+	if c.N() != 100 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if got := c.POD(); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("POD = %v", got)
+	}
+	if got := c.FAR(); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("FAR = %v", got)
+	}
+	if got := c.CSI(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("CSI = %v", got)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := c.Bias(); math.Abs(got-1.25) > 1e-9 {
+		t.Errorf("Bias = %v", got)
+	}
+	if c.HSS() <= 0 {
+		t.Errorf("HSS = %v should show skill", c.HSS())
+	}
+	if s := c.String(); !strings.Contains(s, "POD=0.750") {
+		t.Errorf("String = %s", s)
+	}
+}
+
+func TestContingencyDegenerate(t *testing.T) {
+	var c Contingency
+	if c.POD() != 0 || c.FAR() != 0 || c.CSI() != 0 || c.HSS() != 0 {
+		t.Error("empty table should score zero, not NaN")
+	}
+}
+
+func TestPerfectAndRandomHSS(t *testing.T) {
+	var perfect Contingency
+	for i := 0; i < 50; i++ {
+		perfect.Add(true, true)
+		perfect.Add(false, false)
+	}
+	if got := perfect.HSS(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect HSS = %v", got)
+	}
+	// Forecasts independent of outcome → HSS ≈ 0.
+	var random Contingency
+	for i := 0; i < 25; i++ {
+		random.Add(true, true)
+		random.Add(true, false)
+		random.Add(false, true)
+		random.Add(false, false)
+	}
+	if got := random.HSS(); math.Abs(got) > 1e-9 {
+		t.Errorf("random HSS = %v", got)
+	}
+}
+
+func TestBrierScore(t *testing.T) {
+	var b BrierScore
+	b.Add(1, true)
+	b.Add(0, false)
+	if got := b.Score(); got != 0 {
+		t.Errorf("perfect Brier = %v", got)
+	}
+	var worst BrierScore
+	worst.Add(1, false)
+	worst.Add(0, true)
+	if got := worst.Score(); got != 1 {
+		t.Errorf("worst Brier = %v", got)
+	}
+	var empty BrierScore
+	if !math.IsNaN(empty.Score()) {
+		t.Error("empty Brier should be NaN")
+	}
+	// Skill: a forecast half as wrong as reference scores 0.75 (1 - 0.25/1).
+	var half BrierScore
+	half.Add(0.5, false)
+	half.Add(0.5, true)
+	if got := half.Skill(worst); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("skill = %v", got)
+	}
+}
+
+func TestQuickBrierBounds(t *testing.T) {
+	f := func(ps []float64, outcome bool) bool {
+		var b BrierScore
+		for _, p := range ps {
+			b.Add(math.Abs(math.Mod(p, 1)), outcome)
+		}
+		if b.N() == 0 {
+			return math.IsNaN(b.Score())
+		}
+		s := b.Score()
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func baseFeatures() Features {
+	return Features{
+		Date:      time.Date(2015, 11, 20, 0, 0, 0, 0, time.UTC),
+		RainSum30: 40, ClimRain30: 45,
+		RainSum90: 120, ClimRain90: 130,
+		SoilMoisture: 0.3, TempAnomaly: 0, NDVI: 0.45,
+	}
+}
+
+func dryFeatures() Features {
+	f := baseFeatures()
+	f.RainSum30, f.RainSum90 = 2, 20
+	f.SoilMoisture = 0.08
+	f.TempAnomaly = 3
+	f.NDVI = 0.18
+	f.IKDryConsensus = 0.7
+	f.CEPDrySignals = 2
+	f.CEPConfidence = 0.8
+	return f
+}
+
+func TestClimatology(t *testing.T) {
+	c := Climatology{BaseRate: 0.22}
+	if got := c.Forecast(dryFeatures()); got != 0.22 {
+		t.Errorf("climatology must ignore features: %v", got)
+	}
+	if (Climatology{}).Name() == "" {
+		t.Error("name empty")
+	}
+}
+
+func TestPersistenceOrdering(t *testing.T) {
+	p := Persistence{}
+	wet, dry := p.Forecast(baseFeatures()), p.Forecast(dryFeatures())
+	if dry <= wet {
+		t.Errorf("dry %v should exceed wet %v", dry, wet)
+	}
+	// Missing climatology degrades to 0.5.
+	f := baseFeatures()
+	f.ClimRain90 = 0
+	if got := p.Forecast(f); got != 0.5 {
+		t.Errorf("degenerate climatology = %v", got)
+	}
+}
+
+func TestSensorStatOrderingAndCalibration(t *testing.T) {
+	s := SensorStat{Intercept: -1}
+	wet, dry := s.Forecast(baseFeatures()), s.Forecast(dryFeatures())
+	if dry <= wet {
+		t.Errorf("sensor-only: dry %v should exceed wet %v", dry, wet)
+	}
+	// Calibration matches the mean to the base rate.
+	train := []Features{baseFeatures(), dryFeatures(), baseFeatures(), baseFeatures()}
+	s.Calibrate(train, 0.25)
+	var mean float64
+	for _, f := range train {
+		mean += s.Forecast(f)
+	}
+	mean /= float64(len(train))
+	if math.Abs(mean-0.25) > 0.02 {
+		t.Errorf("calibrated mean = %v, want ≈0.25", mean)
+	}
+	// Degenerate inputs fall back safely.
+	var s2 SensorStat
+	s2.Calibrate(nil, 0.25)
+	if s2.Intercept != -1 {
+		t.Errorf("fallback intercept = %v", s2.Intercept)
+	}
+}
+
+func TestIKOnly(t *testing.T) {
+	k := IKOnly{BaseRate: 0.2}
+	quiet := k.Forecast(baseFeatures())
+	if math.Abs(quiet-0.2) > 0.05 {
+		t.Errorf("no-signal IK forecast %v should sit near base rate", quiet)
+	}
+	f := baseFeatures()
+	f.IKDryConsensus = 0.9
+	high := k.Forecast(f)
+	if high <= quiet {
+		t.Errorf("dry consensus should raise probability: %v vs %v", high, quiet)
+	}
+	f.IKDryConsensus = 0
+	f.IKWetConsensus = 0.9
+	low := k.Forecast(f)
+	if low >= quiet {
+		t.Errorf("wet consensus should lower probability: %v vs %v", low, quiet)
+	}
+}
+
+func TestFusedUsesAllEvidence(t *testing.T) {
+	fu := Fused{Sensor: SensorStat{Intercept: -1}, IK: IKOnly{BaseRate: 0.2}}
+	base := fu.Forecast(baseFeatures())
+	dry := fu.Forecast(dryFeatures())
+	if dry <= base {
+		t.Errorf("fused: dry %v should exceed base %v", dry, base)
+	}
+	// CEP evidence alone moves the needle.
+	f := baseFeatures()
+	noCEP := fu.Forecast(f)
+	f.CEPDrySignals = 3
+	f.CEPConfidence = 0.9
+	withCEP := fu.Forecast(f)
+	if withCEP <= noCEP {
+		t.Errorf("CEP inferences should add evidence: %v vs %v", withCEP, noCEP)
+	}
+	// IK evidence alone moves the needle too.
+	f2 := baseFeatures()
+	f2.IKDryConsensus = 0.8
+	if fu.Forecast(f2) <= noCEP {
+		t.Error("IK consensus should add evidence in fusion")
+	}
+}
+
+func TestProbabilityBounds(t *testing.T) {
+	forecasters := []Forecaster{
+		Climatology{BaseRate: 0.2},
+		Persistence{},
+		SensorStat{Intercept: -1},
+		IKOnly{BaseRate: 0.2},
+		Fused{Sensor: SensorStat{Intercept: -1}, IK: IKOnly{BaseRate: 0.2}},
+	}
+	extreme := []Features{
+		{}, // all zeros
+		dryFeatures(),
+		{RainSum30: 1e6, ClimRain30: 1, RainSum90: 1e6, ClimRain90: 1, SoilMoisture: 1, NDVI: 1},
+		{IKDryConsensus: 1, IKWetConsensus: 1, CEPDrySignals: 100, CEPConfidence: 1},
+	}
+	for _, fc := range forecasters {
+		for i, f := range extreme {
+			p := fc.Forecast(f)
+			if p <= 0 || p >= 1 || math.IsNaN(p) {
+				t.Errorf("%s case %d: p = %v out of (0,1)", fc.Name(), i, p)
+			}
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	th := Threshold{Forecaster: Climatology{BaseRate: 0.7}, Cut: 0.5}
+	if err := th.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !th.Decide(baseFeatures()) {
+		t.Error("0.7 ≥ 0.5 should decide yes")
+	}
+	th.Cut = 0.9
+	if th.Decide(baseFeatures()) {
+		t.Error("0.7 < 0.9 should decide no")
+	}
+	if err := (Threshold{}).Validate(); err == nil {
+		t.Error("missing forecaster should fail validation")
+	}
+	if err := (Threshold{Forecaster: Persistence{}, Cut: 2}).Validate(); err == nil {
+		t.Error("cut > 1 should fail")
+	}
+	// Default cut is 0.5.
+	d := Threshold{Forecaster: Climatology{BaseRate: 0.6}}
+	if !d.Decide(baseFeatures()) {
+		t.Error("default cut should be 0.5")
+	}
+}
+
+func TestDVIBands(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want DVIBand
+	}{
+		{0.1, DVINormal}, {0.3, DVIWatch}, {0.5, DVIWarning},
+		{0.7, DVISevere}, {0.9, DVIExtreme},
+		{0.25, DVIWatch}, {0.45, DVIWarning}, {0.65, DVISevere}, {0.85, DVIExtreme},
+	}
+	for _, c := range cases {
+		if got := BandFromProbability(c.p); got != c.want {
+			t.Errorf("Band(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	for b, name := range map[DVIBand]string{
+		DVINormal: "normal", DVIWatch: "watch", DVIWarning: "warning",
+		DVISevere: "severe", DVIExtreme: "extreme",
+	} {
+		if b.String() != name {
+			t.Errorf("band %d name %q", b, b.String())
+		}
+	}
+}
+
+func TestBulletin(t *testing.T) {
+	fu := Fused{Sensor: SensorStat{Intercept: -1}, IK: IKOnly{BaseRate: 0.2}}
+	b := MakeBulletin("mangaung", dryFeatures(), fu, 30)
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Band < DVIWatch {
+		t.Errorf("dry features should produce at least a watch: %v (p=%v)", b.Band, b.Probability)
+	}
+	if len(b.Evidence) < 2 {
+		t.Errorf("evidence = %v", b.Evidence)
+	}
+	h := b.Headline()
+	if !strings.Contains(h, "mangaung") || !strings.Contains(h, "30d") {
+		t.Errorf("headline = %q", h)
+	}
+	d := b.Detail()
+	if !strings.Contains(d, "model: fused") {
+		t.Errorf("detail = %q", d)
+	}
+}
+
+func TestBulletinValidation(t *testing.T) {
+	good := Bulletin{District: "x", Issued: time.Now(), LeadDays: 30, Probability: 0.4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Bulletin){
+		func(b *Bulletin) { b.District = "" },
+		func(b *Bulletin) { b.Issued = time.Time{} },
+		func(b *Bulletin) { b.LeadDays = 0 },
+		func(b *Bulletin) { b.Probability = 1.5 },
+	}
+	for i, mutate := range cases {
+		b := good
+		mutate(&b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestVerificationRow(t *testing.T) {
+	v := Verification{Name: "fused", LeadDays: 30}
+	v.Contingency.Add(true, true)
+	v.Brier.Add(0.9, true)
+	row := v.Row()
+	if !strings.Contains(row, "fused") || !strings.Contains(row, "POD=") {
+		t.Errorf("row = %q", row)
+	}
+}

@@ -1,0 +1,268 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Features is the per-day unified feature vector the middleware exposes
+// to forecasters: everything already semantically integrated and in
+// canonical units.
+type Features struct {
+	// Date is the forecast issue day.
+	Date time.Time
+	// RainSum30 / RainSum90 are trailing observed rainfall totals (mm).
+	RainSum30, RainSum90 float64
+	// ClimRain30 / ClimRain90 are the climatological expectations of the
+	// same windows.
+	ClimRain30, ClimRain90 float64
+	// SoilMoisture is the latest observed volumetric fraction.
+	SoilMoisture float64
+	// TempAnomaly is the current temperature anomaly (°C above seasonal).
+	TempAnomaly float64
+	// NDVI is the latest vegetation index.
+	NDVI float64
+	// IKDryConsensus / IKWetConsensus are the reliability-weighted IK
+	// signals in [0,1] over the trailing attention window.
+	IKDryConsensus, IKWetConsensus float64
+	// CEPDrySignals is the number of drought-pointing CEP inferences in
+	// the trailing 30 days; CEPConfidence their mean confidence.
+	CEPDrySignals int
+	CEPConfidence float64
+}
+
+// Forecaster issues a probability that a drought (ground truth: SPI-90
+// run below -1) will be in progress LeadDays from the issue date.
+type Forecaster interface {
+	// Name identifies the forecaster in result tables.
+	Name() string
+	// Forecast returns P(drought at lead) in [0,1].
+	Forecast(f Features) float64
+}
+
+// probClamp keeps probabilities honest.
+func probClamp(p float64) float64 {
+	if p < 0.001 {
+		return 0.001
+	}
+	if p > 0.999 {
+		return 0.999
+	}
+	return p
+}
+
+// logistic is the standard squashing function.
+func logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// --- climatology ---
+
+// Climatology forecasts the training-period base rate regardless of
+// conditions: the no-skill probabilistic reference.
+type Climatology struct {
+	// BaseRate is the training drought frequency.
+	BaseRate float64
+}
+
+// Name implements Forecaster.
+func (c Climatology) Name() string { return "climatology" }
+
+// Forecast implements Forecaster.
+func (c Climatology) Forecast(Features) float64 { return probClamp(c.BaseRate) }
+
+// --- persistence ---
+
+// Persistence forecasts "drought ahead" when current observed conditions
+// already look like drought (relative 90-day rainfall deficit), the
+// classic cheap baseline.
+type Persistence struct{}
+
+// Name implements Forecaster.
+func (Persistence) Name() string { return "persistence" }
+
+// Forecast implements Forecaster.
+func (Persistence) Forecast(f Features) float64 {
+	if f.ClimRain90 <= 0 {
+		return 0.5
+	}
+	deficit := 1 - f.RainSum90/f.ClimRain90 // 0 = normal, 1 = no rain at all
+	return probClamp(logistic(6*deficit - 2.2))
+}
+
+// --- sensor-only statistical model (§3's status quo) ---
+
+// SensorStat is a fixed-form logistic model over the WSN features only:
+// rainfall deficits at two scales, soil moisture, temperature anomaly and
+// vegetation. Weights are climatologically sensible constants; Calibrate
+// fits the intercept so the model's mean matches the training base rate.
+type SensorStat struct {
+	// Intercept is set by Calibrate (default -1).
+	Intercept float64
+}
+
+// Name implements Forecaster.
+func (SensorStat) Name() string { return "sensor-only" }
+
+// score is the shared linear predictor.
+func (s SensorStat) score(f Features) float64 {
+	d30 := relDeficit(f.RainSum30, f.ClimRain30)
+	d90 := relDeficit(f.RainSum90, f.ClimRain90)
+	return s.Intercept +
+		2.0*d30 +
+		3.0*d90 +
+		2.5*(0.25-f.SoilMoisture)*4 + // soil dryness, scaled to ~[-3,2.5]
+		0.15*f.TempAnomaly +
+		1.0*(0.40-f.NDVI)*2.5
+}
+
+// Forecast implements Forecaster.
+func (s SensorStat) Forecast(f Features) float64 {
+	return probClamp(logistic(s.score(f)))
+}
+
+// Calibrate fits the intercept by bisection so that the mean forecast
+// over the training features matches the observed base rate — a
+// lightweight stand-in for full logistic regression that keeps the model
+// deterministic and dependency-free.
+func (s *SensorStat) Calibrate(train []Features, baseRate float64) {
+	if len(train) == 0 || baseRate <= 0 || baseRate >= 1 {
+		s.Intercept = -1
+		return
+	}
+	lo, hi := -10.0, 10.0
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		s.Intercept = mid
+		var mean float64
+		for _, f := range train {
+			mean += s.Forecast(f)
+		}
+		mean /= float64(len(train))
+		if mean > baseRate {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+}
+
+func relDeficit(observed, clim float64) float64 {
+	if clim <= 0 {
+		return 0
+	}
+	d := 1 - observed/clim
+	if d < -1 {
+		return -1
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// --- IK-only ---
+
+// IKOnly forecasts from indigenous-knowledge consensus alone: the
+// baseline representing "over 80% of farmers ... rely on IKF" (§2).
+type IKOnly struct {
+	// BaseRate anchors the probability when no signs are reported.
+	BaseRate float64
+}
+
+// Name implements Forecaster.
+func (IKOnly) Name() string { return "ik-only" }
+
+// Forecast implements Forecaster.
+func (k IKOnly) Forecast(f Features) float64 {
+	base := k.BaseRate
+	if base <= 0 {
+		base = 0.2
+	}
+	// Dry consensus pushes up, wet consensus pushes down, both in [0,1].
+	logit := math.Log(base/(1-base)) + 3.2*f.IKDryConsensus - 2.0*f.IKWetConsensus
+	return probClamp(logistic(logit))
+}
+
+// --- fusion (the paper's method) ---
+
+// Fused combines the sensor-only statistical score, the IK consensus and
+// the CEP engine's semantic inferences. The combination is a
+// confidence-weighted logit blend: CEP inferences — which already encode
+// corroborated multi-source patterns — act as an additional additive
+// evidence term, scaled by their mean confidence.
+//
+// Weight semantics (shared by the ablation harness): zero means "use the
+// default"; a negative weight disables the stream entirely.
+type Fused struct {
+	Sensor SensorStat
+	IK     IKOnly
+	// WSensor/WIK weight the two logit streams (defaults 1.0/0.6).
+	WSensor, WIK float64
+	// WCEP scales the inference evidence term (default 0.9).
+	WCEP float64
+}
+
+// Name implements Forecaster.
+func (Fused) Name() string { return "fused" }
+
+// Forecast implements Forecaster.
+func (fu Fused) Forecast(f Features) float64 {
+	ws, wik, wcep := fu.WSensor, fu.WIK, fu.WCEP
+	switch {
+	case ws == 0:
+		ws = 1.0
+	case ws < 0:
+		ws = 0
+	}
+	switch {
+	case wik == 0:
+		wik = 0.6
+	case wik < 0:
+		wik = 0
+	}
+	switch {
+	case wcep == 0:
+		wcep = 0.9
+	case wcep < 0:
+		wcep = 0
+	}
+	if ws == 0 && wik == 0 {
+		// Degenerate configuration; fall back to an even blend.
+		ws, wik = 1, 1
+	}
+	sensorLogit := fu.Sensor.score(f)
+	pIK := fu.IK.Forecast(f)
+	ikLogit := math.Log(pIK / (1 - pIK))
+	cepTerm := wcep * math.Min(float64(f.CEPDrySignals), 3) * f.CEPConfidence
+	logit := (ws*sensorLogit + wik*ikLogit) / (ws + wik)
+	return probClamp(logistic(logit + cepTerm))
+}
+
+// Threshold converts a probability forecast into a yes/no event forecast.
+// The conventional operating point maximizing CSI sits near the base
+// rate; we default to 0.5 and let experiments sweep it.
+type Threshold struct {
+	Forecaster Forecaster
+	// Cut is the yes/no decision threshold (default 0.5).
+	Cut float64
+}
+
+// Decide returns the binary forecast.
+func (t Threshold) Decide(f Features) bool {
+	cut := t.Cut
+	if cut == 0 {
+		cut = 0.5
+	}
+	return t.Forecaster.Forecast(f) >= cut
+}
+
+// Validate checks the threshold configuration.
+func (t Threshold) Validate() error {
+	if t.Forecaster == nil {
+		return fmt.Errorf("forecast: threshold without forecaster")
+	}
+	if t.Cut < 0 || t.Cut > 1 {
+		return fmt.Errorf("forecast: cut %v outside [0,1]", t.Cut)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+// Package forecast implements the drought forecasters the evaluation
+// compares — climatology and persistence baselines, a statistical
+// sensor-only model ("most drought predicting/forecasting system is based
+// on statistical model using data from weather stations and WSNs data
+// only", §3 of the paper), an IK-only forecaster, and the paper's
+// contribution: the fused forecaster that combines semantically
+// integrated sensor data, CEP inferences and indigenous knowledge — plus
+// the verification metrics (POD, FAR, CSI, HSS, Brier) and the drought
+// vulnerability index (DVI) bulletins the output channels disseminate.
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// Contingency is a 2×2 forecast verification table for event forecasts.
+type Contingency struct {
+	// Hits: forecast yes, observed yes.
+	Hits int
+	// Misses: forecast no, observed yes.
+	Misses int
+	// FalseAlarms: forecast yes, observed no.
+	FalseAlarms int
+	// CorrectNegatives: forecast no, observed no.
+	CorrectNegatives int
+}
+
+// Add accumulates one verified forecast.
+func (c *Contingency) Add(forecast, observed bool) {
+	switch {
+	case forecast && observed:
+		c.Hits++
+	case !forecast && observed:
+		c.Misses++
+	case forecast && !observed:
+		c.FalseAlarms++
+	default:
+		c.CorrectNegatives++
+	}
+}
+
+// N returns the table total.
+func (c Contingency) N() int {
+	return c.Hits + c.Misses + c.FalseAlarms + c.CorrectNegatives
+}
+
+// POD is the probability of detection (hit rate): H/(H+M).
+func (c Contingency) POD() float64 {
+	return safeDiv(float64(c.Hits), float64(c.Hits+c.Misses))
+}
+
+// FAR is the false alarm ratio: F/(H+F).
+func (c Contingency) FAR() float64 {
+	return safeDiv(float64(c.FalseAlarms), float64(c.Hits+c.FalseAlarms))
+}
+
+// CSI is the critical success index (threat score): H/(H+M+F).
+func (c Contingency) CSI() float64 {
+	return safeDiv(float64(c.Hits), float64(c.Hits+c.Misses+c.FalseAlarms))
+}
+
+// Accuracy is (H+CN)/N.
+func (c Contingency) Accuracy() float64 {
+	return safeDiv(float64(c.Hits+c.CorrectNegatives), float64(c.N()))
+}
+
+// Bias is the frequency bias (H+F)/(H+M): >1 over-forecasts.
+func (c Contingency) Bias() float64 {
+	return safeDiv(float64(c.Hits+c.FalseAlarms), float64(c.Hits+c.Misses))
+}
+
+// HSS is the Heidke skill score: accuracy relative to chance, in
+// (-∞, 1], 0 = no skill.
+func (c Contingency) HSS() float64 {
+	h, m, f, cn := float64(c.Hits), float64(c.Misses), float64(c.FalseAlarms), float64(c.CorrectNegatives)
+	num := 2 * (h*cn - f*m)
+	den := (h+m)*(m+cn) + (h+f)*(f+cn)
+	return safeDiv(num, den)
+}
+
+// String renders the headline scores.
+func (c Contingency) String() string {
+	return fmt.Sprintf("n=%d POD=%.3f FAR=%.3f CSI=%.3f HSS=%.3f acc=%.3f bias=%.2f",
+		c.N(), c.POD(), c.FAR(), c.CSI(), c.HSS(), c.Accuracy(), c.Bias())
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// BrierScore measures probabilistic forecast quality: mean squared error
+// of probabilities against binary outcomes. 0 is perfect; lower is
+// better.
+type BrierScore struct {
+	sum float64
+	n   int
+}
+
+// Add accumulates one probabilistic forecast.
+func (b *BrierScore) Add(probability float64, observed bool) {
+	o := 0.0
+	if observed {
+		o = 1
+	}
+	d := probability - o
+	b.sum += d * d
+	b.n++
+}
+
+// Score returns the mean squared probability error.
+func (b BrierScore) Score() float64 {
+	if b.n == 0 {
+		return math.NaN()
+	}
+	return b.sum / float64(b.n)
+}
+
+// N returns the number of accumulated forecasts.
+func (b BrierScore) N() int { return b.n }
+
+// Skill computes the Brier skill score relative to a reference forecast
+// (1 is perfect, 0 matches reference, negative is worse than reference).
+func (b BrierScore) Skill(reference BrierScore) float64 {
+	ref := reference.Score()
+	if ref == 0 || math.IsNaN(ref) {
+		return 0
+	}
+	return 1 - b.Score()/ref
+}
+
+// Verification bundles both views of a forecaster's performance.
+type Verification struct {
+	Name        string
+	Contingency Contingency
+	Brier       BrierScore
+	// LeadDays is the verification horizon used.
+	LeadDays int
+}
+
+// Row renders a result table row (EXPERIMENTS.md format).
+func (v Verification) Row() string {
+	return fmt.Sprintf("%-14s POD=%.3f FAR=%.3f CSI=%.3f HSS=%.3f Brier=%.4f n=%d",
+		v.Name, v.Contingency.POD(), v.Contingency.FAR(), v.Contingency.CSI(),
+		v.Contingency.HSS(), v.Brier.Score(), v.Contingency.N())
+}

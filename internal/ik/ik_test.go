@@ -1,0 +1,411 @@
+package ik
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cep"
+	"repro/internal/climate"
+)
+
+func TestCatalogueValid(t *testing.T) {
+	cat := Catalogue()
+	if len(cat) < 10 {
+		t.Fatalf("catalogue too small: %d", len(cat))
+	}
+	slugs := make(map[string]bool)
+	types := make(map[string]bool)
+	for _, ind := range cat {
+		if err := ind.Validate(); err != nil {
+			t.Errorf("indicator %s: %v", ind.Slug, err)
+		}
+		if slugs[ind.Slug] {
+			t.Errorf("duplicate slug %s", ind.Slug)
+		}
+		slugs[ind.Slug] = true
+		if !strings.HasPrefix(ind.EventType(), "ik-") {
+			t.Errorf("event type %q should be ik-prefixed", ind.EventType())
+		}
+		types[ind.EventType()] = true
+	}
+	// The paper's two named examples must exist.
+	if !slugs["sifennefene-worms"] || !slugs["mutiga-flowering"] {
+		t.Error("paper's flagship indicators missing")
+	}
+}
+
+func TestIndicatorValidate(t *testing.T) {
+	good := Catalogue()[0]
+	cases := []func(*Indicator){
+		func(i *Indicator) { i.Slug = "" },
+		func(i *Indicator) { i.Class = "" },
+		func(i *Indicator) { i.Polarity = 0 },
+		func(i *Indicator) { i.LeadTimeDays = 0 },
+		func(i *Indicator) { i.BaseReliability = 0 },
+		func(i *Indicator) { i.BaseReliability = 1.2 },
+	}
+	for n, mutate := range cases {
+		ind := good
+		mutate(&ind)
+		if err := ind.Validate(); err == nil {
+			t.Errorf("case %d should fail", n)
+		}
+	}
+}
+
+func TestDryIndicatorsSorted(t *testing.T) {
+	dry := DryIndicators()
+	if len(dry) == 0 {
+		t.Fatal("no dry indicators")
+	}
+	for i := 1; i < len(dry); i++ {
+		if dry[i-1].LeadTimeDays < dry[i].LeadTimeDays {
+			t.Fatal("dry indicators not sorted by lead time desc")
+		}
+		if dry[i].Polarity != PolarityDry {
+			t.Fatal("wet indicator leaked into dry set")
+		}
+	}
+}
+
+func TestPolarityString(t *testing.T) {
+	if PolarityDry.String() != "dry" || PolarityWet.String() != "wet" {
+		t.Error("polarity names wrong")
+	}
+	if !strings.Contains(Polarity(9).String(), "9") {
+		t.Error("unknown polarity should render numerically")
+	}
+}
+
+func TestInformantTracker(t *testing.T) {
+	tr := NewInformantTracker()
+	prior := tr.Reliability("new-person")
+	if math.Abs(prior-0.6) > 1e-9 {
+		t.Errorf("prior = %v, want 0.6", prior)
+	}
+	for i := 0; i < 8; i++ {
+		tr.Observe("sharp", true)
+	}
+	for i := 0; i < 8; i++ {
+		tr.Observe("noisy", false)
+	}
+	tr.Observe("sharp", false)
+	tr.Observe("noisy", true)
+	if r := tr.Reliability("sharp"); r < 0.75 {
+		t.Errorf("sharp informant reliability %v too low", r)
+	}
+	if r := tr.Reliability("noisy"); r > 0.4 {
+		t.Errorf("noisy informant reliability %v too high", r)
+	}
+	h, m := tr.Count("sharp")
+	if h != 8 || m != 1 {
+		t.Errorf("counts = %d/%d", h, m)
+	}
+	names := tr.Informants()
+	if len(names) != 2 || names[0] != "sharp" {
+		t.Errorf("ranking = %v", names)
+	}
+}
+
+func TestInformantPool(t *testing.T) {
+	p, err := NewInformantPool(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Names) != 10 {
+		t.Fatalf("pool = %d", len(p.Names))
+	}
+	for _, n := range p.Names {
+		s := p.Skill[n]
+		if s < 0.45 || s > 0.85 {
+			t.Errorf("skill %v out of range", s)
+		}
+	}
+	p2, _ := NewInformantPool(10, 5)
+	for _, n := range p.Names {
+		if p.Skill[n] != p2.Skill[n] {
+			t.Fatal("pool not reproducible")
+		}
+	}
+	if _, err := NewInformantPool(0, 1); err == nil {
+		t.Error("empty pool should error")
+	}
+}
+
+func simSeries(t *testing.T, years int, seed int64) ([]climate.Day, *climate.Truth) {
+	t.Helper()
+	g, err := climate.NewGenerator(climate.DefaultParams(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := g.GenerateYears(years)
+	truth, err := climate.Label(days, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return days, truth
+}
+
+func TestGenerateReports(t *testing.T) {
+	days, truth := simSeries(t, 6, 17)
+	pool, _ := NewInformantPool(8, 3)
+	reports, err := GenerateReports(GeneratorConfig{Pool: pool, District: "xhariep", Seed: 9}, days, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("no reports generated over 6 years")
+	}
+	cat := CatalogueBySlug()
+	for _, r := range reports {
+		if err := r.Validate(cat); err != nil {
+			t.Fatalf("generated report invalid: %v", err)
+		}
+		if r.District != "xhariep" {
+			t.Fatal("district not propagated")
+		}
+	}
+}
+
+func TestGenerateReportsValidation(t *testing.T) {
+	days, truth := simSeries(t, 2, 1)
+	if _, err := GenerateReports(GeneratorConfig{}, days, truth); err == nil {
+		t.Error("missing pool should error")
+	}
+	pool, _ := NewInformantPool(3, 1)
+	if _, err := GenerateReports(GeneratorConfig{Pool: pool}, nil, truth); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestGeneratedReportsCarrySignal(t *testing.T) {
+	// Dry-indicator reports must be denser ahead of droughts than in
+	// normal times — otherwise the generator produces pure noise and the
+	// fusion experiment is meaningless.
+	days, truth := simSeries(t, 12, 23)
+	pool, _ := NewInformantPool(10, 7)
+	reports, err := GenerateReports(GeneratorConfig{Pool: pool, District: "d", ReportRate: 0.05, Seed: 11}, days, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := CatalogueBySlug()
+	indexOf := make(map[int64]int)
+	for i, d := range days {
+		indexOf[d.Date.Unix()] = i
+	}
+	hits, total := 0, 0
+	for _, r := range reports {
+		ind := cat[r.Indicator]
+		if ind.Polarity != PolarityDry {
+			continue
+		}
+		di := indexOf[r.Time.Unix()]
+		ahead := di + ind.LeadTimeDays
+		if ahead >= len(days) {
+			continue
+		}
+		total++
+		if truth.InDrought[ahead] {
+			hits++
+		}
+	}
+	if total < 20 {
+		t.Skipf("too few verifiable dry reports (%d) for this seed", total)
+	}
+	precision := float64(hits) / float64(total)
+	base := truth.DroughtFraction()
+	if precision <= base {
+		t.Errorf("dry-report precision %.2f not above base rate %.2f — no signal", precision, base)
+	}
+}
+
+func TestScoreReportsUpdatesTracker(t *testing.T) {
+	days, truth := simSeries(t, 6, 29)
+	pool, _ := NewInformantPool(6, 13)
+	reports, err := GenerateReports(GeneratorConfig{Pool: pool, District: "d", ReportRate: 0.05, Seed: 31}, days, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewInformantTracker()
+	scored, err := ScoreReports(reports, days, truth, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scored == 0 {
+		t.Fatal("nothing scored")
+	}
+	if len(tr.Informants()) == 0 {
+		t.Fatal("tracker empty after scoring")
+	}
+}
+
+func TestConsensusStrength(t *testing.T) {
+	tr := NewInformantTracker()
+	if got := ConsensusStrength(nil, tr); got != 0 {
+		t.Errorf("empty consensus = %v", got)
+	}
+	now := time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+	one := []Report{{Informant: "a", Indicator: "mutiga-flowering", Time: now, Strength: 1}}
+	three := append(one,
+		Report{Informant: "b", Indicator: "mutiga-flowering", Time: now, Strength: 1},
+		Report{Informant: "c", Indicator: "mutiga-flowering", Time: now, Strength: 1},
+	)
+	cOne := ConsensusStrength(one, tr)
+	cThree := ConsensusStrength(three, tr)
+	if cOne >= cThree {
+		t.Errorf("one-voice consensus %v should be weaker than three-voice %v", cOne, cThree)
+	}
+	if cThree > 1 || cOne < 0 {
+		t.Error("consensus out of range")
+	}
+}
+
+func TestCompileRules(t *testing.T) {
+	rules, err := CompileRules(Catalogue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One rule per indicator + 2 consensus rules.
+	if len(rules) != len(Catalogue())+2 {
+		t.Fatalf("rules = %d, want %d", len(rules), len(Catalogue())+2)
+	}
+	for _, r := range rules {
+		if r.Source != "ik" {
+			t.Errorf("rule %s source = %q", r.Name, r.Source)
+		}
+	}
+	if _, err := CompileRules(nil); err == nil {
+		t.Error("empty catalogue should error")
+	}
+	bad := Catalogue()
+	bad[0].BaseReliability = 0
+	if _, err := CompileRules(bad); err == nil {
+		t.Error("invalid indicator should fail compilation")
+	}
+}
+
+func TestCompiledRulesFireOnCorroboratedSigns(t *testing.T) {
+	rules, err := CompileRules(Catalogue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cep.NewEngine(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Date(2015, 8, 1, 0, 0, 0, 0, time.UTC)
+	evs := []cep.Event{
+		{Type: "ik-mutiga-flowering", Time: start, Value: 0.8, Confidence: 0.7},
+		{Type: "ik-mutiga-flowering", Time: start.AddDate(0, 0, 3), Value: 0.9, Confidence: 0.7},
+		{Type: "ik-sifennefene-worms", Time: start.AddDate(0, 0, 5), Value: 0.8, Confidence: 0.7},
+		{Type: "ik-sifennefene-worms", Time: start.AddDate(0, 0, 8), Value: 0.7, Confidence: 0.7},
+	}
+	emitted, err := eng.ProcessAll(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := make(map[string]int)
+	for _, e := range emitted {
+		types[e.Type]++
+	}
+	if types["IKDrySignal"] < 2 {
+		t.Errorf("expected two corroborated dry signals: %v", types)
+	}
+	if types["IKDroughtWarning"] == 0 {
+		t.Errorf("expected consensus warning: %v", types)
+	}
+}
+
+func TestEventsFromReports(t *testing.T) {
+	cat := CatalogueBySlug()
+	tr := NewInformantTracker()
+	tr.Observe("elder", true)
+	tr.Observe("elder", true)
+	now := time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)
+	reports := []Report{
+		{Informant: "elder", Indicator: "mutiga-flowering", District: "xhariep", Time: now, Strength: 0.9},
+		{Informant: "new", Indicator: "moon-halo", District: "xhariep", Time: now.AddDate(0, 0, -1), Strength: 0.5},
+	}
+	evs, err := EventsFromReports(reports, cat, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	// Sorted by time.
+	if evs[0].Time.After(evs[1].Time) {
+		t.Error("events not sorted")
+	}
+	for _, e := range evs {
+		if e.Key != "xhariep" {
+			t.Error("district not mapped to key")
+		}
+	}
+	// Tracked informant confidence must exceed the new one's prior.
+	var elderConf, newConf float64
+	for _, e := range evs {
+		switch e.Attrs["informant"] {
+		case "elder":
+			elderConf = e.Confidence
+		case "new":
+			newConf = e.Confidence
+		}
+	}
+	if elderConf <= newConf {
+		t.Errorf("elder conf %v should exceed prior %v", elderConf, newConf)
+	}
+	// Invalid reports are rejected.
+	if _, err := EventsFromReports([]Report{{Informant: "x", Indicator: "ghost", Time: now, Strength: 1}}, cat, tr); err == nil {
+		t.Error("unknown indicator should fail")
+	}
+}
+
+func TestParseQuestionnaire(t *testing.T) {
+	cat := CatalogueBySlug()
+	src := `
+# field collection, Xhariep workshop
+informant: mme-dikeledi; sign: mutiga-flowering; district: xhariep; date: 2015-09-01; strength: 0.8
+informant: ntate-thabo; indicator: sifennefene-worms; district: xhariep; date: 2015-09-03
+`
+	reports, err := ParseQuestionnaire(strings.NewReader(src), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	if reports[0].Informant != "mme-dikeledi" || reports[0].Strength != 0.8 {
+		t.Errorf("report 0 = %+v", reports[0])
+	}
+	if reports[1].Strength != 0.7 {
+		t.Errorf("default strength = %v", reports[1].Strength)
+	}
+	if !reports[0].Time.Equal(time.Date(2015, 9, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("date = %v", reports[0].Time)
+	}
+}
+
+func TestParseQuestionnaireErrors(t *testing.T) {
+	cat := CatalogueBySlug()
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"bad date", "informant: a; sign: moon-halo; date: 2015-99-01"},
+		{"unknown sign", "informant: a; sign: unicorns; date: 2015-09-01"},
+		{"unknown field", "informant: a; sign: moon-halo; date: 2015-09-01; moonphase: full"},
+		{"no colon", "informant a"},
+		{"bad strength", "informant: a; sign: moon-halo; date: 2015-09-01; strength: high"},
+		{"missing informant", "sign: moon-halo; date: 2015-09-01"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseQuestionnaire(strings.NewReader(c.src), cat); err == nil {
+				t.Errorf("expected error for %q", c.src)
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+// Package ik implements the indigenous-knowledge substrate of the
+// middleware: the indicator catalogue (sifennefene worms, mutiga tree
+// phenology and the other signs the paper's citations document), informant
+// reports with per-informant reliability tracking, questionnaire
+// ingestion (the paper gathers IK "through the use of questionnaire,
+// workshop and interactive sessions"), a synthetic report generator
+// conditioned on the simulated climate, and compilation of indicators
+// into CEP rules — the "set of rules derived from IK of the local people
+// on drought".
+package ik
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ontology/drought"
+	"repro/internal/rdf"
+)
+
+// Polarity says what an indicator forecasts.
+type Polarity int
+
+// Indicator polarities.
+const (
+	// PolarityDry: the sign points to drier conditions / drought.
+	PolarityDry Polarity = iota + 1
+	// PolarityWet: the sign points to rain / wet spells.
+	PolarityWet
+)
+
+// String names the polarity.
+func (p Polarity) String() string {
+	switch p {
+	case PolarityDry:
+		return "dry"
+	case PolarityWet:
+		return "wet"
+	default:
+		return fmt.Sprintf("Polarity(%d)", int(p))
+	}
+}
+
+// Indicator is one catalogued indigenous-knowledge sign.
+type Indicator struct {
+	// Slug is the stable identifier ("sifennefene-worms").
+	Slug string
+	// Class is the ontology class IRI for the sign.
+	Class rdf.IRI
+	// Label is the English display label.
+	Label string
+	// Polarity is the forecast direction.
+	Polarity Polarity
+	// LeadTimeDays is the typical advance notice the sign gives.
+	LeadTimeDays int
+	// BaseReliability is the population-level prior reliability in [0,1]
+	// before informant track records are taken into account.
+	BaseReliability float64
+	// Description is free documentation text.
+	Description string
+}
+
+// EventType is the CEP event type name for reports of this indicator.
+func (i Indicator) EventType() string { return "ik-" + i.Slug }
+
+// Validate checks catalogue invariants.
+func (i Indicator) Validate() error {
+	switch {
+	case i.Slug == "":
+		return fmt.Errorf("ik: indicator without slug")
+	case i.Class == "":
+		return fmt.Errorf("ik: indicator %s without ontology class", i.Slug)
+	case i.Polarity != PolarityDry && i.Polarity != PolarityWet:
+		return fmt.Errorf("ik: indicator %s with bad polarity", i.Slug)
+	case i.LeadTimeDays <= 0:
+		return fmt.Errorf("ik: indicator %s needs positive lead time", i.Slug)
+	case i.BaseReliability <= 0 || i.BaseReliability > 1:
+		return fmt.Errorf("ik: indicator %s reliability %v outside (0,1]", i.Slug, i.BaseReliability)
+	}
+	return nil
+}
+
+// Catalogue returns the built-in indicator set, aligned one-to-one with
+// the IK classes of the drought ontology. Reliabilities are deliberately
+// heterogeneous: some signs are strong, some weak — the fusion experiment
+// depends on that spread.
+func Catalogue() []Indicator {
+	return []Indicator{
+		{
+			Slug: "sifennefene-worms", Class: drought.SifennefeneWormAbundance,
+			Label: "sifennefene worm abundance", Polarity: PolarityDry,
+			LeadTimeDays: 60, BaseReliability: 0.74,
+			Description: "Abundance of sifennefene worms signals a dry season ahead (Masinde & Bagula 2011).",
+		},
+		{
+			Slug: "mutiga-flowering", Class: drought.MutigaTreeFlowering,
+			Label: "mutiga tree flowering", Polarity: PolarityDry,
+			LeadTimeDays: 75, BaseReliability: 0.71,
+			Description: "Heavy flowering of the mutiga tree indicates drier conditions to come.",
+		},
+		{
+			Slug: "acacia-early-bloom", Class: drought.AcaciaEarlyBloom,
+			Label: "acacia early bloom", Polarity: PolarityDry,
+			LeadTimeDays: 55, BaseReliability: 0.62,
+		},
+		{
+			Slug: "aloe-profuse-flowering", Class: drought.AloeProfuseFlowering,
+			Label: "aloe profuse flowering", Polarity: PolarityDry,
+			LeadTimeDays: 50, BaseReliability: 0.66,
+		},
+		{
+			Slug: "stork-early-departure", Class: drought.StorkEarlyDeparture,
+			Label: "stork early departure", Polarity: PolarityDry,
+			LeadTimeDays: 45, BaseReliability: 0.58,
+		},
+		{
+			Slug: "swallow-low-flight", Class: drought.SwallowLowFlight,
+			Label: "swallows flying low", Polarity: PolarityWet,
+			LeadTimeDays: 3, BaseReliability: 0.64,
+		},
+		{
+			Slug: "east-wind-persistence", Class: drought.EastWindPersistence,
+			Label: "persistent east wind", Polarity: PolarityDry,
+			LeadTimeDays: 30, BaseReliability: 0.55,
+		},
+		{
+			Slug: "haze-horizon", Class: drought.HazeHorizon,
+			Label: "haze on the horizon", Polarity: PolarityDry,
+			LeadTimeDays: 20, BaseReliability: 0.52,
+		},
+		{
+			Slug: "moon-halo", Class: drought.MoonHalo,
+			Label: "halo around the moon", Polarity: PolarityWet,
+			LeadTimeDays: 5, BaseReliability: 0.57,
+		},
+		{
+			Slug: "selemela-dimness", Class: drought.StarClusterDimness,
+			Label: "dim Selemela star cluster", Polarity: PolarityDry,
+			LeadTimeDays: 90, BaseReliability: 0.6,
+		},
+		{
+			Slug: "cattle-restlessness", Class: drought.CattleRestlessness,
+			Label: "cattle restlessness", Polarity: PolarityDry,
+			LeadTimeDays: 10, BaseReliability: 0.5,
+		},
+		{
+			Slug: "anthill-activity", Class: drought.AntHillActivity,
+			Label: "raised ant-hill activity", Polarity: PolarityWet,
+			LeadTimeDays: 7, BaseReliability: 0.56,
+		},
+	}
+}
+
+// CatalogueBySlug indexes the catalogue.
+func CatalogueBySlug() map[string]Indicator {
+	out := make(map[string]Indicator)
+	for _, ind := range Catalogue() {
+		out[ind.Slug] = ind
+	}
+	return out
+}
+
+// DryIndicators returns the drought-pointing subset, sorted by lead time
+// descending (longest notice first).
+func DryIndicators() []Indicator {
+	var out []Indicator
+	for _, ind := range Catalogue() {
+		if ind.Polarity == PolarityDry {
+			out = append(out, ind)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LeadTimeDays > out[j].LeadTimeDays })
+	return out
+}

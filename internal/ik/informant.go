@@ -1,0 +1,145 @@
+package ik
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Report is one IK observation: an informant saw a sign at a place and
+// time.
+type Report struct {
+	// Informant is the reporting knowledge holder's ID.
+	Informant string
+	// Indicator is the catalogued sign's slug.
+	Indicator string
+	// District is where the sign was observed.
+	District string
+	// Time is when it was observed.
+	Time time.Time
+	// Strength in (0,1]: how pronounced the sign was.
+	Strength float64
+}
+
+// Validate checks report well-formedness against a catalogue.
+func (r Report) Validate(catalogue map[string]Indicator) error {
+	switch {
+	case r.Informant == "":
+		return fmt.Errorf("ik: report without informant")
+	case r.Time.IsZero():
+		return fmt.Errorf("ik: report without time")
+	case r.Strength <= 0 || r.Strength > 1:
+		return fmt.Errorf("ik: report strength %v outside (0,1]", r.Strength)
+	}
+	if _, ok := catalogue[r.Indicator]; !ok {
+		return fmt.Errorf("ik: report references unknown indicator %q", r.Indicator)
+	}
+	return nil
+}
+
+// InformantTracker maintains per-informant reliability as a beta-binomial
+// posterior: reliability = (α + hits) / (α + β + hits + misses). New
+// informants start at the prior α/(α+β). Safe for concurrent use.
+type InformantTracker struct {
+	// PriorAlpha / PriorBeta shape the prior (defaults 3/2 → 0.6).
+	PriorAlpha, PriorBeta float64
+
+	mu      sync.RWMutex
+	records map[string]*informantRecord
+}
+
+type informantRecord struct {
+	hits, misses int
+}
+
+// NewInformantTracker returns a tracker with the default prior.
+func NewInformantTracker() *InformantTracker {
+	return &InformantTracker{PriorAlpha: 3, PriorBeta: 2, records: make(map[string]*informantRecord)}
+}
+
+// Observe records one verified outcome for an informant's report: hit
+// when the forecast implied by the sign verified, miss otherwise.
+func (t *InformantTracker) Observe(informant string, hit bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.records[informant]
+	if !ok {
+		rec = &informantRecord{}
+		t.records[informant] = rec
+	}
+	if hit {
+		rec.hits++
+	} else {
+		rec.misses++
+	}
+}
+
+// Reliability returns the posterior mean reliability for an informant.
+func (t *InformantTracker) Reliability(informant string) float64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rec := t.records[informant]
+	a, b := t.PriorAlpha, t.PriorBeta
+	if rec != nil {
+		a += float64(rec.hits)
+		b += float64(rec.misses)
+	}
+	return a / (a + b)
+}
+
+// Count returns (hits, misses) recorded for an informant.
+func (t *InformantTracker) Count(informant string) (hits, misses int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if rec := t.records[informant]; rec != nil {
+		return rec.hits, rec.misses
+	}
+	return 0, 0
+}
+
+// Informants lists tracked informants sorted by posterior reliability
+// descending.
+func (t *InformantTracker) Informants() []string {
+	t.mu.RLock()
+	names := make([]string, 0, len(t.records))
+	for n := range t.records {
+		names = append(names, n)
+	}
+	t.mu.RUnlock()
+	sort.Slice(names, func(i, j int) bool {
+		ri, rj := t.Reliability(names[i]), t.Reliability(names[j])
+		if ri != rj {
+			return ri > rj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// InformantPool is a synthetic population of knowledge holders with
+// per-informant latent skill used by the report generator.
+type InformantPool struct {
+	// Names lists informant IDs.
+	Names []string
+	// Skill maps informant → probability of a correct call in (0,1).
+	Skill map[string]float64
+}
+
+// NewInformantPool creates n informants with skills spread over
+// [0.45, 0.85] deterministically per seed: some elders are sharp, some
+// reports are noise — the fusion layer has to cope with both.
+func NewInformantPool(n int, seed int64) (*InformantPool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ik: pool size must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &InformantPool{Skill: make(map[string]float64, n)}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("informant-%02d", i)
+		p.Names = append(p.Names, name)
+		p.Skill[name] = 0.45 + 0.4*rng.Float64()
+	}
+	return p, nil
+}

@@ -1,0 +1,83 @@
+package ik
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseQuestionnaire reads IK reports in the field-collection text format
+// used by the project's questionnaires (§5: "gathering the indigenous
+// knowledge of the local people about drought, through the use of
+// questionnaire"). One record per line, semicolon-separated key:value
+// pairs; '#' starts a comment:
+//
+//	informant: mme-dikeledi; sign: mutiga-flowering; district: xhariep; date: 2015-09-01; strength: 0.8
+//
+// Unknown keys are rejected so that field-entry typos surface early.
+func ParseQuestionnaire(r io.Reader, catalogue map[string]Indicator) ([]Report, error) {
+	sc := bufio.NewScanner(r)
+	var out []Report
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rep, err := parseQuestionnaireLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("ik: questionnaire line %d: %w", lineNo, err)
+		}
+		if err := rep.Validate(catalogue); err != nil {
+			return nil, fmt.Errorf("ik: questionnaire line %d: %w", lineNo, err)
+		}
+		out = append(out, rep)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ik: reading questionnaire: %w", err)
+	}
+	return out, nil
+}
+
+func parseQuestionnaireLine(line string) (Report, error) {
+	rep := Report{Strength: 0.7} // default strength for unscored entries
+	for _, field := range strings.Split(line, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, value, found := strings.Cut(field, ":")
+		if !found {
+			return rep, fmt.Errorf("field %q is not key: value", field)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		value = strings.TrimSpace(value)
+		switch key {
+		case "informant":
+			rep.Informant = value
+		case "sign", "indicator":
+			rep.Indicator = value
+		case "district":
+			rep.District = value
+		case "date":
+			t, err := time.Parse("2006-01-02", value)
+			if err != nil {
+				return rep, fmt.Errorf("bad date %q", value)
+			}
+			rep.Time = t.UTC()
+		case "strength":
+			f, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return rep, fmt.Errorf("bad strength %q", value)
+			}
+			rep.Strength = f
+		default:
+			return rep, fmt.Errorf("unknown field %q", key)
+		}
+	}
+	return rep, nil
+}

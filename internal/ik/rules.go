@@ -1,0 +1,90 @@
+package ik
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cep"
+)
+
+// CompileRules derives the CEP rule set from the indicator catalogue —
+// the paper's "set of syntactic derivation rules from indigenous
+// knowledge". Three layers of rules are produced:
+//
+//  1. per-indicator corroboration: ≥2 reports of the same sign within its
+//     attention window emit an IKDrySignal / IKWetSignal with the
+//     indicator's reliability as confidence;
+//  2. cross-indicator agreement: ≥2 distinct dry signals within 30 days
+//     emit IKDroughtWarning (severity watch);
+//  3. conflict damping: a wet signal within the same window suppresses
+//     nothing by itself, but the fusion layer reads both streams — the
+//     rule set stays monotone, which keeps the engine's semantics simple.
+func CompileRules(catalogue []Indicator) ([]cep.Rule, error) {
+	if len(catalogue) == 0 {
+		return nil, fmt.Errorf("ik: empty catalogue")
+	}
+	var b strings.Builder
+	sorted := make([]Indicator, len(catalogue))
+	copy(sorted, catalogue)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Slug < sorted[j].Slug })
+	for _, ind := range sorted {
+		if err := ind.Validate(); err != nil {
+			return nil, err
+		}
+		emit := "IKDrySignal"
+		if ind.Polarity == PolarityWet {
+			emit = "IKWetSignal"
+		}
+		// Attention window scales with lead time, floored at two weeks.
+		window := ind.LeadTimeDays / 2
+		if window < 14 {
+			window = 14
+		}
+		fmt.Fprintf(&b, `
+RULE ik-%s
+WHEN COUNT(%s) >= 2 WITHIN %dd
+COOLDOWN %dd
+EMIT %s CONFIDENCE %.2f SOURCE ik
+`, ind.Slug, ind.EventType(), window, window/2, emit, ind.BaseReliability)
+	}
+	// Cross-indicator agreement.
+	b.WriteString(`
+RULE ik-dry-consensus
+WHEN COUNT(IKDrySignal) >= 2 WITHIN 30d
+COOLDOWN 21d
+EMIT IKDroughtWarning SEVERITY watch CONFIDENCE 0.8 SOURCE ik
+
+RULE ik-strong-consensus
+WHEN COUNT(IKDrySignal) >= 3 WITHIN 45d AND COUNT(IKWetSignal) <= 0 WITHIN 30d
+COOLDOWN 30d
+EMIT IKDroughtWarning SEVERITY warning CONFIDENCE 0.85 SOURCE ik
+`)
+	return cep.ParseRules(b.String())
+}
+
+// EventsFromReports converts reports to CEP events (confidence = the
+// tracker's posterior for the informant, strength as the value).
+func EventsFromReports(reports []Report, catalogue map[string]Indicator, tracker *InformantTracker) ([]cep.Event, error) {
+	out := make([]cep.Event, 0, len(reports))
+	for _, r := range reports {
+		if err := r.Validate(catalogue); err != nil {
+			return nil, err
+		}
+		conf := 0.6
+		if tracker != nil {
+			conf = tracker.Reliability(r.Informant)
+		}
+		ind := catalogue[r.Indicator]
+		out = append(out, cep.Event{
+			Type:       ind.EventType(),
+			Time:       r.Time,
+			Value:      r.Strength,
+			Confidence: conf,
+			Key:        r.District,
+			Attrs:      map[string]string{"informant": r.Informant},
+		})
+	}
+	cep.SortEvents(out)
+	return out, nil
+}

@@ -1,0 +1,528 @@
+package mediator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/climate"
+	"repro/internal/ontology/drought"
+	"repro/internal/ontology/ssn"
+	"repro/internal/rdf"
+	"repro/internal/wsn"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"rain", "rain", 0},
+		{"Hoehe", "Höhe", 2},
+		{"soil", "soli", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestQuickLevenshteinMetricAxioms checks identity, symmetry and the
+// triangle inequality on random short strings.
+func TestQuickLevenshteinMetricAxioms(t *testing.T) {
+	alphabet := []rune("abcde")
+	gen := func(seed int64) string {
+		n := int(seed%7) + 1
+		if n < 0 {
+			n = -n%7 + 1
+		}
+		out := make([]rune, n)
+		s := seed
+		for i := range out {
+			s = s*6364136223846793005 + 1442695040888963407
+			idx := int((s >> 33) % int64(len(alphabet)))
+			if idx < 0 {
+				idx += len(alphabet)
+			}
+			out[i] = alphabet[idx]
+		}
+		return string(out)
+	}
+	f := func(s1, s2, s3 int64) bool {
+		a, b, c := gen(s1), gen(s2), gen(s3)
+		if Levenshtein(a, a) != 0 {
+			return false
+		}
+		if Levenshtein(a, b) != Levenshtein(b, a) {
+			return false
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if got := JaroWinkler("rainfall", "rainfall"); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+	if got := JaroWinkler("", ""); got != 1 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := JaroWinkler("abc", ""); got != 0 {
+		t.Errorf("one empty = %v", got)
+	}
+	// Prefix boost: "rainRate" closer to "rainfall" than "fallrain".
+	if JaroWinkler("rainrate", "rainfall") <= Jaro("rainrate", "rainfall") {
+		t.Error("prefix boost missing")
+	}
+	for _, pair := range [][2]string{{"soil", "temperature"}, {"wind", "Stav"}} {
+		v := JaroWinkler(pair[0], pair[1])
+		if v < 0 || v > 1 {
+			t.Errorf("JW(%q,%q) = %v outside [0,1]", pair[0], pair[1], v)
+		}
+	}
+}
+
+func TestTokenDice(t *testing.T) {
+	if got := TokenDice("soil moisture", "soil_moisture"); got != 1 {
+		t.Errorf("token-equal = %v", got)
+	}
+	if got := TokenDice("soilMoist", "soil moisture"); got <= 0.4 {
+		t.Errorf("camelCase token overlap = %v", got)
+	}
+	if got := TokenDice("wind", "rain"); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+}
+
+func TestTokens(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"soil_moisture", []string{"soil", "moisture"}},
+		{"soilMoist", []string{"soil", "moist"}},
+		{"rain-rate", []string{"rain", "rate"}},
+		{"Niederschlag", []string{"niederschlag"}},
+		{"outsideTemp", []string{"outside", "temp"}},
+	}
+	for _, c := range cases {
+		got := tokens(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("tokens(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("tokens(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func buildRegistry(t *testing.T) *Registry {
+	t.Helper()
+	o, _, err := drought.BuildMaterialized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRegistry(o)
+}
+
+func TestRegistryExactRegistration(t *testing.T) {
+	r := buildRegistry(t)
+	r.Register("davis", "soilMoist", drought.SoilMoisture)
+	a, err := r.Resolve("davis", "soilMoist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Property != drought.SoilMoisture || a.Confidence != 1 {
+		t.Errorf("alignment = %+v", a)
+	}
+	exact, _, _ := r.Stats()
+	if exact != 1 {
+		t.Errorf("exact hits = %d", exact)
+	}
+}
+
+func TestRegistryGlobalRegistration(t *testing.T) {
+	r := buildRegistry(t)
+	r.Register("", "xlevel", drought.WaterLevel)
+	a, err := r.Resolve("anyvendor", "xlevel")
+	if err != nil || a.Property != drought.WaterLevel {
+		t.Fatalf("global alignment failed: %+v %v", a, err)
+	}
+}
+
+func TestRegistryFuzzyHoeheStav(t *testing.T) {
+	r := buildRegistry(t)
+	// The paper's example: Hoehe (German) and Stav (Czech) both mean
+	// water level, and both appear as labels in the ontology.
+	for _, name := range []string{"Hoehe", "Stav"} {
+		a, err := r.Resolve("hydro", name)
+		if err != nil {
+			t.Fatalf("Resolve(%s): %v", name, err)
+		}
+		if a.Property != drought.WaterLevel {
+			t.Errorf("%s resolved to %s, want WaterLevel", name, a.Property.LocalName())
+		}
+	}
+}
+
+func TestRegistryFuzzyVariants(t *testing.T) {
+	r := buildRegistry(t)
+	cases := []struct {
+		wire string
+		want rdf.IRI
+	}{
+		{"soil_moisture", drought.SoilMoisture},
+		{"soilmoisture", drought.SoilMoisture},
+		{"Bodenfeuchte", drought.SoilMoisture},
+		{"rainfall", drought.Rainfall},
+		{"reenval", drought.Rainfall},      // Afrikaans "reënval" label
+		{"Niederschlag", drought.Rainfall}, // German label
+		{"water level", drought.WaterLevel},
+		{"windspoed", drought.WindSpeed},
+		{"Lufttemperatur", drought.AirTemperature},
+	}
+	for _, c := range cases {
+		a, err := r.Resolve("v", c.wire)
+		if err != nil {
+			t.Errorf("Resolve(%q): %v", c.wire, err)
+			continue
+		}
+		if a.Property != c.want {
+			t.Errorf("Resolve(%q) = %s (label %q, conf %.2f), want %s",
+				c.wire, a.Property.LocalName(), a.MatchedLabel, a.Confidence, c.want.LocalName())
+		}
+	}
+}
+
+func TestSeedAlignmentsDisambiguate(t *testing.T) {
+	r := buildRegistry(t)
+	// Unseeded, the bare Czech "Vlhkost" is ambiguous and fuzzy-matches
+	// the soil-moisture label "vlhkost půdy".
+	a, err := r.Resolve("chmi", "Vlhkost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Property == drought.RelativeHumidity {
+		t.Skip("fuzzy match already disambiguates; seed unnecessary")
+	}
+	// Seeded, the vendor-scoped registration wins.
+	r2 := buildRegistry(t)
+	SeedAlignments(r2)
+	a2, err := r2.Resolve("chmi", "Vlhkost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.Property != drought.RelativeHumidity {
+		t.Errorf("seeded Vlhkost = %s, want RelativeHumidity", a2.Property.LocalName())
+	}
+	// Other vendors are unaffected by the vendor-scoped seed.
+	a3, err := r2.Resolve("pegelonline", "Bodenfeuchte")
+	if err != nil || a3.Property != drought.SoilMoisture {
+		t.Errorf("unrelated vendor affected: %+v %v", a3, err)
+	}
+}
+
+func TestAllBuiltinVendorsAlign(t *testing.T) {
+	r := buildRegistry(t)
+	SeedAlignments(r)
+	for _, v := range wsn.BuiltinVendors() {
+		for _, ch := range v.Channels {
+			if _, err := r.Resolve(v.Name, ch.WireName); err != nil {
+				t.Errorf("vendor %s wire name %q does not align: %v", v.Name, ch.WireName, err)
+			}
+		}
+	}
+}
+
+func TestRegistryMiss(t *testing.T) {
+	r := buildRegistry(t)
+	if _, err := r.Resolve("v", "zzzzqqq"); err == nil {
+		t.Error("garbage should not align")
+	}
+	_, _, misses := r.Stats()
+	if misses != 1 {
+		t.Errorf("misses = %d", misses)
+	}
+}
+
+func TestRegistryLearning(t *testing.T) {
+	r := buildRegistry(t)
+	r.LearnThreshold = 0.5
+	if _, err := r.Resolve("hydro", "Hoehe"); err != nil {
+		t.Fatal(err)
+	}
+	_, fuzzy1, _ := r.Stats()
+	if fuzzy1 != 1 {
+		t.Fatalf("first resolve should be fuzzy")
+	}
+	// Second resolve of the same name must hit the learned cache.
+	if _, err := r.Resolve("hydro", "Hoehe"); err != nil {
+		t.Fatal(err)
+	}
+	exact, fuzzy2, _ := r.Stats()
+	if exact != 1 || fuzzy2 != 1 {
+		t.Errorf("learning failed: exact=%d fuzzy=%d", exact, fuzzy2)
+	}
+}
+
+func TestUnitTable(t *testing.T) {
+	u := NewUnitTable()
+	cases := []struct {
+		unit      string
+		canonical rdf.IRI
+		in, want  float64
+	}{
+		{"mm", ssn.UnitMillimetre, 5, 5},
+		{"in", ssn.UnitMillimetre, 1, 25.4},
+		{"pct", ssn.UnitFraction, 31, 0.31},
+		{"cbar", ssn.UnitFraction, 200, 0},
+		{"cbar", ssn.UnitFraction, 0, 1},
+		{"degF", ssn.UnitCelsius, 212, 100},
+		{"K", ssn.UnitCelsius, 273.15, 0},
+		{"km_h", ssn.UnitMetrePerSecond, 36, 10},
+		{"cm", ssn.UnitMetre, 250, 2.5},
+		{"pct", ssn.UnitPercent, 62, 62},
+	}
+	for _, c := range cases {
+		got, err := u.Convert(c.unit, c.canonical, c.in)
+		if err != nil {
+			t.Errorf("Convert(%s→%s): %v", c.unit, c.canonical.LocalName(), err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Convert(%s→%s, %v) = %v, want %v", c.unit, c.canonical.LocalName(), c.in, got, c.want)
+		}
+	}
+	if _, err := u.Convert("furlongs", ssn.UnitMetre, 1); err == nil {
+		t.Error("unknown unit should fail")
+	}
+	if _, err := u.Convert("mm", ssn.UnitCelsius, 1); err == nil {
+		t.Error("nonsense conversion should fail")
+	}
+}
+
+func buildAnnotator(t *testing.T) *Annotator {
+	t.Helper()
+	o, _, err := drought.BuildMaterialized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAnnotator(o)
+}
+
+func rawReading() wsn.RawReading {
+	return wsn.RawReading{
+		NodeID:       "fs-mangaung-pegelonline-02",
+		Vendor:       "pegelonline",
+		District:     "mangaung",
+		PropertyName: "Hoehe",
+		UnitName:     "cm",
+		Value:        250,
+		Time:         time.Date(2015, 11, 20, 6, 0, 0, 0, time.UTC),
+		Seq:          17,
+		BatteryV:     4.0,
+	}
+}
+
+func TestAnnotateHeterogeneousReading(t *testing.T) {
+	a := buildAnnotator(t)
+	rec, err := a.Annotate(rawReading())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Property != drought.WaterLevel {
+		t.Errorf("property = %s", rec.Property.LocalName())
+	}
+	if rec.Unit != ssn.UnitMetre {
+		t.Errorf("unit = %s", rec.Unit.LocalName())
+	}
+	if math.Abs(rec.Value-2.5) > 1e-9 {
+		t.Errorf("value = %v, want 2.5 (cm→m)", rec.Value)
+	}
+	if rec.Feature != drought.Mangaung {
+		t.Errorf("feature = %s, want Mangaung", rec.Feature)
+	}
+	if rec.Quality <= 0 || rec.Quality > 1 {
+		t.Errorf("quality = %v", rec.Quality)
+	}
+	if a.Annotated() != 1 {
+		t.Errorf("annotated = %d", a.Annotated())
+	}
+}
+
+func TestAnnotateLowBatteryDeratesQuality(t *testing.T) {
+	a := buildAnnotator(t)
+	healthy := rawReading()
+	weak := rawReading()
+	weak.BatteryV = 3.3
+	weak.Seq = 18
+	rh, err := a.Annotate(healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := a.Annotate(weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Quality >= rh.Quality {
+		t.Errorf("weak battery quality %v should be below healthy %v", rw.Quality, rh.Quality)
+	}
+}
+
+func TestAnnotateFailureHistogram(t *testing.T) {
+	a := buildAnnotator(t)
+	bad := rawReading()
+	bad.PropertyName = "zzzzqq"
+	if _, err := a.Annotate(bad); err == nil {
+		t.Fatal("expected failure")
+	}
+	badUnit := rawReading()
+	badUnit.UnitName = "furlongs"
+	if _, err := a.Annotate(badUnit); err == nil {
+		t.Fatal("expected unit failure")
+	}
+	f := a.Failures()
+	if f["no-alignment"] != 1 || f["no-unit-conversion"] != 1 {
+		t.Errorf("failures = %v", f)
+	}
+}
+
+func TestAnnotateBatchAndGraph(t *testing.T) {
+	a := buildAnnotator(t)
+	batch := []wsn.RawReading{rawReading()}
+	r2 := rawReading()
+	r2.PropertyName = "Niederschlag"
+	r2.UnitName = "mm"
+	r2.Value = 12
+	r2.Seq = 19
+	batch = append(batch, r2)
+	bad := rawReading()
+	bad.PropertyName = "junkname"
+	batch = append(batch, bad)
+
+	g := rdf.NewGraph()
+	recs, err := a.ToGraph(batch, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if g.Len() == 0 {
+		t.Fatal("graph should hold observation triples")
+	}
+	// The graph round-trips through SSN.
+	back, err := ssn.FromGraph(g, recs[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Property != recs[0].Property {
+		t.Error("graph round trip lost the property")
+	}
+}
+
+func TestMintIDsUnique(t *testing.T) {
+	a := buildAnnotator(t)
+	seen := make(map[rdf.IRI]bool)
+	r := rawReading()
+	for i := 0; i < 50; i++ {
+		rec, err := a.Annotate(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[rec.ID] {
+			t.Fatalf("duplicate observation ID %s", rec.ID)
+		}
+		seen[rec.ID] = true
+	}
+}
+
+func TestDistrictIRIFallback(t *testing.T) {
+	if districtIRI("") != "" {
+		t.Error("empty district should stay empty")
+	}
+	if got := districtIRI("mangaung"); got != drought.Mangaung {
+		t.Errorf("mangaung = %s", got)
+	}
+	if got := districtIRI("unknown place"); got != rdf.NSGEO.IRI("unknown-place") {
+		t.Errorf("fallback = %s", got)
+	}
+}
+
+func TestQualityBounds(t *testing.T) {
+	f := func(conf, batt float64) bool {
+		c := math.Abs(math.Mod(conf, 1))
+		q := quality(c, math.Abs(math.Mod(batt, 5)))
+		return q >= 0 && q <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEndToEndWSNToRecords(t *testing.T) {
+	// Full path: fleet → gateway → cloud → annotator.
+	a := buildAnnotator(t)
+	cloud := wsn.NewCloudStore()
+	link := wsn.NewLink(wsn.LinkConfig{LossRate: 0.1, MaxRetries: 3, Seed: 3})
+	gw := wsn.NewGateway(link, cloud)
+	fleet, err := wsn.NewFleet(10, []string{"mangaung", "xhariep"}, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range fleet.Nodes {
+		gw.Register(n)
+	}
+	day := time.Date(2015, 11, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		for _, n := range fleet.Nodes {
+			rs := n.Sample(sampleDay(day.AddDate(0, 0, i)))
+			if len(rs) > 0 {
+				if err := gw.Ingest(rs); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	raw, _, err := cloud.Download(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, failed := a.AnnotateBatch(raw)
+	if len(recs) == 0 {
+		t.Fatal("no records annotated")
+	}
+	// The overwhelming majority of vendor names must align.
+	rate := float64(len(recs)) / float64(len(recs)+failed)
+	if rate < 0.95 {
+		t.Errorf("alignment rate %.2f too low (failures: %v)", rate, a.Failures())
+	}
+	// All records are in canonical units with sane values.
+	for _, r := range recs {
+		if r.Property == drought.SoilMoisture && (r.Value < 0 || r.Value > 1) {
+			t.Errorf("soil moisture %v outside [0,1]", r.Value)
+		}
+		if r.Property == drought.AirTemperature && (r.Value < -30 || r.Value > 55) {
+			t.Errorf("temperature %v implausible", r.Value)
+		}
+	}
+}
+
+func sampleDay(date time.Time) climate.Day {
+	return climate.Day{
+		Date: date, RainMM: 4, TempC: 22, SoilMoisture: 0.3,
+		RelHumidity: 60, WindSpeedMS: 3, NDVI: 0.4, WaterLevelM: 2.5,
+	}
+}

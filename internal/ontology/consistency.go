@@ -1,0 +1,189 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// ViolationKind identifies a class of consistency violation.
+type ViolationKind int
+
+const (
+	// ViolationDisjoint: an individual is typed by two classes asserted
+	// disjoint.
+	ViolationDisjoint ViolationKind = iota + 1
+	// ViolationFunctional: a functional property has two distinct values
+	// for the same subject.
+	ViolationFunctional
+	// ViolationLiteralRange: an object property (or a property whose range
+	// is a class) holds a literal value.
+	ViolationLiteralRange
+	// ViolationUndeclaredClass: an individual is typed by an IRI never
+	// declared as a class.
+	ViolationUndeclaredClass
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationDisjoint:
+		return "disjoint-classes"
+	case ViolationFunctional:
+		return "functional-property"
+	case ViolationLiteralRange:
+		return "literal-in-object-position"
+	case ViolationUndeclaredClass:
+		return "undeclared-class"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", int(k))
+	}
+}
+
+// Violation describes one detected inconsistency.
+type Violation struct {
+	Kind    ViolationKind
+	Subject rdf.Term
+	Detail  string
+}
+
+// String renders the violation for logs.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s: %s", v.Kind, v.Subject, v.Detail)
+}
+
+// CheckConsistency scans the (ideally materialized) ontology for
+// violations. It never mutates the graph. Violations are returned in a
+// deterministic order.
+func (o *Ontology) CheckConsistency() []Violation {
+	var out []Violation
+	out = append(out, o.checkDisjoint()...)
+	out = append(out, o.checkFunctional()...)
+	out = append(out, o.checkObjectPropertyLiterals()...)
+	out = append(out, o.checkUndeclaredClasses()...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		if c := out[i].Subject.Key(); c != out[j].Subject.Key() {
+			return c < out[j].Subject.Key()
+		}
+		return out[i].Detail < out[j].Detail
+	})
+	return out
+}
+
+func (o *Ontology) checkDisjoint() []Violation {
+	g := o.g
+	var out []Violation
+	g.ForEachMatch(nil, rdf.OWLDisjointWith, nil, func(d rdf.Triple) bool {
+		a, ok1 := d.S.(rdf.IRI)
+		b, ok2 := d.O.(rdf.IRI)
+		if !ok1 || !ok2 || a.Key() > b.Key() {
+			// Each symmetric pair is checked once.
+			return true
+		}
+		for _, ind := range g.Subjects(rdf.RDFType, a) {
+			if g.Has(rdf.T(ind, rdf.RDFType, b)) {
+				out = append(out, Violation{
+					Kind:    ViolationDisjoint,
+					Subject: ind,
+					Detail:  fmt.Sprintf("typed by disjoint classes %s and %s", a, b),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (o *Ontology) checkFunctional() []Violation {
+	g := o.g
+	var out []Violation
+	g.ForEachMatch(nil, rdf.RDFType, rdf.OWLFunctionalProperty, func(d rdf.Triple) bool {
+		p, ok := d.S.(rdf.IRI)
+		if !ok {
+			return true
+		}
+		perSubject := make(map[string]int)
+		subjTerm := make(map[string]rdf.Term)
+		g.ForEachMatch(nil, p, nil, func(t rdf.Triple) bool {
+			perSubject[t.S.Key()]++
+			subjTerm[t.S.Key()] = t.S
+			return true
+		})
+		keys := make([]string, 0, len(perSubject))
+		for k, n := range perSubject {
+			if n > 1 {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out = append(out, Violation{
+				Kind:    ViolationFunctional,
+				Subject: subjTerm[k],
+				Detail:  fmt.Sprintf("functional property %s has %d values", p, perSubject[k]),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func (o *Ontology) checkObjectPropertyLiterals() []Violation {
+	g := o.g
+	var out []Violation
+	g.ForEachMatch(nil, rdf.RDFType, rdf.OWLObjectProperty, func(d rdf.Triple) bool {
+		p, ok := d.S.(rdf.IRI)
+		if !ok {
+			return true
+		}
+		g.ForEachMatch(nil, p, nil, func(t rdf.Triple) bool {
+			if t.O.Kind() == rdf.KindLiteral {
+				out = append(out, Violation{
+					Kind:    ViolationLiteralRange,
+					Subject: t.S,
+					Detail:  fmt.Sprintf("object property %s holds literal %s", p, t.O),
+				})
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+func (o *Ontology) checkUndeclaredClasses() []Violation {
+	g := o.g
+	declared := make(map[rdf.IRI]bool)
+	for _, c := range o.Classes() {
+		declared[c] = true
+	}
+	// Built-in meta classes are always fine.
+	for _, c := range []rdf.IRI{
+		rdf.OWLClass, rdf.RDFSClass, rdf.OWLOntology, rdf.RDFProperty,
+		rdf.OWLObjectProperty, rdf.OWLDatatypeProperty, rdf.OWLThing,
+		rdf.OWLTransitiveProperty, rdf.OWLSymmetricProperty,
+		rdf.OWLFunctionalProperty, rdf.RDFStatement,
+	} {
+		declared[c] = true
+	}
+	var out []Violation
+	seen := make(map[rdf.IRI]bool)
+	g.ForEachMatch(nil, rdf.RDFType, nil, func(t rdf.Triple) bool {
+		cls, ok := t.O.(rdf.IRI)
+		if !ok || declared[cls] || seen[cls] {
+			return true
+		}
+		seen[cls] = true
+		out = append(out, Violation{
+			Kind:    ViolationUndeclaredClass,
+			Subject: cls,
+			Detail:  "used as a type but never declared as a class",
+		})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,102 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestCheckDisjointViolation(t *testing.T) {
+	o := New(testNS.IRI("o"), "")
+	o.Class(testNS.IRI("Animal")).DisjointWith(testNS.IRI("Plant"))
+	o.Class(testNS.IRI("Plant"))
+	o.Individual(testNS.IRI("weird"), testNS.IRI("Animal"))
+	o.Individual(testNS.IRI("weird"), testNS.IRI("Plant"))
+	materialize(t, o)
+	vs := o.CheckConsistency()
+	if !hasViolation(vs, ViolationDisjoint) {
+		t.Errorf("expected disjoint violation, got %v", vs)
+	}
+}
+
+func TestCheckFunctionalViolation(t *testing.T) {
+	o := New(testNS.IRI("o"), "")
+	o.DatatypeProperty(testNS.IRI("officialName")).Functional()
+	o.MustAssert(testNS.IRI("x"), testNS.IRI("officialName"), rdf.NewLiteral("a"))
+	o.MustAssert(testNS.IRI("x"), testNS.IRI("officialName"), rdf.NewLiteral("b"))
+	vs := o.CheckConsistency()
+	if !hasViolation(vs, ViolationFunctional) {
+		t.Errorf("expected functional violation, got %v", vs)
+	}
+}
+
+func TestCheckLiteralInObjectProperty(t *testing.T) {
+	o := New(testNS.IRI("o"), "")
+	o.ObjectProperty(testNS.IRI("locatedIn"))
+	o.MustAssert(testNS.IRI("x"), testNS.IRI("locatedIn"), rdf.NewLiteral("Free State"))
+	vs := o.CheckConsistency()
+	if !hasViolation(vs, ViolationLiteralRange) {
+		t.Errorf("expected literal-range violation, got %v", vs)
+	}
+}
+
+func TestCheckUndeclaredClass(t *testing.T) {
+	o := New(testNS.IRI("o"), "")
+	o.MustAssert(testNS.IRI("x"), rdf.RDFType, testNS.IRI("Ghost"))
+	vs := o.CheckConsistency()
+	if !hasViolation(vs, ViolationUndeclaredClass) {
+		t.Errorf("expected undeclared-class violation, got %v", vs)
+	}
+}
+
+func TestCleanOntologyHasNoViolations(t *testing.T) {
+	o := buildTestOntology()
+	materialize(t, o)
+	if vs := o.CheckConsistency(); len(vs) != 0 {
+		t.Errorf("clean ontology reported: %v", vs)
+	}
+}
+
+func TestViolationStringAndKinds(t *testing.T) {
+	v := Violation{Kind: ViolationDisjoint, Subject: testNS.IRI("x"), Detail: "boom"}
+	if s := v.String(); !strings.Contains(s, "disjoint-classes") || !strings.Contains(s, "boom") {
+		t.Errorf("String = %q", s)
+	}
+	for _, k := range []ViolationKind{ViolationDisjoint, ViolationFunctional, ViolationLiteralRange, ViolationUndeclaredClass} {
+		if strings.HasPrefix(k.String(), "ViolationKind(") {
+			t.Errorf("kind %d lacks a name", k)
+		}
+	}
+	if !strings.HasPrefix(ViolationKind(42).String(), "ViolationKind(") {
+		t.Error("unknown kind should render numerically")
+	}
+}
+
+func TestConsistencyDeterministicOrder(t *testing.T) {
+	o := New(testNS.IRI("o"), "")
+	for _, name := range []string{"G1", "G2", "G3"} {
+		o.MustAssert(testNS.IRI("i-"+name), rdf.RDFType, testNS.IRI(name))
+	}
+	first := o.CheckConsistency()
+	for trial := 0; trial < 3; trial++ {
+		again := o.CheckConsistency()
+		if len(again) != len(first) {
+			t.Fatal("violation count unstable")
+		}
+		for i := range first {
+			if first[i].String() != again[i].String() {
+				t.Fatal("violation order unstable")
+			}
+		}
+	}
+}
+
+func hasViolation(vs []Violation, kind ViolationKind) bool {
+	for _, v := range vs {
+		if v.Kind == kind {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,422 @@
+// Package drought builds the drought domain ontology — the "unified
+// ontology" the middleware annotates against. It covers:
+//
+//   - the observed environmental properties (rainfall, soil moisture,
+//     temperature, humidity, wind, water level, NDVI) with the
+//     multilingual labels from the paper's naming-heterogeneity example
+//     ("Hoehe" in German, "Stav" in Czech for water level);
+//   - the process/event chain (rainfall deficit → soil-moisture decline →
+//     vegetation stress → drought event) modelled under DOLCE perdurants,
+//     because "the representation of such phenomena requires better
+//     understanding of the 'process' that leads to the 'event'";
+//   - drought event types (meteorological, agricultural, hydrological,
+//     socioeconomic) and the drought-vulnerability-index severity scale;
+//   - the indigenous-knowledge indicator taxonomy (sifennefene worms,
+//     mutiga tree phenology, bird behaviour, wind and celestial patterns);
+//   - Free State geography (the paper's case-study domain): the province
+//     and its five district municipalities as features of interest.
+package drought
+
+import (
+	"repro/internal/ontology"
+	"repro/internal/ontology/dolce"
+	"repro/internal/ontology/ssn"
+	"repro/internal/rdf"
+)
+
+// NS is the drought-domain namespace; NSIK the indigenous-knowledge one;
+// NSGEO the geography one.
+const (
+	NS    = rdf.NSDEWS
+	NSIK  = rdf.NSIK
+	NSGEO = rdf.NSGEO
+)
+
+// Environmental event and process classes.
+var (
+	EnvironmentalEvent   = NS.IRI("EnvironmentalEvent")
+	EnvironmentalProcess = NS.IRI("EnvironmentalProcess")
+	EnvironmentalState   = NS.IRI("EnvironmentalState")
+
+	DroughtEvent          = NS.IRI("DroughtEvent")
+	MeteorologicalDrought = NS.IRI("MeteorologicalDrought")
+	AgriculturalDrought   = NS.IRI("AgriculturalDrought")
+	HydrologicalDrought   = NS.IRI("HydrologicalDrought")
+	SocioeconomicDrought  = NS.IRI("SocioeconomicDrought")
+
+	RainfallDeficit     = NS.IRI("RainfallDeficit")
+	SoilMoistureDecline = NS.IRI("SoilMoistureDecline")
+	HeatWave            = NS.IRI("HeatWave")
+	VegetationStress    = NS.IRI("VegetationStress")
+	WaterLevelDecline   = NS.IRI("WaterLevelDecline")
+	DrySpell            = NS.IRI("DrySpell")
+	WetSpell            = NS.IRI("WetSpell")
+)
+
+// Observed properties of the unified vocabulary.
+var (
+	Rainfall           = NS.IRI("Rainfall")
+	SoilMoisture       = NS.IRI("SoilMoisture")
+	AirTemperature     = NS.IRI("AirTemperature")
+	RelativeHumidity   = NS.IRI("RelativeHumidity")
+	WindSpeed          = NS.IRI("WindSpeed")
+	WaterLevel         = NS.IRI("WaterLevel")
+	BarometricPressure = NS.IRI("BarometricPressure")
+	NDVI               = NS.IRI("NDVI")
+	SPI                = NS.IRI("SPI")
+)
+
+// Severity scale of the drought vulnerability index (DVI).
+var (
+	SeverityScale   = NS.IRI("DVISeverity")
+	SeverityNormal  = NS.IRI("dviNormal")
+	SeverityWatch   = NS.IRI("dviWatch")
+	SeverityWarning = NS.IRI("dviWarning")
+	SeveritySevere  = NS.IRI("dviSevere")
+	SeverityExtreme = NS.IRI("dviExtreme")
+)
+
+// Domain relations.
+var (
+	LeadsTo       = NS.IRI("leadsTo")       // process → process/event (transitive)
+	Indicates     = NS.IRI("indicates")     // indicator/process → event class
+	AffectsRegion = NS.IRI("affectsRegion") // event → geographic feature
+	HasSeverity   = NS.IRI("hasSeverity")   // event → DVI severity
+	DerivedFrom   = NS.IRI("derivedFrom")   // inference → supporting observation
+	// AltLabel carries well-known vocabulary aliases (instrument names,
+	// vendor field names, diacritic-free spellings) used by the mediator's
+	// alignment corpus — a lightweight skos:altLabel stand-in.
+	AltLabel = NS.IRI("altLabel")
+)
+
+// Indigenous-knowledge indicator taxonomy.
+var (
+	IKIndicator         = NSIK.IRI("Indicator")
+	EntomologicalSign   = NSIK.IRI("EntomologicalSign")
+	BotanicalSign       = NSIK.IRI("BotanicalSign")
+	OrnithologicalSign  = NSIK.IRI("OrnithologicalSign")
+	AtmosphericSign     = NSIK.IRI("AtmosphericSign")
+	CelestialSign       = NSIK.IRI("CelestialSign")
+	AnimalBehaviourSign = NSIK.IRI("AnimalBehaviourSign")
+
+	SifennefeneWormAbundance = NSIK.IRI("SifennefeneWormAbundance")
+	MutigaTreeFlowering      = NSIK.IRI("MutigaTreeFlowering")
+	AcaciaEarlyBloom         = NSIK.IRI("AcaciaEarlyBloom")
+	AloeProfuseFlowering     = NSIK.IRI("AloeProfuseFlowering")
+	StorkEarlyDeparture      = NSIK.IRI("StorkEarlyDeparture")
+	SwallowLowFlight         = NSIK.IRI("SwallowLowFlight")
+	EastWindPersistence      = NSIK.IRI("EastWindPersistence")
+	HazeHorizon              = NSIK.IRI("HazeHorizon")
+	MoonHalo                 = NSIK.IRI("MoonHalo")
+	StarClusterDimness       = NSIK.IRI("StarClusterDimness")
+	CattleRestlessness       = NSIK.IRI("CattleRestlessness")
+	AntHillActivity          = NSIK.IRI("AntHillActivity")
+
+	ReportedBy   = NSIK.IRI("reportedBy")   // indicator report → informant
+	Informant    = NSIK.IRI("Informant")    // social endurant
+	Reliability  = NSIK.IRI("reliability")  // informant → [0,1]
+	ObservedSign = NSIK.IRI("observedSign") // report → indicator class
+)
+
+// Free State geography (paper §4: "The domain of this particular case
+// study is Free State Province, South Africa").
+var (
+	Province          = NSGEO.IRI("Province")
+	DistrictClass     = NSGEO.IRI("District")
+	StationClass      = NSGEO.IRI("Station")
+	FreeState         = NSGEO.IRI("FreeState")
+	Mangaung          = NSGEO.IRI("Mangaung")
+	Xhariep           = NSGEO.IRI("Xhariep")
+	Lejweleputswa     = NSGEO.IRI("Lejweleputswa")
+	ThaboMofutsanyana = NSGEO.IRI("ThaboMofutsanyana")
+	FezileDabi        = NSGEO.IRI("FezileDabi")
+	LocatedIn         = NSGEO.IRI("locatedIn")
+	Latitude          = NSGEO.IRI("latitude")
+	Longitude         = NSGEO.IRI("longitude")
+)
+
+// Districts lists the Free State district municipalities in a stable
+// order; simulations and examples index into it.
+var Districts = []rdf.IRI{Mangaung, Xhariep, Lejweleputswa, ThaboMofutsanyana, FezileDabi}
+
+// IRIVersion identifies the ontology document.
+var IRIVersion = rdf.IRI("http://dews.africrid.example/ontology/drought")
+
+// Build constructs the drought domain ontology. It imports the sensor
+// ontology (which itself imports DOLCE) so the result is the complete
+// unified ontology library of Figure 1.
+func Build() *ontology.Ontology {
+	o := ontology.New(IRIVersion, "Drought domain ontology (unified)")
+	o.Import(ssn.Build())
+
+	// --- events, processes, states ---
+	o.Class(EnvironmentalEvent).Sub(dolce.Event).
+		Label("environmental event", "en").
+		Comment("An event in the environment: a drought, a flood, a heat wave culmination.")
+	o.Class(EnvironmentalProcess).Sub(dolce.Process).
+		Label("environmental process", "en").
+		Comment("A cumulative process whose progression can lead to an event.")
+	o.Class(EnvironmentalState).Sub(dolce.State).
+		Label("environmental state", "en")
+
+	o.Class(DroughtEvent).Sub(EnvironmentalEvent).
+		Label("drought", "en").
+		Label("komelelo", "st").
+		Label("droogte", "af").
+		Comment("Prolonged precipitation/soil-water deficit event with agricultural impact.")
+	o.Class(MeteorologicalDrought).Sub(DroughtEvent).
+		Label("meteorological drought", "en").
+		Comment("Precipitation deficit relative to climatology (SPI-based).")
+	o.Class(AgriculturalDrought).Sub(DroughtEvent).
+		Label("agricultural drought", "en").
+		Comment("Soil-moisture deficit during the growing season.")
+	o.Class(HydrologicalDrought).Sub(DroughtEvent).
+		Label("hydrological drought", "en").
+		Comment("Surface/ground water storage deficit (water levels).")
+	o.Class(SocioeconomicDrought).Sub(DroughtEvent).
+		Label("socioeconomic drought", "en")
+
+	for _, p := range []struct {
+		iri     rdf.IRI
+		label   string
+		comment string
+	}{
+		{RainfallDeficit, "rainfall deficit", "Accumulating shortfall of rainfall against seasonal climatology."},
+		{SoilMoistureDecline, "soil moisture decline", "Sustained decrease of volumetric soil moisture."},
+		{HeatWave, "heat wave", "Run of days with temperature far above climatology."},
+		{VegetationStress, "vegetation stress", "NDVI decline indicating water-stressed vegetation."},
+		{WaterLevelDecline, "water level decline", "Falling river/dam levels."},
+		{DrySpell, "dry spell", "Consecutive days without measurable rain."},
+		{WetSpell, "wet spell", "Consecutive rain days."},
+	} {
+		o.Class(p.iri).Sub(EnvironmentalProcess).Label(p.label, "en").Comment(p.comment)
+	}
+
+	// The causal chain the CEP engine reasons over.
+	o.ObjectProperty(LeadsTo).
+		Domain(dolce.Perdurant).Range(dolce.Perdurant).
+		Transitive().
+		Label("leads to", "en").
+		Comment("Process-to-event progression; transitive so chains compose.")
+	o.MustAssert(RainfallDeficit, LeadsTo, SoilMoistureDecline)
+	o.MustAssert(SoilMoistureDecline, LeadsTo, VegetationStress)
+	o.MustAssert(VegetationStress, LeadsTo, AgriculturalDrought)
+	o.MustAssert(RainfallDeficit, LeadsTo, MeteorologicalDrought)
+	o.MustAssert(WaterLevelDecline, LeadsTo, HydrologicalDrought)
+	o.MustAssert(HeatWave, LeadsTo, SoilMoistureDecline)
+
+	// --- observed properties with heterogeneous labels ---
+	type propDef struct {
+		iri    rdf.IRI
+		unit   rdf.IRI
+		labels map[string]string // lang → label
+	}
+	props := []propDef{
+		{Rainfall, ssn.UnitMillimetre, map[string]string{
+			"en": "rainfall", "af": "reënval", "st": "pula", "zu": "imvula",
+			"de": "Niederschlag", "fr": "précipitations",
+		}},
+		{SoilMoisture, ssn.UnitFraction, map[string]string{
+			"en": "soil moisture", "af": "grondvog", "st": "mongobo wa mobu",
+			"de": "Bodenfeuchte", "cs": "vlhkost půdy",
+		}},
+		{AirTemperature, ssn.UnitCelsius, map[string]string{
+			"en": "air temperature", "af": "lugtemperatuur", "st": "mocheso",
+			"de": "Lufttemperatur", "fr": "température",
+		}},
+		{RelativeHumidity, ssn.UnitPercent, map[string]string{
+			"en": "relative humidity", "af": "humiditeit", "de": "Luftfeuchtigkeit",
+		}},
+		{WindSpeed, ssn.UnitMetrePerSecond, map[string]string{
+			"en": "wind speed", "af": "windspoed", "st": "lebelo la moya",
+			"de": "Windgeschwindigkeit",
+		}},
+		// The paper's own example: "water level property name is 'Hoehe'
+		// (in German) or 'Stav' (in Czech)".
+		{WaterLevel, ssn.UnitMetre, map[string]string{
+			"en": "water level", "de": "Hoehe", "cs": "Stav", "af": "watervlak",
+		}},
+		{BarometricPressure, ssn.UnitHectopascal, map[string]string{
+			"en": "barometric pressure", "de": "Luftdruck",
+		}},
+		{NDVI, ssn.UnitIndex, map[string]string{
+			"en": "normalized difference vegetation index",
+		}},
+		{SPI, ssn.UnitIndex, map[string]string{
+			"en": "standardized precipitation index",
+		}},
+	}
+	for _, p := range props {
+		cb := o.Class(p.iri).Sub(ssn.ObservedProperty)
+		for lang, label := range p.labels {
+			cb.Label(label, lang)
+		}
+		o.MustAssert(p.iri, ssn.HasUnit, p.unit)
+	}
+
+	// Alias corpus for the mediator: instrument names, vendor field
+	// names, diacritic-free spellings.
+	o.DatatypeProperty(AltLabel).
+		Label("alternative label", "en").
+		Comment("Well-known alias used for vocabulary alignment (skos:altLabel stand-in).")
+	aliases := map[rdf.IRI][]string{
+		Rainfall:           {"pluviometer", "rain gauge", "precipitation", "rain rate", "srazky", "srážky", "rain"},
+		SoilMoisture:       {"soil water content", "soil humidity", "bodemvocht"},
+		AirTemperature:     {"outside temperature", "air temp", "teplota", "temperatuur"},
+		RelativeHumidity:   {"outside humidity", "air humidity", "vlhkost vzduchu", "rh"},
+		WindSpeed:          {"anemometer", "wind", "rychlost vetru"},
+		WaterLevel:         {"stage", "gauge height", "vodostav", "waterstand"},
+		NDVI:               {"vegetation index", "plantegroei", "greenness"},
+		BarometricPressure: {"pressure", "tlak"},
+	}
+	for prop, names := range aliases {
+		for _, n := range names {
+			o.MustAssert(prop, AltLabel, rdf.NewLiteral(n))
+		}
+	}
+
+	// --- DVI severity scale ---
+	o.Class(SeverityScale).Sub(dolce.AbstractRegion).
+		Label("DVI severity", "en").
+		Comment("Ordered severity bands of the drought vulnerability index.")
+	sev := []struct {
+		iri   rdf.IRI
+		label string
+		rank  int64
+	}{
+		{SeverityNormal, "normal", 0},
+		{SeverityWatch, "watch", 1},
+		{SeverityWarning, "warning", 2},
+		{SeveritySevere, "severe", 3},
+		{SeverityExtreme, "extreme", 4},
+	}
+	for _, s := range sev {
+		o.Individual(s.iri, SeverityScale)
+		o.MustAssert(s.iri, rdf.RDFSLabel, rdf.NewLangLiteral(s.label, "en"))
+		o.MustAssert(s.iri, NS.IRI("rank"), rdf.NewInt(s.rank))
+	}
+	o.DatatypeProperty(NS.IRI("rank")).Domain(SeverityScale)
+
+	o.ObjectProperty(Indicates).
+		Range(EnvironmentalEvent).
+		Label("indicates", "en").
+		Comment("A sign (process or IK indicator) points at a class of event.")
+	o.ObjectProperty(AffectsRegion).
+		Domain(EnvironmentalEvent).
+		Label("affects region", "en")
+	o.ObjectProperty(HasSeverity).
+		Domain(EnvironmentalEvent).Range(SeverityScale).
+		Label("has severity", "en")
+	o.ObjectProperty(DerivedFrom).
+		Label("derived from", "en").
+		Comment("Provenance: an inferred event node links to the observations behind it.")
+
+	// --- IK indicator taxonomy ---
+	o.Class(IKIndicator).Sub(dolce.Event).
+		Label("indigenous-knowledge indicator", "en").
+		Comment("Observable sign in the local environment carrying forecast information.")
+	ikBranches := []struct {
+		iri   rdf.IRI
+		label string
+	}{
+		{EntomologicalSign, "entomological sign"},
+		{BotanicalSign, "botanical sign"},
+		{OrnithologicalSign, "ornithological sign"},
+		{AtmosphericSign, "atmospheric sign"},
+		{CelestialSign, "celestial sign"},
+		{AnimalBehaviourSign, "animal behaviour sign"},
+	}
+	for _, b := range ikBranches {
+		o.Class(b.iri).Sub(IKIndicator).Label(b.label, "en")
+	}
+	ikSigns := []struct {
+		iri       rdf.IRI
+		parent    rdf.IRI
+		label     string
+		indicates rdf.IRI
+	}{
+		{SifennefeneWormAbundance, EntomologicalSign, "sifennefene worm abundance", DroughtEvent},
+		{MutigaTreeFlowering, BotanicalSign, "mutiga tree flowering", DroughtEvent},
+		{AcaciaEarlyBloom, BotanicalSign, "acacia early bloom", DroughtEvent},
+		{AloeProfuseFlowering, BotanicalSign, "aloe profuse flowering", DroughtEvent},
+		{StorkEarlyDeparture, OrnithologicalSign, "stork early departure", DroughtEvent},
+		{SwallowLowFlight, OrnithologicalSign, "swallow low flight", WetSpell},
+		{EastWindPersistence, AtmosphericSign, "persistent east wind", DroughtEvent},
+		{HazeHorizon, AtmosphericSign, "haze on the horizon", DroughtEvent},
+		{MoonHalo, CelestialSign, "halo around the moon", WetSpell},
+		{StarClusterDimness, CelestialSign, "dim star cluster (Selemela)", DroughtEvent},
+		{CattleRestlessness, AnimalBehaviourSign, "cattle restlessness", HeatWave},
+		{AntHillActivity, EntomologicalSign, "raised ant-hill activity", WetSpell},
+	}
+	for _, s := range ikSigns {
+		o.Class(s.iri).Sub(s.parent).Label(s.label, "en")
+		o.MustAssert(s.iri, Indicates, s.indicates)
+	}
+
+	o.Class(Informant).Sub(dolce.SocialObject).
+		Label("informant", "en").
+		Comment("A local knowledge holder contributing IK reports.")
+	o.ObjectProperty(ReportedBy).Range(Informant).Label("reported by", "en")
+	o.DatatypeProperty(Reliability).Domain(Informant).
+		Label("reliability", "en").
+		Comment("Track-record weight in [0,1] maintained by the IK module.")
+	o.ObjectProperty(ObservedSign).Range(IKIndicator).Label("observed sign", "en")
+
+	// --- geography ---
+	o.Class(Province).Sub(ssn.FeatureOfInterest).Label("province", "en")
+	o.Class(DistrictClass).Sub(ssn.FeatureOfInterest).Label("district municipality", "en")
+	o.Class(StationClass).Sub(ssn.FeatureOfInterest).Label("observation station", "en")
+	o.ObjectProperty(LocatedIn).Transitive().Label("located in", "en")
+	o.DatatypeProperty(Latitude).Label("latitude", "en")
+	o.DatatypeProperty(Longitude).Label("longitude", "en")
+
+	o.Individual(FreeState, Province)
+	o.MustAssert(FreeState, rdf.RDFSLabel, rdf.NewLangLiteral("Free State", "en"))
+	districts := []struct {
+		iri      rdf.IRI
+		label    string
+		lat, lon float64
+	}{
+		{Mangaung, "Mangaung Metropolitan", -29.12, 26.21},
+		{Xhariep, "Xhariep", -30.05, 25.40},
+		{Lejweleputswa, "Lejweleputswa", -28.20, 26.50},
+		{ThaboMofutsanyana, "Thabo Mofutsanyana", -28.45, 28.50},
+		{FezileDabi, "Fezile Dabi", -27.10, 27.50},
+	}
+	for _, d := range districts {
+		o.Individual(d.iri, DistrictClass)
+		o.MustAssert(d.iri, rdf.RDFSLabel, rdf.NewLangLiteral(d.label, "en"))
+		o.MustAssert(d.iri, LocatedIn, FreeState)
+		o.MustAssert(d.iri, Latitude, rdf.NewFloat(d.lat))
+		o.MustAssert(d.iri, Longitude, rdf.NewFloat(d.lon))
+	}
+
+	return o
+}
+
+// BuildMaterialized builds the unified ontology and runs the reasoner to
+// fixpoint, returning the closed ontology (the form the middleware's
+// ontology segment layer serves).
+func BuildMaterialized() (*ontology.Ontology, ontology.Result, error) {
+	o := Build()
+	res, err := ontology.Reasoner{}.Materialize(o)
+	return o, res, err
+}
+
+// SeverityRank returns the ordinal rank of a DVI severity individual, or
+// -1 when the IRI is not part of the scale.
+func SeverityRank(o *ontology.Ontology, severity rdf.IRI) int {
+	v, ok := o.Graph().FirstObject(severity, NS.IRI("rank"))
+	if !ok {
+		return -1
+	}
+	lit, ok := v.(rdf.Literal)
+	if !ok {
+		return -1
+	}
+	n, ok := lit.Int()
+	if !ok {
+		return -1
+	}
+	return int(n)
+}

@@ -1,0 +1,177 @@
+package drought
+
+import (
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/ontology/dolce"
+	"repro/internal/ontology/ssn"
+	"repro/internal/rdf"
+)
+
+func TestBuildMaterialized(t *testing.T) {
+	o, res, err := BuildMaterialized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Added == 0 {
+		t.Error("materialization should add entailments")
+	}
+	stats := o.Stats()
+	if stats.Classes < 60 {
+		t.Errorf("expected a substantial ontology library, got %+v", stats)
+	}
+	t.Logf("ontology library: %s (entailed %d in %d rounds)", stats, res.Added, res.Rounds)
+}
+
+func TestDroughtUnderDolceCategories(t *testing.T) {
+	o, _, err := BuildMaterialized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		cls  rdf.IRI
+		want dolce.Category
+	}{
+		{DroughtEvent, dolce.CategoryPerdurant},
+		{AgriculturalDrought, dolce.CategoryPerdurant},
+		{RainfallDeficit, dolce.CategoryPerdurant},
+		{ssn.Sensor, dolce.CategoryEndurant},
+		{ssn.ObservedProperty, dolce.CategoryQuality},
+		{Rainfall, dolce.CategoryQuality},
+		{WaterLevel, dolce.CategoryQuality},
+		{ssn.Unit, dolce.CategoryAbstract},
+		{SeverityScale, dolce.CategoryAbstract},
+		{IKIndicator, dolce.CategoryPerdurant},
+		{Informant, dolce.CategoryEndurant},
+	}
+	for _, c := range cases {
+		if got := dolce.Classify(o, c.cls); got != c.want {
+			t.Errorf("Classify(%s) = %v, want %v", c.cls.LocalName(), got, c.want)
+		}
+	}
+}
+
+func TestCausalChainTransitive(t *testing.T) {
+	o, _, err := BuildMaterialized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// leadsTo is transitive: rainfall deficit ... leads to agricultural drought.
+	if !o.Graph().Has(rdf.T(RainfallDeficit, LeadsTo, AgriculturalDrought)) {
+		t.Error("transitive leadsTo chain not materialized")
+	}
+	if !o.Graph().Has(rdf.T(HeatWave, LeadsTo, AgriculturalDrought)) {
+		t.Error("heat wave chain not materialized")
+	}
+}
+
+func TestMultilingualWaterLevelLabels(t *testing.T) {
+	o := Build()
+	// The paper's example: Hoehe (de), Stav (cs).
+	if got := o.Label(WaterLevel, "de"); got != "Hoehe" {
+		t.Errorf("German label = %q, want Hoehe", got)
+	}
+	if got := o.Label(WaterLevel, "cs"); got != "Stav" {
+		t.Errorf("Czech label = %q, want Stav", got)
+	}
+	if got := o.Label(WaterLevel, "en"); got != "water level" {
+		t.Errorf("English label = %q", got)
+	}
+}
+
+func TestDistrictsGeography(t *testing.T) {
+	o, _, err := BuildMaterialized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Districts) != 5 {
+		t.Fatalf("Districts = %v", Districts)
+	}
+	for _, d := range Districts {
+		if !o.IsA(d, DistrictClass) {
+			t.Errorf("%s should be a District", d)
+		}
+		if !o.IsA(d, ssn.FeatureOfInterest) {
+			t.Errorf("%s should be a FeatureOfInterest via hierarchy", d)
+		}
+		if !o.Graph().Has(rdf.T(d, LocatedIn, FreeState)) {
+			t.Errorf("%s should be located in Free State", d)
+		}
+	}
+}
+
+func TestSeverityScaleOrdering(t *testing.T) {
+	o := Build()
+	ranks := []struct {
+		iri  rdf.IRI
+		want int
+	}{
+		{SeverityNormal, 0}, {SeverityWatch, 1}, {SeverityWarning, 2},
+		{SeveritySevere, 3}, {SeverityExtreme, 4},
+	}
+	for _, r := range ranks {
+		if got := SeverityRank(o, r.iri); got != r.want {
+			t.Errorf("SeverityRank(%s) = %d, want %d", r.iri.LocalName(), got, r.want)
+		}
+	}
+	if SeverityRank(o, NS.IRI("nope")) != -1 {
+		t.Error("unknown severity should rank -1")
+	}
+}
+
+func TestIKIndicatorsIndicateEvents(t *testing.T) {
+	o, _, err := BuildMaterialized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sign := range []rdf.IRI{SifennefeneWormAbundance, MutigaTreeFlowering, StarClusterDimness} {
+		if !o.Graph().Has(rdf.T(sign, Indicates, DroughtEvent)) {
+			t.Errorf("%s should indicate DroughtEvent", sign.LocalName())
+		}
+		if !o.IsSubClassOf(sign, IKIndicator) {
+			t.Errorf("%s should be an IK indicator", sign.LocalName())
+		}
+	}
+	// Wet-signs indicate wet spells, not drought.
+	if o.Graph().Has(rdf.T(MoonHalo, Indicates, DroughtEvent)) {
+		t.Error("moon halo is a wet-spell sign")
+	}
+}
+
+func TestConsistencyOfLibrary(t *testing.T) {
+	o, _, err := BuildMaterialized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := o.CheckConsistency()
+	for _, v := range vs {
+		t.Errorf("library violation: %v", v)
+	}
+}
+
+func TestObservedPropertiesHaveUnits(t *testing.T) {
+	o := Build()
+	for _, p := range []rdf.IRI{Rainfall, SoilMoisture, AirTemperature, WaterLevel, NDVI} {
+		if _, ok := o.Graph().FirstObject(p, ssn.HasUnit); !ok {
+			t.Errorf("%s has no unit", p.LocalName())
+		}
+	}
+}
+
+func TestLibrarySerializesAndReparses(t *testing.T) {
+	o := Build()
+	text := rdf.TurtleString(o.Graph(), o.Prefixes())
+	g2, err := rdf.ParseTurtleString(text)
+	if err != nil {
+		t.Fatalf("library turtle does not reparse: %v", err)
+	}
+	if !rdf.EqualGraphs(o.Graph(), g2) {
+		t.Error("library turtle round-trip lost triples")
+	}
+	// And it can be wrapped again as an ontology.
+	o2 := ontology.FromGraph(g2, IRIVersion)
+	if len(o2.Classes()) != len(o.Classes()) {
+		t.Error("class count changed after round trip")
+	}
+}

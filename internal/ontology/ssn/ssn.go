@@ -1,0 +1,312 @@
+// Package ssn builds the sensor/observation vocabulary of the unified
+// ontology library — an SSN/SOSA-style module aligned under the DOLCE
+// upper level (sensors are physical objects, observations are perdurants,
+// observed properties are qualities, units are abstract regions).
+//
+// It also defines the typed Observation record the middleware passes
+// around, together with its projection to and from RDF.
+package ssn
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ontology"
+	"repro/internal/ontology/dolce"
+	"repro/internal/rdf"
+)
+
+// NS is the sensor-ontology namespace.
+const NS = rdf.NSSSN
+
+// Classes.
+var (
+	Sensor            = NS.IRI("Sensor")
+	Platform          = NS.IRI("Platform")
+	Deployment        = NS.IRI("Deployment")
+	ObservedProperty  = NS.IRI("ObservedProperty")
+	Observation       = NS.IRI("Observation")
+	FeatureOfInterest = NS.IRI("FeatureOfInterest")
+	Result            = NS.IRI("Result")
+	Unit              = NS.IRI("Unit")
+	Stimulus          = NS.IRI("Stimulus")
+)
+
+// Properties.
+var (
+	Observes             = NS.IRI("observes")             // sensor → observed property
+	IsObservedBy         = NS.IRI("isObservedBy")         // inverse
+	MadeBySensor         = NS.IRI("madeBySensor")         // observation → sensor
+	MadeObservation      = NS.IRI("madeObservation")      // inverse
+	HasObservedProperty  = NS.IRI("observedProperty")     // observation → property
+	HasFeatureOfInterest = NS.IRI("hasFeatureOfInterest") // observation → feature
+	IsFeatureOf          = NS.IRI("isFeatureOfInterestOf")
+	HasResult            = NS.IRI("hasResult")            // observation → result node
+	HasSimpleResult      = NS.IRI("hasSimpleResult")      // observation → literal
+	ResultTime           = NS.IRI("resultTime")           // observation → xsd:dateTime
+	PhenomenonTime       = NS.IRI("phenomenonTime")       // observation → xsd:dateTime
+	HasUnit              = NS.IRI("hasUnit")              // result/observation → unit
+	HostedBy             = NS.IRI("hostedBy")             // sensor → platform
+	Hosts                = NS.IRI("hosts")                // inverse
+	DeployedAt           = NS.IRI("deployedAt")           // platform → feature (site)
+	HasValue             = NS.IRI("hasValue")             // result → literal
+	QualityOfObservation = NS.IRI("qualityOfObservation") // observation → [0,1] confidence
+)
+
+// Standard units used by the drought domain.
+var (
+	UnitMillimetre       = NS.IRI("unitMillimetre")
+	UnitCelsius          = NS.IRI("unitCelsius")
+	UnitKelvin           = NS.IRI("unitKelvin")
+	UnitFahrenheit       = NS.IRI("unitFahrenheit")
+	UnitPercent          = NS.IRI("unitPercent")
+	UnitFraction         = NS.IRI("unitFraction") // volumetric fraction 0..1
+	UnitMetre            = NS.IRI("unitMetre")
+	UnitCentimetre       = NS.IRI("unitCentimetre")
+	UnitMetrePerSecond   = NS.IRI("unitMetrePerSecond")
+	UnitKilometrePerHour = NS.IRI("unitKilometrePerHour")
+	UnitHectopascal      = NS.IRI("unitHectopascal")
+	UnitIndex            = NS.IRI("unitIndex") // dimensionless index (NDVI, SPI)
+)
+
+// IRIVersion identifies the ontology document.
+var IRIVersion = rdf.IRI("http://dews.africrid.example/ontology/ssn")
+
+// Build constructs the sensor ontology, importing the DOLCE fragment and
+// aligning every class under it.
+func Build() *ontology.Ontology {
+	o := ontology.New(IRIVersion, "Sensor & observation ontology (SSN-style)")
+	o.Import(dolce.Build())
+
+	o.Class(Sensor).Sub(dolce.PhysicalObject).
+		Label("sensor", "en").
+		Comment("Device that implements an observation procedure for some property.")
+	o.Class(Platform).Sub(dolce.PhysicalObject).
+		Label("platform", "en").
+		Comment("Entity hosting sensors: a Waspmote node, a weather station, a farmer.")
+	o.Class(Deployment).Sub(dolce.Process).
+		Label("deployment", "en")
+	o.Class(ObservedProperty).Sub(dolce.PhysicalQuality).
+		Label("observed property", "en").
+		Comment("Observable quality of a feature: rainfall depth, soil moisture, water level.")
+	o.Class(Observation).Sub(dolce.Accomplishment).
+		Label("observation", "en").
+		Comment("Act of estimating a property value via a sensor; a perdurant.")
+	o.Class(FeatureOfInterest).Sub(dolce.Particular).
+		Label("feature of interest", "en").
+		Comment("The thing whose property is observed: a field, a catchment, an air mass.")
+	o.Class(Result).Sub(dolce.AbstractRegion).
+		Label("result", "en")
+	o.Class(Unit).Sub(dolce.AbstractRegion).
+		Label("unit of measure", "en")
+	o.Class(Stimulus).Sub(dolce.Event).
+		Label("stimulus", "en").
+		Comment("Detectable change in the environment that triggers a sensor.")
+
+	o.ObjectProperty(Observes).
+		Domain(Sensor).Range(ObservedProperty).
+		Label("observes", "en").
+		InverseOf(IsObservedBy)
+	o.ObjectProperty(IsObservedBy).
+		Domain(ObservedProperty).Range(Sensor).
+		Label("is observed by", "en")
+	o.ObjectProperty(MadeBySensor).
+		Domain(Observation).Range(Sensor).
+		Label("made by sensor", "en").
+		InverseOf(MadeObservation)
+	o.ObjectProperty(MadeObservation).
+		Domain(Sensor).Range(Observation).
+		Label("made observation", "en")
+	o.ObjectProperty(HasObservedProperty).
+		Domain(Observation).Range(ObservedProperty).
+		Label("observed property", "en")
+	o.ObjectProperty(HasFeatureOfInterest).
+		Domain(Observation).Range(FeatureOfInterest).
+		Label("has feature of interest", "en").
+		InverseOf(IsFeatureOf)
+	o.ObjectProperty(IsFeatureOf).
+		Domain(FeatureOfInterest).Range(Observation).
+		Label("is feature of interest of", "en")
+	o.ObjectProperty(HasResult).
+		Domain(Observation).Range(Result).
+		Label("has result", "en")
+	o.DatatypeProperty(HasSimpleResult).
+		Domain(Observation).
+		Label("has simple result", "en").
+		Comment("Literal shortcut for scalar results.")
+	o.DatatypeProperty(ResultTime).
+		Domain(Observation).Range(rdf.IRI(rdf.XSDDateTime)).
+		Label("result time", "en")
+	o.DatatypeProperty(PhenomenonTime).
+		Domain(Observation).Range(rdf.IRI(rdf.XSDDateTime)).
+		Label("phenomenon time", "en")
+	o.ObjectProperty(HasUnit).
+		Range(Unit).
+		Label("has unit", "en")
+	o.ObjectProperty(HostedBy).
+		Domain(Sensor).Range(Platform).
+		Label("hosted by", "en").
+		InverseOf(Hosts)
+	o.ObjectProperty(Hosts).
+		Domain(Platform).Range(Sensor).
+		Label("hosts", "en")
+	o.ObjectProperty(DeployedAt).
+		Domain(Platform).
+		Label("deployed at", "en")
+	o.DatatypeProperty(HasValue).
+		Domain(Result).
+		Label("has value", "en")
+	o.DatatypeProperty(QualityOfObservation).
+		Domain(Observation).
+		Label("quality of observation", "en").
+		Comment("Confidence in [0,1] attached by the mediator (calibration, staleness, source trust).")
+
+	// Alignment: observations are perdurants that the feature participates in.
+	o.ObjectProperty(HasFeatureOfInterest).Sub(dolce.HasParticipant)
+
+	// Unit individuals with symbols.
+	units := []struct {
+		iri    rdf.IRI
+		label  string
+		symbol string
+	}{
+		{UnitMillimetre, "millimetre", "mm"},
+		{UnitCelsius, "degree Celsius", "°C"},
+		{UnitKelvin, "kelvin", "K"},
+		{UnitFahrenheit, "degree Fahrenheit", "°F"},
+		{UnitPercent, "percent", "%"},
+		{UnitFraction, "volumetric fraction", "m3/m3"},
+		{UnitMetre, "metre", "m"},
+		{UnitCentimetre, "centimetre", "cm"},
+		{UnitMetrePerSecond, "metre per second", "m/s"},
+		{UnitKilometrePerHour, "kilometre per hour", "km/h"},
+		{UnitHectopascal, "hectopascal", "hPa"},
+		{UnitIndex, "dimensionless index", "1"},
+	}
+	for _, u := range units {
+		o.Individual(u.iri, Unit)
+		o.MustAssert(u.iri, rdf.RDFSLabel, rdf.NewLangLiteral(u.label, "en"))
+		o.MustAssert(u.iri, NS.IRI("symbol"), rdf.NewLiteral(u.symbol))
+	}
+	o.DatatypeProperty(NS.IRI("symbol")).Domain(Unit).Label("unit symbol", "en")
+
+	return o
+}
+
+// Record is the typed observation the middleware circulates once a raw
+// reading has been semantically annotated. It is the Go-side projection
+// of an ssn:Observation node.
+type Record struct {
+	// ID is the observation node IRI.
+	ID rdf.IRI
+	// Sensor identifies the observing sensor.
+	Sensor rdf.IRI
+	// Property is the unified observed-property IRI.
+	Property rdf.IRI
+	// Feature is the feature of interest (e.g. a district's soil).
+	Feature rdf.IRI
+	// Value is the scalar result after unit normalization.
+	Value float64
+	// Unit is the normalized unit IRI.
+	Unit rdf.IRI
+	// Time is the phenomenon time.
+	Time time.Time
+	// Quality is the mediator's confidence in [0,1].
+	Quality float64
+}
+
+// Validate reports whether the record is complete enough to annotate.
+func (r Record) Validate() error {
+	switch {
+	case r.ID == "":
+		return fmt.Errorf("ssn: record missing ID")
+	case r.Property == "":
+		return fmt.Errorf("ssn: record %s missing property", r.ID)
+	case r.Time.IsZero():
+		return fmt.Errorf("ssn: record %s missing time", r.ID)
+	case r.Quality < 0 || r.Quality > 1:
+		return fmt.Errorf("ssn: record %s quality %v outside [0,1]", r.ID, r.Quality)
+	}
+	return nil
+}
+
+// ToGraph writes the record as SSN triples into g.
+func (r Record) ToGraph(g *rdf.Graph) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	ts := []rdf.Triple{
+		rdf.T(r.ID, rdf.RDFType, Observation),
+		rdf.T(r.ID, HasObservedProperty, r.Property),
+		rdf.T(r.ID, HasSimpleResult, rdf.NewFloat(r.Value)),
+		rdf.T(r.ID, PhenomenonTime, rdf.NewTypedLiteral(r.Time.UTC().Format(time.RFC3339), rdf.XSDDateTime)),
+		rdf.T(r.ID, QualityOfObservation, rdf.NewFloat(r.Quality)),
+	}
+	if r.Sensor != "" {
+		ts = append(ts, rdf.T(r.ID, MadeBySensor, r.Sensor))
+	}
+	if r.Feature != "" {
+		ts = append(ts, rdf.T(r.ID, HasFeatureOfInterest, r.Feature))
+	}
+	if r.Unit != "" {
+		ts = append(ts, rdf.T(r.ID, HasUnit, r.Unit))
+	}
+	return g.AddAll(ts...)
+}
+
+// FromGraph reads an observation node back into a Record. Missing
+// optional fields are left zero; a missing mandatory field is an error.
+func FromGraph(g *rdf.Graph, id rdf.IRI) (Record, error) {
+	r := Record{ID: id, Quality: 1}
+	if !g.Has(rdf.T(id, rdf.RDFType, Observation)) {
+		return r, fmt.Errorf("ssn: %s is not an ssn:Observation", id)
+	}
+	if o, ok := g.FirstObject(id, HasObservedProperty); ok {
+		if iri, ok := o.(rdf.IRI); ok {
+			r.Property = iri
+		}
+	}
+	if r.Property == "" {
+		return r, fmt.Errorf("ssn: %s has no observed property", id)
+	}
+	if o, ok := g.FirstObject(id, MadeBySensor); ok {
+		if iri, ok := o.(rdf.IRI); ok {
+			r.Sensor = iri
+		}
+	}
+	if o, ok := g.FirstObject(id, HasFeatureOfInterest); ok {
+		if iri, ok := o.(rdf.IRI); ok {
+			r.Feature = iri
+		}
+	}
+	if o, ok := g.FirstObject(id, HasUnit); ok {
+		if iri, ok := o.(rdf.IRI); ok {
+			r.Unit = iri
+		}
+	}
+	if o, ok := g.FirstObject(id, HasSimpleResult); ok {
+		if lit, ok := o.(rdf.Literal); ok {
+			if f, ok := lit.Float(); ok {
+				r.Value = f
+			}
+		}
+	}
+	if o, ok := g.FirstObject(id, QualityOfObservation); ok {
+		if lit, ok := o.(rdf.Literal); ok {
+			if f, ok := lit.Float(); ok {
+				r.Quality = f
+			}
+		}
+	}
+	if o, ok := g.FirstObject(id, PhenomenonTime); ok {
+		if lit, ok := o.(rdf.Literal); ok {
+			if t, err := time.Parse(time.RFC3339, lit.Lexical); err == nil {
+				r.Time = t
+			}
+		}
+	}
+	if r.Time.IsZero() {
+		return r, fmt.Errorf("ssn: %s has no parseable phenomenon time", id)
+	}
+	return r, nil
+}

@@ -1,0 +1,340 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Graph is an in-memory set of triples with three complete indexes
+// (SPO, POS, OSP) so that every triple pattern with at least one bound
+// component is answered by index lookup rather than a scan.
+//
+// A Graph is safe for concurrent use: reads take a shared lock, writes an
+// exclusive one. The zero value is not usable; call NewGraph.
+type Graph struct {
+	mu sync.RWMutex
+	// spo maps subject key → predicate key → object key → triple.
+	spo map[string]map[string]map[string]Triple
+	// pos maps predicate key → object key → subject key → triple.
+	pos map[string]map[string]map[string]Triple
+	// osp maps object key → subject key → predicate key → triple.
+	osp map[string]map[string]map[string]Triple
+	n   int
+	// bnodeSeq numbers graph-allocated blank nodes.
+	bnodeSeq int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		spo: make(map[string]map[string]map[string]Triple),
+		pos: make(map[string]map[string]map[string]Triple),
+		osp: make(map[string]map[string]map[string]Triple),
+	}
+}
+
+// NewGraphFrom returns a graph initialized with the given triples.
+// Invalid triples are rejected with an error.
+func NewGraphFrom(ts ...Triple) (*Graph, error) {
+	g := NewGraph()
+	for _, t := range ts {
+		if err := g.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Len returns the number of distinct triples in the graph.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// NewBlankNode allocates a fresh blank node with a label unique within
+// this graph ("g0", "g1", ...).
+func (g *Graph) NewBlankNode() BlankNode {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := BlankNode(fmt.Sprintf("g%d", g.bnodeSeq))
+	g.bnodeSeq++
+	return b
+}
+
+// Add inserts a triple. Adding an existing triple is a no-op. It returns
+// an error when the triple is not well-formed.
+func (g *Graph) Add(t Triple) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.addLocked(t)
+	return nil
+}
+
+// AddAll inserts every triple, stopping at the first invalid one.
+func (g *Graph) AddAll(ts ...Triple) error {
+	for _, t := range ts {
+		if err := g.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustAdd inserts a triple and panics on malformed input. It is intended
+// for static, programmer-authored data such as ontology axioms, where a
+// malformed triple is a programming error.
+func (g *Graph) MustAdd(t Triple) {
+	if err := g.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) addLocked(t Triple) {
+	sk, pk, ok := t.S.Key(), t.P.Key(), t.O.Key()
+	if _, exists := g.spo[sk][pk][ok]; exists {
+		return
+	}
+	idxAdd(g.spo, sk, pk, ok, t)
+	idxAdd(g.pos, pk, ok, sk, t)
+	idxAdd(g.osp, ok, sk, pk, t)
+	g.n++
+}
+
+func idxAdd(idx map[string]map[string]map[string]Triple, a, b, c string, t Triple) {
+	l2, ok := idx[a]
+	if !ok {
+		l2 = make(map[string]map[string]Triple)
+		idx[a] = l2
+	}
+	l3, ok := l2[b]
+	if !ok {
+		l3 = make(map[string]Triple)
+		l2[b] = l3
+	}
+	l3[c] = t
+}
+
+// Remove deletes a triple, reporting whether it was present.
+func (g *Graph) Remove(t Triple) bool {
+	if t.Validate() != nil {
+		return false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	sk, pk, ok := t.S.Key(), t.P.Key(), t.O.Key()
+	if _, exists := g.spo[sk][pk][ok]; !exists {
+		return false
+	}
+	idxRemove(g.spo, sk, pk, ok)
+	idxRemove(g.pos, pk, ok, sk)
+	idxRemove(g.osp, ok, sk, pk)
+	g.n--
+	return true
+}
+
+func idxRemove(idx map[string]map[string]map[string]Triple, a, b, c string) {
+	l2 := idx[a]
+	l3 := l2[b]
+	delete(l3, c)
+	if len(l3) == 0 {
+		delete(l2, b)
+	}
+	if len(l2) == 0 {
+		delete(idx, a)
+	}
+}
+
+// Has reports whether the graph contains the exact triple.
+func (g *Graph) Has(t Triple) bool {
+	if t.Validate() != nil {
+		return false
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.spo[t.S.Key()][t.P.Key()][t.O.Key()]
+	return ok
+}
+
+// Match returns all triples matching the pattern, where a nil component is
+// a wildcard. The result order is unspecified.
+func (g *Graph) Match(s, p, o Term) []Triple {
+	var out []Triple
+	g.ForEachMatch(s, p, o, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of triples matching the pattern without
+// materializing them.
+func (g *Graph) Count(s, p, o Term) int {
+	n := 0
+	g.ForEachMatch(s, p, o, func(Triple) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// ForEachMatch streams triples matching the pattern to fn; iteration stops
+// early when fn returns false. A nil component is a wildcard.
+//
+// fn must not mutate the graph.
+func (g *Graph) ForEachMatch(s, p, o Term, fn func(Triple) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+
+	switch {
+	case s != nil && p != nil && o != nil:
+		if t, ok := g.spo[s.Key()][p.Key()][o.Key()]; ok {
+			fn(t)
+		}
+	case s != nil && p != nil:
+		for _, t := range g.spo[s.Key()][p.Key()] {
+			if !fn(t) {
+				return
+			}
+		}
+	case s != nil && o != nil:
+		for _, t := range g.osp[o.Key()][s.Key()] {
+			if !fn(t) {
+				return
+			}
+		}
+	case p != nil && o != nil:
+		for _, t := range g.pos[p.Key()][o.Key()] {
+			if !fn(t) {
+				return
+			}
+		}
+	case s != nil:
+		for _, l3 := range g.spo[s.Key()] {
+			for _, t := range l3 {
+				if !fn(t) {
+					return
+				}
+			}
+		}
+	case p != nil:
+		for _, l3 := range g.pos[p.Key()] {
+			for _, t := range l3 {
+				if !fn(t) {
+					return
+				}
+			}
+		}
+	case o != nil:
+		for _, l3 := range g.osp[o.Key()] {
+			for _, t := range l3 {
+				if !fn(t) {
+					return
+				}
+			}
+		}
+	default:
+		for _, l2 := range g.spo {
+			for _, l3 := range l2 {
+				for _, t := range l3 {
+					if !fn(t) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Triples returns a snapshot of every triple in deterministic order.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, g.Len())
+	g.ForEachMatch(nil, nil, nil, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	SortTriples(out)
+	return out
+}
+
+// Subjects returns the distinct subjects of triples matching (-, p, o).
+func (g *Graph) Subjects(p, o Term) []Term {
+	seen := make(map[string]Term)
+	g.ForEachMatch(nil, p, o, func(t Triple) bool {
+		seen[t.S.Key()] = t.S
+		return true
+	})
+	return collect(seen)
+}
+
+// Objects returns the distinct objects of triples matching (s, p, -).
+func (g *Graph) Objects(s, p Term) []Term {
+	seen := make(map[string]Term)
+	g.ForEachMatch(s, p, nil, func(t Triple) bool {
+		seen[t.O.Key()] = t.O
+		return true
+	})
+	return collect(seen)
+}
+
+// FirstObject returns the object of an arbitrary triple matching (s, p, -)
+// and whether one exists. It is the common accessor for functional
+// properties.
+func (g *Graph) FirstObject(s, p Term) (Term, bool) {
+	var out Term
+	g.ForEachMatch(s, p, nil, func(t Triple) bool {
+		out = t.O
+		return false
+	})
+	return out, out != nil
+}
+
+func collect(m map[string]Term) []Term {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Deterministic order keeps downstream output stable.
+	sort.Strings(keys)
+	out := make([]Term, 0, len(m))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Merge adds every triple of src into g. Blank node labels are kept as-is;
+// callers that need blank-node isolation should rename first.
+func (g *Graph) Merge(src *Graph) {
+	for _, t := range src.Triples() {
+		g.MustAdd(t)
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph()
+	out.Merge(g)
+	return out
+}
+
+// EqualGraphs reports whether two graphs contain exactly the same triple
+// set (no blank-node isomorphism — labels must match).
+func EqualGraphs(a, b *Graph) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	equal := true
+	a.ForEachMatch(nil, nil, nil, func(t Triple) bool {
+		if !b.Has(t) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}

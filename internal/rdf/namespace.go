@@ -1,0 +1,198 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Namespace is an IRI prefix that can mint terms, e.g.
+//
+//	var EX = rdf.Namespace("http://example.org/")
+//	EX.IRI("Drought")  // <http://example.org/Drought>
+type Namespace string
+
+// IRI returns the namespace concatenated with the local name.
+func (ns Namespace) IRI(local string) IRI { return IRI(string(ns) + local) }
+
+// Contains reports whether the IRI falls inside this namespace.
+func (ns Namespace) Contains(i IRI) bool {
+	return strings.HasPrefix(string(i), string(ns))
+}
+
+// Local returns the part of the IRI after the namespace; ok is false when
+// the IRI is not in this namespace.
+func (ns Namespace) Local(i IRI) (string, bool) {
+	if !ns.Contains(i) {
+		return "", false
+	}
+	return string(i)[len(ns):], true
+}
+
+// Well-known namespaces used across the middleware.
+const (
+	NSRDF  = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+	NSRDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+	NSOWL  = Namespace("http://www.w3.org/2002/07/owl#")
+	NSXSD  = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+	// Project namespaces (the unified ontology library of Figure 1).
+	NSDOLCE = Namespace("http://dews.africrid.example/ontology/dolce#")
+	NSSSN   = Namespace("http://dews.africrid.example/ontology/ssn#")
+	NSDEWS  = Namespace("http://dews.africrid.example/ontology/drought#")
+	NSIK    = Namespace("http://dews.africrid.example/ontology/ik#")
+	NSGEO   = Namespace("http://dews.africrid.example/ontology/geo#")
+	NSOBS   = Namespace("http://dews.africrid.example/data/observation/")
+)
+
+// Core RDF/RDFS/OWL vocabulary terms.
+var (
+	RDFType      = NSRDF.IRI("type")
+	RDFProperty  = NSRDF.IRI("Property")
+	RDFFirst     = NSRDF.IRI("first")
+	RDFRest      = NSRDF.IRI("rest")
+	RDFNil       = NSRDF.IRI("nil")
+	RDFValue     = NSRDF.IRI("value")
+	RDFStatement = NSRDF.IRI("Statement")
+
+	RDFSClass         = NSRDFS.IRI("Class")
+	RDFSSubClassOf    = NSRDFS.IRI("subClassOf")
+	RDFSSubPropertyOf = NSRDFS.IRI("subPropertyOf")
+	RDFSDomain        = NSRDFS.IRI("domain")
+	RDFSRange         = NSRDFS.IRI("range")
+	RDFSLabel         = NSRDFS.IRI("label")
+	RDFSComment       = NSRDFS.IRI("comment")
+	RDFSResource      = NSRDFS.IRI("Resource")
+	RDFSSeeAlso       = NSRDFS.IRI("seeAlso")
+	RDFSIsDefinedBy   = NSRDFS.IRI("isDefinedBy")
+
+	OWLClass              = NSOWL.IRI("Class")
+	OWLObjectProperty     = NSOWL.IRI("ObjectProperty")
+	OWLDatatypeProperty   = NSOWL.IRI("DatatypeProperty")
+	OWLTransitiveProperty = NSOWL.IRI("TransitiveProperty")
+	OWLSymmetricProperty  = NSOWL.IRI("SymmetricProperty")
+	OWLFunctionalProperty = NSOWL.IRI("FunctionalProperty")
+	OWLInverseOf          = NSOWL.IRI("inverseOf")
+	OWLSameAs             = NSOWL.IRI("sameAs")
+	OWLEquivalentClass    = NSOWL.IRI("equivalentClass")
+	OWLDisjointWith       = NSOWL.IRI("disjointWith")
+	OWLOntology           = NSOWL.IRI("Ontology")
+	OWLImports            = NSOWL.IRI("imports")
+	OWLThing              = NSOWL.IRI("Thing")
+	OWLNothing            = NSOWL.IRI("Nothing")
+)
+
+// PrefixMap maps prefix labels (without the colon) to namespaces, for
+// Turtle parsing/serialization and for compacting IRIs in logs and CLIs.
+type PrefixMap struct {
+	byPrefix map[string]Namespace
+	// ordered prefixes for deterministic output
+	order []string
+}
+
+// NewPrefixMap returns an empty prefix map.
+func NewPrefixMap() *PrefixMap {
+	return &PrefixMap{byPrefix: make(map[string]Namespace)}
+}
+
+// DefaultPrefixes returns a prefix map pre-populated with the well-known
+// and project namespaces.
+func DefaultPrefixes() *PrefixMap {
+	pm := NewPrefixMap()
+	pm.Bind("rdf", NSRDF)
+	pm.Bind("rdfs", NSRDFS)
+	pm.Bind("owl", NSOWL)
+	pm.Bind("xsd", NSXSD)
+	pm.Bind("dolce", NSDOLCE)
+	pm.Bind("ssn", NSSSN)
+	pm.Bind("dews", NSDEWS)
+	pm.Bind("ik", NSIK)
+	pm.Bind("geo", NSGEO)
+	pm.Bind("obs", NSOBS)
+	return pm
+}
+
+// Bind associates a prefix with a namespace, replacing any previous
+// binding for that prefix.
+func (pm *PrefixMap) Bind(prefix string, ns Namespace) {
+	if _, exists := pm.byPrefix[prefix]; !exists {
+		pm.order = append(pm.order, prefix)
+	}
+	pm.byPrefix[prefix] = ns
+}
+
+// Resolve expands a prefixed name like "dews:Drought" to a full IRI.
+func (pm *PrefixMap) Resolve(pname string) (IRI, error) {
+	i := strings.Index(pname, ":")
+	if i < 0 {
+		return "", fmt.Errorf("rdf: %q is not a prefixed name", pname)
+	}
+	prefix, local := pname[:i], pname[i+1:]
+	ns, ok := pm.byPrefix[prefix]
+	if !ok {
+		return "", fmt.Errorf("rdf: unknown prefix %q", prefix)
+	}
+	return ns.IRI(local), nil
+}
+
+// Namespace returns the namespace bound to prefix.
+func (pm *PrefixMap) Namespace(prefix string) (Namespace, bool) {
+	ns, ok := pm.byPrefix[prefix]
+	return ns, ok
+}
+
+// Compact renders an IRI using the longest matching bound namespace, e.g.
+// dews:Drought. When no namespace matches it returns the <...> form.
+func (pm *PrefixMap) Compact(i IRI) string {
+	bestLen := -1
+	best := ""
+	for prefix, ns := range pm.byPrefix {
+		if ns.Contains(i) && len(ns) > bestLen {
+			local, _ := ns.Local(i)
+			if !validLocalName(local) {
+				continue
+			}
+			bestLen = len(ns)
+			best = prefix + ":" + local
+		}
+	}
+	if bestLen < 0 {
+		return i.String()
+	}
+	return best
+}
+
+// Prefixes returns the bound prefixes in binding order.
+func (pm *PrefixMap) Prefixes() []string {
+	out := make([]string, len(pm.order))
+	copy(out, pm.order)
+	return out
+}
+
+// SortedPrefixes returns the bound prefixes in lexicographic order.
+func (pm *PrefixMap) SortedPrefixes() []string {
+	out := pm.Prefixes()
+	sort.Strings(out)
+	return out
+}
+
+// validLocalName reports whether local can appear after a prefix colon in
+// Turtle without escaping. We are conservative: alphanumerics, '_', '-',
+// '.' (not leading/trailing).
+func validLocalName(local string) bool {
+	if local == "" {
+		return true
+	}
+	if local[0] == '.' || local[len(local)-1] == '.' {
+		return false
+	}
+	for _, r := range local {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '_' || r == '-' || r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,99 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteNTriples serializes the graph in canonical (sorted) N-Triples form.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.Triples() {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// NTriplesString returns the canonical N-Triples serialization as a string.
+func NTriplesString(g *Graph) string {
+	var b strings.Builder
+	_ = WriteNTriples(&b, g) // strings.Builder never errors
+	return b.String()
+}
+
+// ParseNTriples reads an N-Triples document into a new graph.
+func ParseNTriples(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseNTriplesLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: n-triples line %d: %w", lineNo, err)
+		}
+		if err := g.Add(t); err != nil {
+			return nil, fmt.Errorf("rdf: n-triples line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: reading n-triples: %w", err)
+	}
+	return g, nil
+}
+
+// parseNTriplesLine parses one statement, reusing the Turtle lexer since
+// N-Triples is a syntactic subset of Turtle.
+func parseNTriplesLine(line string) (Triple, error) {
+	p := newTurtleParser(strings.NewReader(line))
+	s, err := p.parseTerm()
+	if err != nil {
+		return Triple{}, fmt.Errorf("subject: %w", err)
+	}
+	pr, err := p.parseTerm()
+	if err != nil {
+		return Triple{}, fmt.Errorf("predicate: %w", err)
+	}
+	o, err := p.parseTerm()
+	if err != nil {
+		return Triple{}, fmt.Errorf("object: %w", err)
+	}
+	if err := p.expect(tokDot); err != nil {
+		return Triple{}, err
+	}
+	t := Triple{S: s, P: pr, O: o}
+	if err := t.Validate(); err != nil {
+		return Triple{}, err
+	}
+	return t, nil
+}
+
+// parseTerm parses a single ground term (no abbreviations) for N-Triples.
+func (p *turtleParser) parseTerm() (Term, error) {
+	tok, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	switch tok.kind {
+	case tokIRI:
+		return IRI(tok.text), nil
+	case tokBlank:
+		return BlankNode(tok.text), nil
+	case tokLiteral:
+		return p.finishLiteral(tok)
+	default:
+		return nil, fmt.Errorf("unexpected token %s", tok)
+	}
+}

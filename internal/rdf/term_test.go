@@ -1,0 +1,200 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermKinds(t *testing.T) {
+	tests := []struct {
+		name string
+		term Term
+		kind TermKind
+	}{
+		{"iri", IRI("http://example.org/a"), KindIRI},
+		{"literal", NewLiteral("hello"), KindLiteral},
+		{"blank", BlankNode("b0"), KindBlank},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.term.Kind(); got != tt.kind {
+				t.Errorf("Kind() = %v, want %v", got, tt.kind)
+			}
+		})
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if KindIRI.String() != "IRI" || KindLiteral.String() != "Literal" || KindBlank.String() != "BlankNode" {
+		t.Errorf("unexpected kind strings: %v %v %v", KindIRI, KindLiteral, KindBlank)
+	}
+	if got := TermKind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind should embed number, got %q", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Term
+		want bool
+	}{
+		{"same iri", IRI("http://x/a"), IRI("http://x/a"), true},
+		{"diff iri", IRI("http://x/a"), IRI("http://x/b"), false},
+		{"iri vs literal same text", IRI("x"), NewLiteral("x"), false},
+		{"plain literals", NewLiteral("a"), NewLiteral("a"), true},
+		{"lang differs", NewLangLiteral("a", "en"), NewLangLiteral("a", "st"), false},
+		{"lang case-normalized", NewLangLiteral("a", "EN"), NewLangLiteral("a", "en"), true},
+		{"datatype differs", NewTypedLiteral("1", XSDInteger), NewTypedLiteral("1", XSDDouble), false},
+		{"both nil", nil, nil, true},
+		{"one nil", IRI("x"), nil, false},
+		{"blank nodes", BlankNode("a"), BlankNode("a"), true},
+		{"blank vs iri", BlankNode("a"), IRI("a"), false},
+		{"xsd:string normalizes to plain", NewTypedLiteral("a", XSDString), NewLiteral("a"), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Equal(tt.a, tt.b); got != tt.want {
+				t.Errorf("Equal(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestIRILocalName(t *testing.T) {
+	tests := []struct {
+		iri  IRI
+		want string
+	}{
+		{IRI("http://example.org/onto#Drought"), "Drought"},
+		{IRI("http://example.org/onto/Drought"), "Drought"},
+		{IRI("urn:thing"), "thing"},
+		{IRI("plain"), "plain"},
+		{IRI("http://example.org/onto#"), "http://example.org/onto#"},
+	}
+	for _, tt := range tests {
+		if got := tt.iri.LocalName(); got != tt.want {
+			t.Errorf("LocalName(%q) = %q, want %q", tt.iri, got, tt.want)
+		}
+	}
+}
+
+func TestLiteralConstructors(t *testing.T) {
+	if l := NewBool(true); l.Lexical != "true" || l.Datatype != XSDBoolean {
+		t.Errorf("NewBool: %+v", l)
+	}
+	if l := NewInt(-42); l.Lexical != "-42" || l.Datatype != XSDInteger {
+		t.Errorf("NewInt: %+v", l)
+	}
+	if l := NewFloat(2.5); l.Lexical != "2.5" || l.Datatype != XSDDouble {
+		t.Errorf("NewFloat: %+v", l)
+	}
+	if l := NewLangLiteral("pula", "ST"); l.Lang != "st" {
+		t.Errorf("NewLangLiteral should lower-case tag: %+v", l)
+	}
+}
+
+func TestLiteralAccessors(t *testing.T) {
+	if f, ok := NewFloat(3.25).Float(); !ok || f != 3.25 {
+		t.Errorf("Float() = %v, %v", f, ok)
+	}
+	if _, ok := NewLiteral("xyz").Float(); ok {
+		t.Error("Float on non-number should fail")
+	}
+	if v, ok := NewInt(7).Int(); !ok || v != 7 {
+		t.Errorf("Int() = %v, %v", v, ok)
+	}
+	if b, ok := NewBool(true).Bool(); !ok || !b {
+		t.Errorf("Bool() = %v, %v", b, ok)
+	}
+	if b, ok := (Literal{Lexical: "0"}).Bool(); !ok || b {
+		t.Errorf(`Bool("0") = %v, %v`, b, ok)
+	}
+	if _, ok := NewLiteral("maybe").Bool(); ok {
+		t.Error("Bool on junk should fail")
+	}
+}
+
+func TestLiteralEffectiveDatatype(t *testing.T) {
+	tests := []struct {
+		lit  Literal
+		want IRI
+	}{
+		{NewLiteral("x"), XSDString},
+		{NewLangLiteral("x", "en"), RDFLangString},
+		{NewTypedLiteral("1", XSDInteger), XSDInteger},
+	}
+	for _, tt := range tests {
+		if got := tt.lit.EffectiveDatatype(); got != tt.want {
+			t.Errorf("EffectiveDatatype(%v) = %v, want %v", tt.lit, got, tt.want)
+		}
+	}
+}
+
+func TestLiteralIsNumeric(t *testing.T) {
+	if !NewInt(1).IsNumeric() || !NewFloat(1).IsNumeric() {
+		t.Error("int/double literals should be numeric")
+	}
+	if NewLiteral("1").IsNumeric() {
+		t.Error("plain literal is not numeric even if it parses")
+	}
+}
+
+func TestLiteralStringEscaping(t *testing.T) {
+	l := NewLiteral("line1\nline2\t\"quoted\"\\slash")
+	s := l.String()
+	want := `"line1\nline2\t\"quoted\"\\slash"`
+	if s != want {
+		t.Errorf("String() = %s, want %s", s, want)
+	}
+}
+
+func TestIRIStringEscaping(t *testing.T) {
+	i := IRI("http://example.org/bad iri<>")
+	s := i.String()
+	if strings.ContainsAny(s[1:len(s)-1], " <>") {
+		t.Errorf("IRI.String() must escape forbidden chars, got %s", s)
+	}
+}
+
+func TestTermKeyUniqueAcrossKinds(t *testing.T) {
+	// The same text as IRI, literal, and blank node must yield distinct keys.
+	keys := map[string]bool{
+		IRI("x").Key():        true,
+		NewLiteral("x").Key(): true,
+		BlankNode("x").Key():  true,
+	}
+	if len(keys) != 3 {
+		t.Errorf("keys collide: %v", keys)
+	}
+}
+
+func TestKeyDistinguishesLangAndDatatype(t *testing.T) {
+	a := NewLangLiteral("x", "en").Key()
+	b := NewTypedLiteral("x", XSDInteger).Key()
+	c := NewLiteral("x").Key()
+	if a == b || a == c || b == c {
+		t.Errorf("literal keys collide: %q %q %q", a, b, c)
+	}
+}
+
+func TestQuickLiteralFloatRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		got, ok := NewFloat(v).Float()
+		return ok && (got == v || (got != got && v != v)) // NaN equals itself for our purpose
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		got, ok := NewInt(v).Int()
+		return ok && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

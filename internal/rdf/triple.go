@@ -1,0 +1,70 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Triple is an RDF statement: subject, predicate, object.
+//
+// Subjects are IRIs or blank nodes; predicates are IRIs; objects are any
+// term. Validity is checked by Validate, not by construction, so that
+// parsers can build triples incrementally.
+type Triple struct {
+	S Term
+	P Term
+	O Term
+}
+
+// T is a convenience constructor for a Triple.
+func T(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// Validate reports nil when the triple is well-formed RDF, and a
+// descriptive error otherwise.
+func (t Triple) Validate() error {
+	if t.S == nil || t.P == nil || t.O == nil {
+		return fmt.Errorf("rdf: triple has nil component: %v", t)
+	}
+	switch t.S.Kind() {
+	case KindIRI, KindBlank:
+	default:
+		return fmt.Errorf("rdf: subject must be IRI or blank node, got %s", t.S.Kind())
+	}
+	if t.P.Kind() != KindIRI {
+		return fmt.Errorf("rdf: predicate must be IRI, got %s", t.P.Kind())
+	}
+	return nil
+}
+
+// Key returns a canonical encoding of the triple usable as a map key.
+func (t Triple) Key() string {
+	return t.S.Key() + "\x00" + t.P.Key() + "\x00" + t.O.Key()
+}
+
+// String returns the N-Triples serialization of the statement, including
+// the terminating period.
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}
+
+// Equal reports component-wise term equality.
+func (t Triple) Equal(u Triple) bool {
+	return Equal(t.S, u.S) && Equal(t.P, u.P) && Equal(t.O, u.O)
+}
+
+// SortTriples sorts a slice of triples into a deterministic order
+// (lexicographic by subject, predicate, object key). It is used by the
+// serializers and by tests that compare graphs.
+func SortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if c := strings.Compare(a.S.Key(), b.S.Key()); c != 0 {
+			return c < 0
+		}
+		if c := strings.Compare(a.P.Key(), b.P.Key()); c != 0 {
+			return c < 0
+		}
+		return a.O.Key() < b.O.Key()
+	})
+}

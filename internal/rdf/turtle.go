@@ -1,0 +1,978 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// ParseTurtle reads a Turtle document into a new graph. The supported
+// subset covers everything the middleware serializes plus the common
+// abbreviations: @prefix/PREFIX, @base/BASE, prefixed names, 'a',
+// predicate-object lists (';'), object lists (','), anonymous and
+// property-carrying blank nodes ('[…]'), collections ('(…)'), numeric,
+// boolean, and string literals with language tags and datatypes, and
+// triple-quoted long strings.
+func ParseTurtle(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	p := newTurtleParser(r)
+	if err := p.parseDocument(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseTurtleString is ParseTurtle over a string.
+func ParseTurtleString(s string) (*Graph, error) {
+	return ParseTurtle(strings.NewReader(s))
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIRI
+	tokPName   // prefixed name, text holds "prefix:local"
+	tokBlank   // blank node label without "_:"
+	tokLiteral // quoted string; lexical value in text (unescaped)
+	tokLangTag // @lang
+	tokDTSep   // ^^
+	tokNumber
+	tokBoolean
+	tokDot
+	tokSemicolon
+	tokComma
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+	tokA         // keyword 'a'
+	tokPrefixDir // @prefix or PREFIX
+	tokBaseDir   // @base or BASE
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIRI:
+		return fmt.Sprintf("<%s>", t.text)
+	case tokLiteral:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type turtleParser struct {
+	r       *bufio.Reader
+	line    int
+	peeked  *token
+	prefix  *PrefixMap
+	base    string
+	bnodeCt int
+	// pendingDot is set when the lexer consumed a statement-terminating
+	// '.' while scanning a prefixed name (e.g. "dews:Drought.").
+	pendingDot bool
+}
+
+func newTurtleParser(r io.Reader) *turtleParser {
+	return &turtleParser{
+		r:      bufio.NewReaderSize(r, 64*1024),
+		line:   1,
+		prefix: NewPrefixMap(),
+	}
+}
+
+func (p *turtleParser) errf(format string, args ...any) error {
+	return fmt.Errorf("rdf: turtle line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *turtleParser) readRune() (rune, bool) {
+	r, _, err := p.r.ReadRune()
+	if err != nil {
+		return 0, false
+	}
+	if r == '\n' {
+		p.line++
+	}
+	return r, true
+}
+
+func (p *turtleParser) unread() { _ = p.r.UnreadRune() }
+
+func (p *turtleParser) skipSpaceAndComments() {
+	for {
+		r, ok := p.readRune()
+		if !ok {
+			return
+		}
+		if r == '#' {
+			for {
+				c, ok := p.readRune()
+				if !ok || c == '\n' {
+					break
+				}
+			}
+			continue
+		}
+		if !unicode.IsSpace(r) {
+			if r == '\n' {
+				p.line--
+			}
+			p.unread()
+			return
+		}
+	}
+}
+
+func (p *turtleParser) peek() (token, error) {
+	if p.peeked != nil {
+		return *p.peeked, nil
+	}
+	t, err := p.lex()
+	if err != nil {
+		return token{}, err
+	}
+	p.peeked = &t
+	return t, nil
+}
+
+func (p *turtleParser) next() (token, error) {
+	if p.peeked != nil {
+		t := *p.peeked
+		p.peeked = nil
+		return t, nil
+	}
+	return p.lex()
+}
+
+func (p *turtleParser) expect(kind tokKind) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != kind {
+		return p.errf("expected token kind %d, got %s", kind, t)
+	}
+	return nil
+}
+
+func (p *turtleParser) lex() (token, error) {
+	p.skipSpaceAndComments()
+	r, ok := p.readRune()
+	if !ok {
+		return token{kind: tokEOF, line: p.line}, nil
+	}
+	switch r {
+	case '<':
+		return p.lexIRI()
+	case '"', '\'':
+		return p.lexString(r)
+	case '.':
+		// Distinguish statement dot from a leading decimal like ".5"
+		nr, ok2 := p.readRune()
+		if ok2 {
+			p.unread()
+			if nr >= '0' && nr <= '9' {
+				return p.lexNumber('.')
+			}
+		}
+		return token{kind: tokDot, text: ".", line: p.line}, nil
+	case ';':
+		return token{kind: tokSemicolon, text: ";", line: p.line}, nil
+	case ',':
+		return token{kind: tokComma, text: ",", line: p.line}, nil
+	case '[':
+		return token{kind: tokLBracket, text: "[", line: p.line}, nil
+	case ']':
+		return token{kind: tokRBracket, text: "]", line: p.line}, nil
+	case '(':
+		return token{kind: tokLParen, text: "(", line: p.line}, nil
+	case ')':
+		return token{kind: tokRParen, text: ")", line: p.line}, nil
+	case '^':
+		r2, ok2 := p.readRune()
+		if !ok2 || r2 != '^' {
+			return token{}, p.errf("lone '^'")
+		}
+		return token{kind: tokDTSep, text: "^^", line: p.line}, nil
+	case '@':
+		word := p.lexWord()
+		switch strings.ToLower(word) {
+		case "prefix":
+			return token{kind: tokPrefixDir, text: "@prefix", line: p.line}, nil
+		case "base":
+			return token{kind: tokBaseDir, text: "@base", line: p.line}, nil
+		default:
+			return token{kind: tokLangTag, text: strings.ToLower(word), line: p.line}, nil
+		}
+	case '_':
+		r2, ok2 := p.readRune()
+		if !ok2 || r2 != ':' {
+			return token{}, p.errf("expected ':' after '_' in blank node label")
+		}
+		label := p.lexWord()
+		if label == "" {
+			return token{}, p.errf("empty blank node label")
+		}
+		return token{kind: tokBlank, text: label, line: p.line}, nil
+	case '+', '-':
+		return p.lexNumber(r)
+	}
+	if r >= '0' && r <= '9' {
+		return p.lexNumber(r)
+	}
+	if isPNCharBase(r) {
+		p.unread()
+		return p.lexPNameOrKeyword()
+	}
+	return token{}, p.errf("unexpected character %q", r)
+}
+
+func (p *turtleParser) lexIRI() (token, error) {
+	var b strings.Builder
+	for {
+		r, ok := p.readRune()
+		if !ok {
+			return token{}, p.errf("unterminated IRI")
+		}
+		switch r {
+		case '>':
+			return token{kind: tokIRI, text: b.String(), line: p.line}, nil
+		case '\\':
+			esc, err := p.readEscape()
+			if err != nil {
+				return token{}, err
+			}
+			b.WriteRune(esc)
+		case '\n':
+			return token{}, p.errf("newline in IRI")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+func (p *turtleParser) lexString(quote rune) (token, error) {
+	// Check for long (triple-quoted) form.
+	long := false
+	r1, ok := p.readRune()
+	if ok && r1 == quote {
+		r2, ok2 := p.readRune()
+		if ok2 && r2 == quote {
+			long = true
+		} else {
+			if ok2 {
+				p.unread()
+			}
+			// Empty string "" — the second quote closed it.
+			return token{kind: tokLiteral, text: "", line: p.line}, nil
+		}
+	} else if ok {
+		p.unread()
+	}
+
+	var b strings.Builder
+	for {
+		r, ok := p.readRune()
+		if !ok {
+			return token{}, p.errf("unterminated string literal")
+		}
+		if r == quote {
+			if !long {
+				return token{kind: tokLiteral, text: b.String(), line: p.line}, nil
+			}
+			// Need three closing quotes.
+			r2, ok2 := p.readRune()
+			if ok2 && r2 == quote {
+				r3, ok3 := p.readRune()
+				if ok3 && r3 == quote {
+					return token{kind: tokLiteral, text: b.String(), line: p.line}, nil
+				}
+				if ok3 {
+					p.unread()
+				}
+				b.WriteRune(quote)
+				b.WriteRune(quote)
+				continue
+			}
+			if ok2 {
+				p.unread()
+			}
+			b.WriteRune(quote)
+			continue
+		}
+		if r == '\\' {
+			esc, err := p.readEscape()
+			if err != nil {
+				return token{}, err
+			}
+			b.WriteRune(esc)
+			continue
+		}
+		if r == '\n' && !long {
+			return token{}, p.errf("newline in single-line string")
+		}
+		b.WriteRune(r)
+	}
+}
+
+func (p *turtleParser) readEscape() (rune, error) {
+	r, ok := p.readRune()
+	if !ok {
+		return 0, p.errf("dangling escape")
+	}
+	switch r {
+	case 't':
+		return '\t', nil
+	case 'b':
+		return '\b', nil
+	case 'n':
+		return '\n', nil
+	case 'r':
+		return '\r', nil
+	case 'f':
+		return '\f', nil
+	case '"':
+		return '"', nil
+	case '\'':
+		return '\'', nil
+	case '\\':
+		return '\\', nil
+	case 'u':
+		return p.readHex(4)
+	case 'U':
+		return p.readHex(8)
+	default:
+		return 0, p.errf("invalid escape \\%c", r)
+	}
+}
+
+func (p *turtleParser) readHex(n int) (rune, error) {
+	v := 0
+	for i := 0; i < n; i++ {
+		r, ok := p.readRune()
+		if !ok {
+			return 0, p.errf("truncated \\u escape")
+		}
+		d := hexVal(r)
+		if d < 0 {
+			return 0, p.errf("invalid hex digit %q", r)
+		}
+		v = v*16 + d
+	}
+	return rune(v), nil
+}
+
+func hexVal(r rune) int {
+	switch {
+	case r >= '0' && r <= '9':
+		return int(r - '0')
+	case r >= 'a' && r <= 'f':
+		return int(r-'a') + 10
+	case r >= 'A' && r <= 'F':
+		return int(r-'A') + 10
+	}
+	return -1
+}
+
+// lexWord reads a run of letters, digits, '-' and '_'.
+func (p *turtleParser) lexWord() string {
+	var b strings.Builder
+	for {
+		r, ok := p.readRune()
+		if !ok {
+			break
+		}
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_' {
+			b.WriteRune(r)
+			continue
+		}
+		p.unread()
+		break
+	}
+	return b.String()
+}
+
+func (p *turtleParser) lexNumber(first rune) (token, error) {
+	var b strings.Builder
+	b.WriteRune(first)
+	seenDot := first == '.'
+	seenExp := false
+	for {
+		r, ok := p.readRune()
+		if !ok {
+			break
+		}
+		switch {
+		case r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == '.' && !seenDot && !seenExp:
+			// A dot followed by a non-digit terminates the statement
+			// instead ("1 ." vs "1.5").
+			nr, ok2 := p.readRune()
+			if ok2 {
+				p.unread()
+			}
+			if !ok2 || nr < '0' || nr > '9' {
+				p.unread() // push the dot back
+				return token{kind: tokNumber, text: b.String(), line: p.line}, nil
+			}
+			seenDot = true
+			b.WriteRune(r)
+		case (r == 'e' || r == 'E') && !seenExp:
+			seenExp = true
+			b.WriteRune(r)
+			nr, ok2 := p.readRune()
+			if ok2 && (nr == '+' || nr == '-' || (nr >= '0' && nr <= '9')) {
+				b.WriteRune(nr)
+			} else if ok2 {
+				p.unread()
+			}
+		default:
+			p.unread()
+			return token{kind: tokNumber, text: b.String(), line: p.line}, nil
+		}
+	}
+	return token{kind: tokNumber, text: b.String(), line: p.line}, nil
+}
+
+func isPNCharBase(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// lexPNameOrKeyword reads a prefixed name ("pre:local", ":local", or a bare
+// keyword such as 'a', 'true', 'false', 'PREFIX', 'BASE').
+func (p *turtleParser) lexPNameOrKeyword() (token, error) {
+	var b strings.Builder
+	colon := false
+	for {
+		r, ok := p.readRune()
+		if !ok {
+			break
+		}
+		if r == ':' && !colon {
+			colon = true
+			b.WriteRune(r)
+			continue
+		}
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' ||
+			(colon && r == '.') {
+			b.WriteRune(r)
+			continue
+		}
+		p.unread()
+		break
+	}
+	text := b.String()
+	// A trailing '.' belongs to the statement terminator, not the name.
+	for strings.HasSuffix(text, ".") {
+		text = text[:len(text)-1]
+		// Push the dot back by constructing a synthetic reader state:
+		// simplest is to remember via peeked token after returning; instead
+		// we re-buffer by unreading is impossible for >1 rune, so handle
+		// at parse level: we return the name and an implicit dot token.
+		p.pendingDot = true
+	}
+	switch text {
+	case "a":
+		if !colon {
+			return token{kind: tokA, text: "a", line: p.line}, nil
+		}
+	case "true", "false":
+		if !colon {
+			return token{kind: tokBoolean, text: text, line: p.line}, nil
+		}
+	case "PREFIX", "prefix":
+		if !colon {
+			return token{kind: tokPrefixDir, text: text, line: p.line}, nil
+		}
+	case "BASE", "base":
+		if !colon {
+			return token{kind: tokBaseDir, text: text, line: p.line}, nil
+		}
+	}
+	if !colon {
+		return token{}, p.errf("bare word %q is not valid Turtle", text)
+	}
+	return token{kind: tokPName, text: text, line: p.line}, nil
+}
+
+// --- parser ---
+
+func (p *turtleParser) parseDocument(g *Graph) error {
+	for {
+		if p.pendingDot {
+			return p.errf("unexpected '.'")
+		}
+		tok, err := p.peek()
+		if err != nil {
+			return err
+		}
+		switch tok.kind {
+		case tokEOF:
+			return nil
+		case tokPrefixDir:
+			if _, err := p.next(); err != nil {
+				return err
+			}
+			if err := p.parsePrefixDirective(tok.text == "@prefix"); err != nil {
+				return err
+			}
+		case tokBaseDir:
+			if _, err := p.next(); err != nil {
+				return err
+			}
+			if err := p.parseBaseDirective(tok.text == "@base"); err != nil {
+				return err
+			}
+		default:
+			if err := p.parseStatement(g); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (p *turtleParser) parsePrefixDirective(atForm bool) error {
+	tok, err := p.next()
+	if err != nil {
+		return err
+	}
+	if tok.kind != tokPName || !strings.HasSuffix(tok.text, ":") {
+		return p.errf("expected prefix declaration, got %s", tok)
+	}
+	prefix := strings.TrimSuffix(tok.text, ":")
+	iriTok, err := p.next()
+	if err != nil {
+		return err
+	}
+	if iriTok.kind != tokIRI {
+		return p.errf("expected namespace IRI, got %s", iriTok)
+	}
+	p.prefix.Bind(prefix, Namespace(p.resolveIRI(iriTok.text)))
+	if atForm {
+		return p.expectDot()
+	}
+	return nil
+}
+
+func (p *turtleParser) parseBaseDirective(atForm bool) error {
+	iriTok, err := p.next()
+	if err != nil {
+		return err
+	}
+	if iriTok.kind != tokIRI {
+		return p.errf("expected base IRI, got %s", iriTok)
+	}
+	p.base = iriTok.text
+	if atForm {
+		return p.expectDot()
+	}
+	return nil
+}
+
+func (p *turtleParser) expectDot() error {
+	if p.pendingDot {
+		p.pendingDot = false
+		return nil
+	}
+	return p.expect(tokDot)
+}
+
+func (p *turtleParser) resolveIRI(raw string) string {
+	if p.base == "" || strings.Contains(raw, "://") || strings.HasPrefix(raw, "urn:") {
+		return raw
+	}
+	if strings.HasPrefix(raw, "#") || !strings.Contains(raw, ":") {
+		return p.base + raw
+	}
+	return raw
+}
+
+func (p *turtleParser) parseStatement(g *Graph) error {
+	subj, err := p.parseSubject(g)
+	if err != nil {
+		return err
+	}
+	if err := p.parsePredicateObjectList(g, subj, true); err != nil {
+		return err
+	}
+	return p.expectDot()
+}
+
+func (p *turtleParser) parseSubject(g *Graph) (Term, error) {
+	tok, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	switch tok.kind {
+	case tokIRI:
+		return IRI(p.resolveIRI(tok.text)), nil
+	case tokPName:
+		return p.prefix.Resolve(tok.text)
+	case tokBlank:
+		return BlankNode(tok.text), nil
+	case tokLBracket:
+		return p.parseBlankNodePropertyList(g)
+	case tokLParen:
+		return p.parseCollection(g)
+	default:
+		return nil, p.errf("invalid subject %s", tok)
+	}
+}
+
+// parsePredicateObjectList parses "p o, o2; p2 o3" after a subject.
+// required reports whether at least one predicate-object pair must appear
+// (false inside a '[ ... ]' that may be empty).
+func (p *turtleParser) parsePredicateObjectList(g *Graph, subj Term, required bool) error {
+	first := true
+	for {
+		tok, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if tok.kind == tokDot || tok.kind == tokRBracket || tok.kind == tokEOF || p.pendingDot {
+			if first && required {
+				return p.errf("expected predicate, got %s", tok)
+			}
+			return nil
+		}
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return err
+		}
+		if err := p.parseObjectList(g, subj, pred); err != nil {
+			return err
+		}
+		first = false
+		sep, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if sep.kind == tokSemicolon {
+			if _, err := p.next(); err != nil {
+				return err
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *turtleParser) parsePredicate() (Term, error) {
+	tok, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	switch tok.kind {
+	case tokA:
+		return RDFType, nil
+	case tokIRI:
+		return IRI(p.resolveIRI(tok.text)), nil
+	case tokPName:
+		return p.prefix.Resolve(tok.text)
+	default:
+		return nil, p.errf("invalid predicate %s", tok)
+	}
+}
+
+func (p *turtleParser) parseObjectList(g *Graph, subj, pred Term) error {
+	for {
+		obj, err := p.parseObject(g)
+		if err != nil {
+			return err
+		}
+		if err := g.Add(Triple{S: subj, P: pred, O: obj}); err != nil {
+			return err
+		}
+		tok, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if tok.kind != tokComma {
+			return nil
+		}
+		if _, err := p.next(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *turtleParser) parseObject(g *Graph) (Term, error) {
+	tok, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	switch tok.kind {
+	case tokIRI:
+		return IRI(p.resolveIRI(tok.text)), nil
+	case tokPName:
+		return p.prefix.Resolve(tok.text)
+	case tokBlank:
+		return BlankNode(tok.text), nil
+	case tokLBracket:
+		return p.parseBlankNodePropertyList(g)
+	case tokLParen:
+		return p.parseCollection(g)
+	case tokLiteral:
+		return p.finishLiteral(tok)
+	case tokNumber:
+		return numberLiteral(tok.text), nil
+	case tokBoolean:
+		return Literal{Lexical: tok.text, Datatype: XSDBoolean}, nil
+	default:
+		return nil, p.errf("invalid object %s", tok)
+	}
+}
+
+// finishLiteral handles optional @lang or ^^datatype after a quoted string.
+func (p *turtleParser) finishLiteral(strTok token) (Term, error) {
+	tok, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	switch tok.kind {
+	case tokLangTag:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		return Literal{Lexical: strTok.text, Lang: tok.text}, nil
+	case tokDTSep:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		dtTok, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		var dt IRI
+		switch dtTok.kind {
+		case tokIRI:
+			dt = IRI(p.resolveIRI(dtTok.text))
+		case tokPName:
+			dt, err = p.prefix.Resolve(dtTok.text)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("invalid datatype %s", dtTok)
+		}
+		return NewTypedLiteral(strTok.text, dt), nil
+	default:
+		return Literal{Lexical: strTok.text}, nil
+	}
+}
+
+func numberLiteral(text string) Literal {
+	if strings.ContainsAny(text, "eE") {
+		return Literal{Lexical: text, Datatype: XSDDouble}
+	}
+	if strings.Contains(text, ".") {
+		return Literal{Lexical: text, Datatype: XSDDecimal}
+	}
+	return Literal{Lexical: text, Datatype: XSDInteger}
+}
+
+func (p *turtleParser) freshBlank() BlankNode {
+	b := BlankNode(fmt.Sprintf("t%d", p.bnodeCt))
+	p.bnodeCt++
+	return b
+}
+
+func (p *turtleParser) parseBlankNodePropertyList(g *Graph) (Term, error) {
+	node := p.freshBlank()
+	if err := p.parsePredicateObjectList(g, node, false); err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+func (p *turtleParser) parseCollection(g *Graph) (Term, error) {
+	var items []Term
+	for {
+		tok, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if tok.kind == tokRParen {
+			if _, err := p.next(); err != nil {
+				return nil, err
+			}
+			break
+		}
+		item, err := p.parseObject(g)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+	}
+	if len(items) == 0 {
+		return RDFNil, nil
+	}
+	head := Term(p.freshBlank())
+	cur := head
+	for i, item := range items {
+		if err := g.Add(Triple{S: cur, P: RDFFirst, O: item}); err != nil {
+			return nil, err
+		}
+		if i == len(items)-1 {
+			if err := g.Add(Triple{S: cur, P: RDFRest, O: RDFNil}); err != nil {
+				return nil, err
+			}
+			break
+		}
+		next := Term(p.freshBlank())
+		if err := g.Add(Triple{S: cur, P: RDFRest, O: next}); err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return head, nil
+}
+
+// --- serializer ---
+
+// WriteTurtle serializes the graph as Turtle using the given prefixes
+// (nil means DefaultPrefixes). Subjects are grouped with ';' and ','
+// abbreviations and emitted in deterministic order.
+func WriteTurtle(w io.Writer, g *Graph, pm *PrefixMap) error {
+	if pm == nil {
+		pm = DefaultPrefixes()
+	}
+	bw := bufio.NewWriter(w)
+
+	used := usedPrefixes(g, pm)
+	for _, prefix := range used {
+		ns, _ := pm.Namespace(prefix)
+		fmt.Fprintf(bw, "@prefix %s: <%s> .\n", prefix, string(ns))
+	}
+	if len(used) > 0 {
+		fmt.Fprintln(bw)
+	}
+
+	triples := g.Triples()
+	// Group by subject key preserving sorted order.
+	type group struct {
+		subj  Term
+		preds []Term
+		objs  map[string][]Term
+	}
+	var groups []*group
+	byKey := make(map[string]*group)
+	predSeen := make(map[string]map[string]bool)
+	for _, t := range triples {
+		sk := t.S.Key()
+		gr, ok := byKey[sk]
+		if !ok {
+			gr = &group{subj: t.S, objs: make(map[string][]Term)}
+			byKey[sk] = gr
+			groups = append(groups, gr)
+			predSeen[sk] = make(map[string]bool)
+		}
+		pk := t.P.Key()
+		if !predSeen[sk][pk] {
+			predSeen[sk][pk] = true
+			gr.preds = append(gr.preds, t.P)
+		}
+		gr.objs[pk] = append(gr.objs[pk], t.O)
+	}
+
+	for _, gr := range groups {
+		fmt.Fprintf(bw, "%s", renderTerm(gr.subj, pm))
+		for pi, pred := range gr.preds {
+			if pi == 0 {
+				bw.WriteString(" ")
+			} else {
+				bw.WriteString(" ;\n    ")
+			}
+			bw.WriteString(renderPredicate(pred, pm))
+			objs := gr.objs[pred.Key()]
+			for oi, o := range objs {
+				if oi > 0 {
+					bw.WriteString(",")
+				}
+				bw.WriteString(" ")
+				bw.WriteString(renderTerm(o, pm))
+			}
+		}
+		bw.WriteString(" .\n")
+	}
+	return bw.Flush()
+}
+
+// TurtleString returns the Turtle serialization as a string.
+func TurtleString(g *Graph, pm *PrefixMap) string {
+	var b strings.Builder
+	_ = WriteTurtle(&b, g, pm)
+	return b.String()
+}
+
+func renderPredicate(t Term, pm *PrefixMap) string {
+	if i, ok := t.(IRI); ok && i == RDFType {
+		return "a"
+	}
+	return renderTerm(t, pm)
+}
+
+func renderTerm(t Term, pm *PrefixMap) string {
+	switch v := t.(type) {
+	case IRI:
+		return pm.Compact(v)
+	case Literal:
+		if v.Lang == "" && v.Datatype != "" && v.Datatype != XSDString {
+			// Compact the datatype too.
+			return "\"" + escapeLiteral(v.Lexical) + "\"^^" + pm.Compact(v.Datatype)
+		}
+		return v.String()
+	default:
+		return t.String()
+	}
+}
+
+func usedPrefixes(g *Graph, pm *PrefixMap) []string {
+	need := make(map[string]bool)
+	check := func(t Term) {
+		switch v := t.(type) {
+		case IRI:
+			c := pm.Compact(v)
+			if i := strings.Index(c, ":"); i > 0 && !strings.HasPrefix(c, "<") {
+				need[c[:i]] = true
+			}
+		case Literal:
+			if v.Datatype != "" {
+				c := pm.Compact(v.Datatype)
+				if i := strings.Index(c, ":"); i > 0 && !strings.HasPrefix(c, "<") {
+					need[c[:i]] = true
+				}
+			}
+		}
+	}
+	g.ForEachMatch(nil, nil, nil, func(t Triple) bool {
+		check(t.S)
+		check(t.P)
+		check(t.O)
+		return true
+	})
+	out := make([]string, 0, len(need))
+	for p := range need {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,284 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// AggSelect is one aggregate projection: (COUNT(?x) AS ?n) or
+// (AVG(?v) AS ?mean). Star marks COUNT(*).
+type AggSelect struct {
+	// Fn is the upper-cased aggregate name: COUNT, SUM, AVG, MIN, MAX.
+	Fn string
+	// Arg is the aggregated variable (ignored when Star).
+	Arg Var
+	// Star marks COUNT(*).
+	Star bool
+	// As is the output variable.
+	As Var
+	// Distinct marks COUNT(DISTINCT ?x).
+	Distinct bool
+}
+
+// String renders the projection.
+func (a AggSelect) String() string {
+	arg := "?" + string(a.Arg)
+	if a.Star {
+		arg = "*"
+	}
+	if a.Distinct {
+		arg = "DISTINCT " + arg
+	}
+	return fmt.Sprintf("(%s(%s) AS ?%s)", a.Fn, arg, a.As)
+}
+
+// hasAggregates reports whether the query needs the grouping evaluator.
+func (q *Query) hasAggregates() bool {
+	return len(q.Aggregates) > 0 || len(q.GroupBy) > 0
+}
+
+// evalAggregates turns raw solution rows into grouped/aggregated rows.
+// With no GROUP BY the whole result set forms one implicit group.
+func evalAggregates(q *Query, rows []Binding) ([]Binding, error) {
+	type group struct {
+		key  Binding
+		rows []Binding
+	}
+	var groups []*group
+	if len(q.GroupBy) == 0 {
+		groups = []*group{{key: Binding{}, rows: rows}}
+	} else {
+		index := make(map[string]*group)
+		for _, r := range rows {
+			k := r.key(q.GroupBy)
+			g, ok := index[k]
+			if !ok {
+				keyBinding := make(Binding, len(q.GroupBy))
+				for _, v := range q.GroupBy {
+					if t, bound := r[v]; bound {
+						keyBinding[v] = t
+					}
+				}
+				g = &group{key: keyBinding}
+				index[k] = g
+				groups = append(groups, g)
+			}
+			g.rows = append(g.rows, r)
+		}
+		// Deterministic group order.
+		sort.Slice(groups, func(i, j int) bool {
+			return groups[i].key.key(q.GroupBy) < groups[j].key.key(q.GroupBy)
+		})
+	}
+
+	out := make([]Binding, 0, len(groups))
+	for _, g := range groups {
+		row := g.key.Clone()
+		for _, agg := range q.Aggregates {
+			val, ok, err := computeAggregate(agg, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				row[agg.As] = val
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// computeAggregate evaluates one aggregate over a group's rows. The
+// second result reports whether a value is produced (empty numeric groups
+// yield unbound, matching SPARQL's error-as-unbound behaviour; COUNT of
+// an empty group is 0).
+func computeAggregate(agg AggSelect, rows []Binding) (rdf.Term, bool, error) {
+	switch agg.Fn {
+	case "COUNT":
+		if agg.Star {
+			return rdf.NewInt(int64(len(rows))), true, nil
+		}
+		if agg.Distinct {
+			seen := make(map[string]bool)
+			for _, r := range rows {
+				if t, ok := r[agg.Arg]; ok {
+					seen[t.Key()] = true
+				}
+			}
+			return rdf.NewInt(int64(len(seen))), true, nil
+		}
+		n := 0
+		for _, r := range rows {
+			if _, ok := r[agg.Arg]; ok {
+				n++
+			}
+		}
+		return rdf.NewInt(int64(n)), true, nil
+	case "SUM", "AVG":
+		var sum float64
+		n := 0
+		for _, r := range rows {
+			t, ok := r[agg.Arg]
+			if !ok {
+				continue
+			}
+			lit, ok := t.(rdf.Literal)
+			if !ok {
+				continue
+			}
+			f, ok := lit.Float()
+			if !ok {
+				continue
+			}
+			sum += f
+			n++
+		}
+		if agg.Fn == "SUM" {
+			return rdf.NewFloat(sum), true, nil
+		}
+		if n == 0 {
+			return nil, false, nil
+		}
+		return rdf.NewFloat(sum / float64(n)), true, nil
+	case "MIN", "MAX":
+		var best Value
+		have := false
+		for _, r := range rows {
+			t, ok := r[agg.Arg]
+			if !ok {
+				continue
+			}
+			v := termValue(t)
+			if !have {
+				best = v
+				have = true
+				continue
+			}
+			c, err := compareValues(v, best)
+			if err != nil {
+				continue // incomparable values are skipped
+			}
+			if (agg.Fn == "MIN" && c < 0) || (agg.Fn == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		if !have {
+			return nil, false, nil
+		}
+		return best.Term, best.Term != nil, nil
+	default:
+		return nil, false, fmt.Errorf("sparql: unknown aggregate %s", agg.Fn)
+	}
+}
+
+// aggregateNames recognizes the aggregate keywords during parsing.
+var aggregateNames = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// parseAggSelect parses "(COUNT(DISTINCT? ?x|*) AS ?n)" after the opening
+// '(' has been consumed.
+func (p *parser) parseAggSelect() (AggSelect, error) {
+	var out AggSelect
+	t, err := p.next()
+	if err != nil {
+		return out, err
+	}
+	if t.kind != sKeyword || !aggregateNames[t.text] {
+		return out, p.errf("expected aggregate function, got %s", t)
+	}
+	out.Fn = t.text
+	if tok, err := p.next(); err != nil || tok.kind != sLParen {
+		return out, p.errf("expected ( after %s", out.Fn)
+	}
+	t, err = p.peek()
+	if err != nil {
+		return out, err
+	}
+	if t.kind == sKeyword && t.text == "DISTINCT" {
+		out.Distinct = true
+		if _, err := p.next(); err != nil {
+			return out, err
+		}
+		t, err = p.peek()
+		if err != nil {
+			return out, err
+		}
+	}
+	switch {
+	case t.kind == sStar:
+		if out.Fn != "COUNT" {
+			return out, p.errf("* only valid in COUNT")
+		}
+		out.Star = true
+		if _, err := p.next(); err != nil {
+			return out, err
+		}
+	case t.kind == sVar:
+		out.Arg = Var(t.text)
+		if _, err := p.next(); err != nil {
+			return out, err
+		}
+	default:
+		return out, p.errf("expected variable or * in aggregate, got %s", t)
+	}
+	if tok, err := p.next(); err != nil || tok.kind != sRParen {
+		return out, p.errf("expected ) after aggregate argument")
+	}
+	if tok, err := p.next(); err != nil || tok.kind != sKeyword || tok.text != "AS" {
+		return out, p.errf("expected AS in aggregate projection")
+	}
+	t, err = p.next()
+	if err != nil {
+		return out, err
+	}
+	if t.kind != sVar {
+		return out, p.errf("expected output variable after AS")
+	}
+	out.As = Var(t.text)
+	if tok, err := p.next(); err != nil || tok.kind != sRParen {
+		return out, p.errf("expected ) closing aggregate projection")
+	}
+	return out, nil
+}
+
+// validateAggregates enforces the SPARQL projection rule: with grouping,
+// plain projected variables must appear in GROUP BY.
+func (q *Query) validateAggregates() error {
+	if !q.hasAggregates() {
+		return nil
+	}
+	grouped := make(map[Var]bool, len(q.GroupBy))
+	for _, v := range q.GroupBy {
+		grouped[v] = true
+	}
+	for _, v := range q.Select {
+		if !grouped[v] {
+			return fmt.Errorf("sparql: variable ?%s projected outside GROUP BY", v)
+		}
+	}
+	names := make(map[Var]bool)
+	for _, a := range q.Aggregates {
+		if a.As == "" {
+			return fmt.Errorf("sparql: aggregate without AS variable")
+		}
+		if names[a.As] || grouped[a.As] {
+			return fmt.Errorf("sparql: duplicate output variable ?%s", a.As)
+		}
+		names[a.As] = true
+	}
+	return nil
+}
+
+// aggProjection returns the output variable order: group-by style plain
+// vars first (in SELECT order), then aggregate outputs.
+func (q *Query) aggProjection() []Var {
+	out := make([]Var, 0, len(q.Select)+len(q.Aggregates))
+	out = append(out, q.Select...)
+	for _, a := range q.Aggregates {
+		out = append(out, a.As)
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package sparql
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// aggGraph: three sensors in two districts with numeric values.
+func aggGraph(t *testing.T) *rdf.Graph {
+	t.Helper()
+	g, err := rdf.ParseTurtleString(`
+@prefix ex: <http://example.org/> .
+ex:s1 ex:in ex:mangaung ; ex:value 10 .
+ex:s2 ex:in ex:mangaung ; ex:value 30 .
+ex:s3 ex:in ex:xhariep  ; ex:value 5 .
+ex:s4 ex:in ex:xhariep  .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCountStar(t *testing.T) {
+	g := aggGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT (COUNT(*) AS ?n) WHERE { ?s ex:in ?d . }`)
+	if len(sol.Rows) != 1 {
+		t.Fatalf("rows = %d", len(sol.Rows))
+	}
+	if n, _ := sol.Rows[0][Var("n")].(rdf.Literal).Int(); n != 4 {
+		t.Errorf("COUNT(*) = %d, want 4", n)
+	}
+}
+
+func TestCountVarSkipsUnbound(t *testing.T) {
+	g := aggGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT (COUNT(?v) AS ?n) WHERE { ?s ex:in ?d . OPTIONAL { ?s ex:value ?v . } }`)
+	if n, _ := sol.Rows[0][Var("n")].(rdf.Literal).Int(); n != 3 {
+		t.Errorf("COUNT(?v) = %d, want 3 (s4 has no value)", n)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	g := aggGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT (COUNT(DISTINCT ?d) AS ?n) WHERE { ?s ex:in ?d . }`)
+	if n, _ := sol.Rows[0][Var("n")].(rdf.Literal).Int(); n != 2 {
+		t.Errorf("COUNT(DISTINCT ?d) = %d, want 2", n)
+	}
+}
+
+func TestGroupByWithAggregates(t *testing.T) {
+	g := aggGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?d (COUNT(*) AS ?n) (SUM(?v) AS ?total) (AVG(?v) AS ?mean)
+       (MIN(?v) AS ?lo) (MAX(?v) AS ?hi)
+WHERE { ?s ex:in ?d . OPTIONAL { ?s ex:value ?v . } }
+GROUP BY ?d
+ORDER BY ?d`)
+	if len(sol.Rows) != 2 {
+		t.Fatalf("groups = %d: %s", len(sol.Rows), sol)
+	}
+	// Deterministic ORDER BY ?d: mangaung before xhariep.
+	m := sol.Rows[0]
+	if d := m[Var("d")].(rdf.IRI); d.LocalName() != "mangaung" {
+		t.Fatalf("first group = %s", d)
+	}
+	if n, _ := m[Var("n")].(rdf.Literal).Int(); n != 2 {
+		t.Errorf("mangaung count = %d", n)
+	}
+	if tot, _ := m[Var("total")].(rdf.Literal).Float(); tot != 40 {
+		t.Errorf("mangaung sum = %v", tot)
+	}
+	if mean, _ := m[Var("mean")].(rdf.Literal).Float(); mean != 20 {
+		t.Errorf("mangaung avg = %v", mean)
+	}
+	if lo, _ := m[Var("lo")].(rdf.Literal).Float(); lo != 10 {
+		t.Errorf("mangaung min = %v", lo)
+	}
+	if hi, _ := m[Var("hi")].(rdf.Literal).Float(); hi != 30 {
+		t.Errorf("mangaung max = %v", hi)
+	}
+	x := sol.Rows[1]
+	if n, _ := x[Var("n")].(rdf.Literal).Int(); n != 2 {
+		t.Errorf("xhariep count = %d", n)
+	}
+	if tot, _ := x[Var("total")].(rdf.Literal).Float(); tot != 5 {
+		t.Errorf("xhariep sum = %v", tot)
+	}
+}
+
+func TestAvgOfEmptyGroupUnbound(t *testing.T) {
+	g := aggGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT (AVG(?zz) AS ?mean) WHERE { ?s ex:in ?d . }`)
+	if len(sol.Rows) != 1 {
+		t.Fatalf("rows = %d", len(sol.Rows))
+	}
+	if _, bound := sol.Rows[0][Var("mean")]; bound {
+		t.Error("AVG over nothing should be unbound")
+	}
+}
+
+func TestOrderByAggregateOutput(t *testing.T) {
+	g := aggGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?d (SUM(?v) AS ?total)
+WHERE { ?s ex:in ?d ; ex:value ?v . }
+GROUP BY ?d
+ORDER BY DESC(?total)`)
+	if len(sol.Rows) != 2 {
+		t.Fatalf("rows = %d", len(sol.Rows))
+	}
+	first, _ := sol.Rows[0][Var("total")].(rdf.Literal).Float()
+	second, _ := sol.Rows[1][Var("total")].(rdf.Literal).Float()
+	if first < second {
+		t.Errorf("DESC order broken: %v then %v", first, second)
+	}
+}
+
+func TestMinMaxOverIRIs(t *testing.T) {
+	g := aggGraph(t)
+	// MIN/MAX over IRIs fall back to lexical comparison.
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT (MIN(?s) AS ?first) WHERE { ?s ex:in ?d . }`)
+	if got := sol.Rows[0][Var("first")].(rdf.IRI); got.LocalName() != "s1" {
+		t.Errorf("MIN(?s) = %s", got)
+	}
+}
+
+func TestAggregateParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"projected var outside group by",
+			`PREFIX ex: <http://e/> SELECT ?s (COUNT(*) AS ?n) WHERE { ?s ex:p ?o . }`},
+		{"star in sum",
+			`PREFIX ex: <http://e/> SELECT (SUM(*) AS ?n) WHERE { ?s ex:p ?o . }`},
+		{"missing AS",
+			`PREFIX ex: <http://e/> SELECT (COUNT(?s) ?n) WHERE { ?s ex:p ?o . }`},
+		{"missing output var",
+			`PREFIX ex: <http://e/> SELECT (COUNT(?s) AS ) WHERE { ?s ex:p ?o . }`},
+		{"duplicate output",
+			`PREFIX ex: <http://e/> SELECT (COUNT(?s) AS ?n) (SUM(?o) AS ?n) WHERE { ?s ex:p ?o . }`},
+		{"empty group by",
+			`PREFIX ex: <http://e/> SELECT (COUNT(*) AS ?n) WHERE { ?s ex:p ?o . } GROUP BY`},
+		{"junk in aggregate",
+			`PREFIX ex: <http://e/> SELECT (COUNT(ex:x) AS ?n) WHERE { ?s ex:p ?o . }`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); err == nil {
+				t.Errorf("expected parse error for %s", c.src)
+			}
+		})
+	}
+}
+
+func TestAggSelectString(t *testing.T) {
+	a := AggSelect{Fn: "COUNT", Star: true, As: "n"}
+	if a.String() != "(COUNT(*) AS ?n)" {
+		t.Errorf("String = %q", a.String())
+	}
+	d := AggSelect{Fn: "COUNT", Arg: "x", Distinct: true, As: "n"}
+	if d.String() != "(COUNT(DISTINCT ?x) AS ?n)" {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+// TestAggregatesOverObservations: the realistic use — per-district mean
+// soil moisture straight from the integrated graph.
+func TestAggregatesOverObservations(t *testing.T) {
+	src := `
+@prefix ssn:  <http://dews.africrid.example/ontology/ssn#> .
+@prefix dews: <http://dews.africrid.example/ontology/drought#> .
+@prefix geo:  <http://dews.africrid.example/ontology/geo#> .
+@prefix obs:  <http://dews.africrid.example/data/observation/> .
+obs:1 a ssn:Observation ; ssn:observedProperty dews:SoilMoisture ;
+      ssn:hasFeatureOfInterest geo:Mangaung ; ssn:hasSimpleResult 0.1 .
+obs:2 a ssn:Observation ; ssn:observedProperty dews:SoilMoisture ;
+      ssn:hasFeatureOfInterest geo:Mangaung ; ssn:hasSimpleResult 0.2 .
+obs:3 a ssn:Observation ; ssn:observedProperty dews:SoilMoisture ;
+      ssn:hasFeatureOfInterest geo:Xhariep ; ssn:hasSimpleResult 0.4 .
+`
+	g, err := rdf.ParseTurtleString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSelect(t, g, `
+SELECT ?where (AVG(?v) AS ?mean) (COUNT(*) AS ?n)
+WHERE {
+  ?o ssn:observedProperty dews:SoilMoisture ;
+     ssn:hasFeatureOfInterest ?where ;
+     ssn:hasSimpleResult ?v .
+}
+GROUP BY ?where
+ORDER BY ?mean`)
+	if len(sol.Rows) != 2 {
+		t.Fatalf("rows = %d", len(sol.Rows))
+	}
+	driest := sol.Rows[0]
+	if w := driest[Var("where")].(rdf.IRI); w.LocalName() != "Mangaung" {
+		t.Errorf("driest = %s", w)
+	}
+	if mean, _ := driest[Var("mean")].(rdf.Literal).Float(); mean < 0.149 || mean > 0.151 {
+		t.Errorf("mean = %v", mean)
+	}
+}

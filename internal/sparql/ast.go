@@ -1,0 +1,225 @@
+// Package sparql implements the SPARQL-subset query engine of the
+// middleware's ontology segment layer ("users are enabled to pose concise
+// and expressive queries", §4.1 of the paper).
+//
+// Supported: SELECT (with DISTINCT, ORDER BY, LIMIT, OFFSET), ASK and
+// CONSTRUCT forms; basic graph patterns; FILTER with a full expression
+// language (logic, comparison, arithmetic, string and term functions);
+// OPTIONAL; UNION; aggregates (COUNT/SUM/AVG/MIN/MAX with GROUP BY and
+// COUNT(DISTINCT ?x)); PREFIX declarations. Property paths, subqueries
+// and federation are out of scope.
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// QueryForm discriminates the top-level query type.
+type QueryForm int
+
+// The supported query forms.
+const (
+	FormSelect QueryForm = iota + 1
+	FormAsk
+	FormConstruct
+)
+
+// String names the form.
+func (f QueryForm) String() string {
+	switch f {
+	case FormSelect:
+		return "SELECT"
+	case FormAsk:
+		return "ASK"
+	case FormConstruct:
+		return "CONSTRUCT"
+	default:
+		return fmt.Sprintf("QueryForm(%d)", int(f))
+	}
+}
+
+// Var is a SPARQL variable name without the leading '?'.
+type Var string
+
+// PatternTerm is a position in a triple pattern: either a concrete RDF
+// term or a variable.
+type PatternTerm struct {
+	Term rdf.Term // nil when IsVar
+	Var  Var
+}
+
+// IsVar reports whether the pattern term is a variable.
+func (p PatternTerm) IsVar() bool { return p.Term == nil }
+
+// String renders the pattern term.
+func (p PatternTerm) String() string {
+	if p.IsVar() {
+		return "?" + string(p.Var)
+	}
+	return p.Term.String()
+}
+
+// TriplePattern is a triple with variables allowed in any position.
+type TriplePattern struct {
+	S, P, O PatternTerm
+}
+
+// String renders the pattern.
+func (t TriplePattern) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}
+
+// Vars returns the distinct variables of the pattern.
+func (t TriplePattern) Vars() []Var {
+	var out []Var
+	seen := make(map[Var]bool)
+	for _, pt := range []PatternTerm{t.S, t.P, t.O} {
+		if pt.IsVar() && !seen[pt.Var] {
+			seen[pt.Var] = true
+			out = append(out, pt.Var)
+		}
+	}
+	return out
+}
+
+// GroupElement is one element of a group graph pattern.
+type GroupElement interface{ isGroupElement() }
+
+// BGP is a basic graph pattern: a conjunction of triple patterns.
+type BGP struct {
+	Patterns []TriplePattern
+}
+
+func (BGP) isGroupElement() {}
+
+// Filter wraps a boolean expression constraining the bindings.
+type Filter struct {
+	Expr Expr
+}
+
+func (Filter) isGroupElement() {}
+
+// Optional is an OPTIONAL { ... } block (left join).
+type Optional struct {
+	Group *Group
+}
+
+func (Optional) isGroupElement() {}
+
+// Union is a { A } UNION { B } alternation (2+ branches).
+type Union struct {
+	Branches []*Group
+}
+
+func (Union) isGroupElement() {}
+
+// SubGroup is a nested group graph pattern.
+type SubGroup struct {
+	Group *Group
+}
+
+func (SubGroup) isGroupElement() {}
+
+// Group is a group graph pattern: an ordered list of elements.
+type Group struct {
+	Elements []GroupElement
+}
+
+// OrderKey is one ORDER BY criterion.
+type OrderKey struct {
+	Expr       Expr
+	Descending bool
+}
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	Form     QueryForm
+	Prefixes *rdf.PrefixMap
+	// Select: projected variables; empty means '*' (unless Aggregates).
+	Select   []Var
+	Distinct bool
+	// Aggregates holds (FN(?x) AS ?out) projections; GroupBy the GROUP BY
+	// variables. Either being non-empty switches the evaluator into
+	// grouping mode.
+	Aggregates []AggSelect
+	GroupBy    []Var
+	// Construct template (FormConstruct only).
+	Template []TriplePattern
+	Where    *Group
+	OrderBy  []OrderKey
+	Limit    int // -1 = unlimited
+	Offset   int
+}
+
+// Binding maps variables to terms.
+type Binding map[Var]rdf.Term
+
+// Clone copies the binding.
+func (b Binding) Clone() Binding {
+	out := make(Binding, len(b)+1)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// key returns a canonical form for DISTINCT comparisons over the given
+// variable order.
+func (b Binding) key(vars []Var) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		if t, ok := b[v]; ok {
+			sb.WriteString(t.Key())
+		}
+		sb.WriteByte('\x1f')
+	}
+	return sb.String()
+}
+
+// Solutions is a query result set for SELECT queries.
+type Solutions struct {
+	// Vars is the projection, in SELECT order.
+	Vars []Var
+	// Rows holds one binding per solution.
+	Rows []Binding
+}
+
+// SortedVars returns the projection sorted (for stable textual output of
+// '*' queries).
+func (s *Solutions) SortedVars() []Var {
+	out := make([]Var, len(s.Vars))
+	copy(out, s.Vars)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the solutions as an aligned text table (used by the CLI
+// and tests).
+func (s *Solutions) String() string {
+	var sb strings.Builder
+	for i, v := range s.Vars {
+		if i > 0 {
+			sb.WriteByte('\t')
+		}
+		sb.WriteString("?" + string(v))
+	}
+	sb.WriteByte('\n')
+	for _, row := range s.Rows {
+		for i, v := range s.Vars {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			if t, ok := row[v]; ok {
+				sb.WriteString(t.String())
+			} else {
+				sb.WriteString("UNDEF")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

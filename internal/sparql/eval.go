@@ -1,0 +1,398 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// Engine evaluates parsed queries against an RDF graph.
+type Engine struct {
+	g *rdf.Graph
+}
+
+// NewEngine returns an engine bound to a graph.
+func NewEngine(g *rdf.Graph) *Engine { return &Engine{g: g} }
+
+// Select runs a SELECT query and returns its solutions.
+func (e *Engine) Select(q *Query) (*Solutions, error) {
+	if q.Form != FormSelect {
+		return nil, fmt.Errorf("sparql: Select called with %s query", q.Form)
+	}
+	rows, err := e.evalGroup(q.Where, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	var vars []Var
+	if q.hasAggregates() {
+		// Grouping happens before ORDER/LIMIT so modifiers can reference
+		// aggregate outputs.
+		rows, err = evalAggregates(q, rows)
+		if err != nil {
+			return nil, err
+		}
+		vars = q.aggProjection()
+	} else {
+		vars = q.Select
+		if len(vars) == 0 {
+			vars = collectVars(q.Where)
+		}
+	}
+	rows, err = e.applyModifiers(q, rows)
+	if err != nil {
+		return nil, err
+	}
+	// Project.
+	out := make([]Binding, len(rows))
+	for i, r := range rows {
+		proj := make(Binding, len(vars))
+		for _, v := range vars {
+			if t, ok := r[v]; ok {
+				proj[v] = t
+			}
+		}
+		out[i] = proj
+	}
+	sol := &Solutions{Vars: vars, Rows: out}
+	if q.Distinct {
+		sol = distinct(sol)
+	}
+	return sol, nil
+}
+
+// Ask runs an ASK query.
+func (e *Engine) Ask(q *Query) (bool, error) {
+	if q.Form != FormAsk {
+		return false, fmt.Errorf("sparql: Ask called with %s query", q.Form)
+	}
+	rows, err := e.evalGroup(q.Where, []Binding{{}})
+	if err != nil {
+		return false, err
+	}
+	return len(rows) > 0, nil
+}
+
+// Construct runs a CONSTRUCT query, returning a new graph built from the
+// template. Solutions that would instantiate an invalid triple (e.g. a
+// literal subject) are skipped per the SPARQL spec.
+func (e *Engine) Construct(q *Query) (*rdf.Graph, error) {
+	if q.Form != FormConstruct {
+		return nil, fmt.Errorf("sparql: Construct called with %s query", q.Form)
+	}
+	rows, err := e.evalGroup(q.Where, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	rows, err = e.applyModifiers(q, rows)
+	if err != nil {
+		return nil, err
+	}
+	out := rdf.NewGraph()
+	for _, b := range rows {
+		for _, tp := range q.Template {
+			s, ok1 := instantiate(tp.S, b)
+			p, ok2 := instantiate(tp.P, b)
+			o, ok3 := instantiate(tp.O, b)
+			if !ok1 || !ok2 || !ok3 {
+				continue
+			}
+			t := rdf.T(s, p, o)
+			if t.Validate() == nil {
+				out.MustAdd(t)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Query parses and runs src, dispatching on the query form. The results
+// are returned as (*Solutions) for SELECT, bool for ASK and *rdf.Graph
+// for CONSTRUCT.
+func (e *Engine) Query(src string) (any, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	switch q.Form {
+	case FormSelect:
+		return e.Select(q)
+	case FormAsk:
+		return e.Ask(q)
+	case FormConstruct:
+		return e.Construct(q)
+	default:
+		return nil, fmt.Errorf("sparql: unknown form %v", q.Form)
+	}
+}
+
+func instantiate(pt PatternTerm, b Binding) (rdf.Term, bool) {
+	if !pt.IsVar() {
+		return pt.Term, true
+	}
+	t, ok := b[pt.Var]
+	return t, ok
+}
+
+// --- group evaluation ---
+
+func (e *Engine) evalGroup(g *Group, input []Binding) ([]Binding, error) {
+	rows := input
+	for _, el := range g.Elements {
+		var err error
+		switch el := el.(type) {
+		case BGP:
+			rows, err = e.evalBGP(el, rows)
+		case Filter:
+			rows = evalFilter(el, rows)
+		case Optional:
+			rows, err = e.evalOptional(el, rows)
+		case Union:
+			rows, err = e.evalUnion(el, rows)
+		case SubGroup:
+			rows, err = e.evalGroup(el.Group, rows)
+		default:
+			err = fmt.Errorf("sparql: unknown group element %T", el)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			return rows, nil
+		}
+	}
+	return rows, nil
+}
+
+// evalBGP joins each triple pattern against the graph. Patterns are
+// reordered greedily by estimated selectivity (bound terms count) to keep
+// intermediate results small.
+func (e *Engine) evalBGP(bgp BGP, input []Binding) ([]Binding, error) {
+	patterns := orderPatterns(bgp.Patterns)
+	rows := input
+	for _, tp := range patterns {
+		var next []Binding
+		for _, b := range rows {
+			matches := e.matchPattern(tp, b)
+			next = append(next, matches...)
+		}
+		rows = next
+		if len(rows) == 0 {
+			return nil, nil
+		}
+	}
+	return rows, nil
+}
+
+// orderPatterns sorts patterns most-selective-first: patterns with more
+// concrete (or already-join-connected) positions come earlier. This is a
+// static heuristic; selectivity re-estimation per join step is not needed
+// at our scale.
+func orderPatterns(ps []TriplePattern) []TriplePattern {
+	out := make([]TriplePattern, len(ps))
+	copy(out, ps)
+	bound := make(map[Var]bool)
+	for i := 0; i < len(out); i++ {
+		best, bestScore := i, -1
+		for j := i; j < len(out); j++ {
+			score := 0
+			for _, pt := range []PatternTerm{out[j].S, out[j].P, out[j].O} {
+				if !pt.IsVar() || bound[pt.Var] {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = j, score
+			}
+		}
+		out[i], out[best] = out[best], out[i]
+		for _, v := range out[i].Vars() {
+			bound[v] = true
+		}
+	}
+	return out
+}
+
+// matchPattern matches a single triple pattern under an existing binding.
+func (e *Engine) matchPattern(tp TriplePattern, b Binding) []Binding {
+	resolve := func(pt PatternTerm) rdf.Term {
+		if !pt.IsVar() {
+			return pt.Term
+		}
+		if t, ok := b[pt.Var]; ok {
+			return t
+		}
+		return nil
+	}
+	s, p, o := resolve(tp.S), resolve(tp.P), resolve(tp.O)
+	var out []Binding
+	e.g.ForEachMatch(s, p, o, func(t rdf.Triple) bool {
+		nb := b.Clone()
+		if ok := bindIfVar(nb, tp.S, t.S) && bindIfVar(nb, tp.P, t.P) && bindIfVar(nb, tp.O, t.O); ok {
+			out = append(out, nb)
+		}
+		return true
+	})
+	return out
+}
+
+func bindIfVar(b Binding, pt PatternTerm, t rdf.Term) bool {
+	if !pt.IsVar() {
+		return true
+	}
+	if existing, ok := b[pt.Var]; ok {
+		return rdf.Equal(existing, t)
+	}
+	b[pt.Var] = t
+	return true
+}
+
+func evalFilter(f Filter, rows []Binding) []Binding {
+	var out []Binding
+	for _, b := range rows {
+		v, err := f.Expr.Eval(b)
+		if err != nil {
+			continue // SPARQL: errors eliminate the solution
+		}
+		ok, err := v.EBV()
+		if err == nil && ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (e *Engine) evalOptional(o Optional, rows []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, b := range rows {
+		extended, err := e.evalGroup(o.Group, []Binding{b})
+		if err != nil {
+			return nil, err
+		}
+		if len(extended) == 0 {
+			out = append(out, b)
+		} else {
+			out = append(out, extended...)
+		}
+	}
+	return out, nil
+}
+
+func (e *Engine) evalUnion(u Union, rows []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, branch := range u.Branches {
+		res, err := e.evalGroup(branch, cloneAll(rows))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
+}
+
+func cloneAll(rows []Binding) []Binding {
+	out := make([]Binding, len(rows))
+	for i, r := range rows {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// --- modifiers ---
+
+func (e *Engine) applyModifiers(q *Query, rows []Binding) ([]Binding, error) {
+	if len(q.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, k := range q.OrderBy {
+				vi, ei := k.Expr.Eval(rows[i])
+				vj, ej := k.Expr.Eval(rows[j])
+				// Unbound/error sorts first (SPARQL: lowest).
+				switch {
+				case ei != nil && ej != nil:
+					continue
+				case ei != nil:
+					return !k.Descending
+				case ej != nil:
+					return k.Descending
+				}
+				c, err := compareValues(vi, vj)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if c == 0 {
+					continue
+				}
+				if k.Descending {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
+	}
+	return rows, nil
+}
+
+func distinct(s *Solutions) *Solutions {
+	seen := make(map[string]bool, len(s.Rows))
+	out := make([]Binding, 0, len(s.Rows))
+	for _, r := range s.Rows {
+		k := r.key(s.Vars)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return &Solutions{Vars: s.Vars, Rows: out}
+}
+
+// collectVars gathers every variable mentioned in a group, in first-seen
+// order (used for SELECT *).
+func collectVars(g *Group) []Var {
+	var out []Var
+	seen := make(map[Var]bool)
+	add := func(vs ...Var) {
+		for _, v := range vs {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	var walk func(*Group)
+	walk = func(g *Group) {
+		for _, el := range g.Elements {
+			switch el := el.(type) {
+			case BGP:
+				for _, tp := range el.Patterns {
+					add(tp.Vars()...)
+				}
+			case Optional:
+				walk(el.Group)
+			case Union:
+				for _, b := range el.Branches {
+					walk(b)
+				}
+			case SubGroup:
+				walk(el.Group)
+			}
+		}
+	}
+	walk(g)
+	return out
+}

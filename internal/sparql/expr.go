@@ -1,0 +1,565 @@
+package sparql
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Expr is a FILTER / ORDER BY expression. Evaluation yields a Value or an
+// error; per the SPARQL error semantics a FILTER whose expression errors
+// eliminates the solution rather than failing the query.
+type Expr interface {
+	Eval(b Binding) (Value, error)
+	String() string
+}
+
+// Value is an evaluated expression result: an RDF term or an ebv-capable
+// scalar. Terms are kept as rdf.Term; numerics/booleans as native Go.
+type Value struct {
+	// Term is set when the value is an RDF term.
+	Term rdf.Term
+	// Num / Bool / Str are set for computed scalars (Kind tells which).
+	Kind ValueKind
+	Num  float64
+	Bool bool
+	Str  string
+}
+
+// ValueKind discriminates computed value kinds.
+type ValueKind int
+
+// Value kinds.
+const (
+	KindTerm ValueKind = iota + 1
+	KindNum
+	KindBool
+	KindStr
+)
+
+func termValue(t rdf.Term) Value { return Value{Kind: KindTerm, Term: t} }
+func numValue(f float64) Value   { return Value{Kind: KindNum, Num: f} }
+func boolValue(b bool) Value     { return Value{Kind: KindBool, Bool: b} }
+func strValue(s string) Value    { return Value{Kind: KindStr, Str: s} }
+
+// asNum coerces the value to a float64.
+func (v Value) asNum() (float64, error) {
+	switch v.Kind {
+	case KindNum:
+		return v.Num, nil
+	case KindBool:
+		if v.Bool {
+			return 1, nil
+		}
+		return 0, nil
+	case KindTerm:
+		if lit, ok := v.Term.(rdf.Literal); ok {
+			if f, ok := lit.Float(); ok {
+				return f, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("sparql: %v is not numeric", v)
+}
+
+// asStr coerces the value to its string form.
+func (v Value) asStr() (string, error) {
+	switch v.Kind {
+	case KindStr:
+		return v.Str, nil
+	case KindNum:
+		return trimFloat(v.Num), nil
+	case KindBool:
+		if v.Bool {
+			return "true", nil
+		}
+		return "false", nil
+	case KindTerm:
+		switch t := v.Term.(type) {
+		case rdf.Literal:
+			return t.Lexical, nil
+		case rdf.IRI:
+			return t.Value(), nil
+		}
+	}
+	return "", fmt.Errorf("sparql: %v has no string form", v)
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// EBV computes the SPARQL effective boolean value.
+func (v Value) EBV() (bool, error) {
+	switch v.Kind {
+	case KindBool:
+		return v.Bool, nil
+	case KindNum:
+		return v.Num != 0, nil
+	case KindStr:
+		return v.Str != "", nil
+	case KindTerm:
+		lit, ok := v.Term.(rdf.Literal)
+		if !ok {
+			return false, fmt.Errorf("sparql: no boolean value for %s", v.Term)
+		}
+		if b, ok := lit.Bool(); ok {
+			return b, nil
+		}
+		if lit.IsNumeric() {
+			f, ok := lit.Float()
+			if !ok {
+				return false, fmt.Errorf("sparql: malformed numeric literal %s", lit)
+			}
+			return f != 0, nil
+		}
+		if lit.EffectiveDatatype() == rdf.XSDString || lit.Lang != "" {
+			return lit.Lexical != "", nil
+		}
+		return false, fmt.Errorf("sparql: no boolean value for %s", lit)
+	}
+	return false, fmt.Errorf("sparql: empty value")
+}
+
+// --- expression nodes ---
+
+// VarExpr references a variable.
+type VarExpr struct{ Name Var }
+
+// Eval implements Expr.
+func (e VarExpr) Eval(b Binding) (Value, error) {
+	t, ok := b[e.Name]
+	if !ok {
+		return Value{}, fmt.Errorf("sparql: unbound variable ?%s", e.Name)
+	}
+	return termValue(t), nil
+}
+
+func (e VarExpr) String() string { return "?" + string(e.Name) }
+
+// ConstExpr wraps a constant RDF term.
+type ConstExpr struct{ Term rdf.Term }
+
+// Eval implements Expr.
+func (e ConstExpr) Eval(Binding) (Value, error) { return termValue(e.Term), nil }
+
+func (e ConstExpr) String() string { return e.Term.String() }
+
+// BinaryExpr applies an operator to two sub-expressions.
+type BinaryExpr struct {
+	Op   string // "||" "&&" "=" "!=" "<" "<=" ">" ">=" "+" "-" "*" "/"
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (e BinaryExpr) Eval(b Binding) (Value, error) {
+	switch e.Op {
+	case "||":
+		// SPARQL logical-or: true beats error.
+		lv, lerr := e.L.Eval(b)
+		var lb bool
+		if lerr == nil {
+			lb, lerr = lv.EBV()
+		}
+		if lerr == nil && lb {
+			return boolValue(true), nil
+		}
+		rv, rerr := e.R.Eval(b)
+		var rb bool
+		if rerr == nil {
+			rb, rerr = rv.EBV()
+		}
+		if rerr == nil && rb {
+			return boolValue(true), nil
+		}
+		if lerr != nil {
+			return Value{}, lerr
+		}
+		if rerr != nil {
+			return Value{}, rerr
+		}
+		return boolValue(false), nil
+	case "&&":
+		lv, lerr := e.L.Eval(b)
+		var lb bool
+		if lerr == nil {
+			lb, lerr = lv.EBV()
+		}
+		if lerr == nil && !lb {
+			return boolValue(false), nil
+		}
+		rv, rerr := e.R.Eval(b)
+		var rb bool
+		if rerr == nil {
+			rb, rerr = rv.EBV()
+		}
+		if rerr == nil && !rb {
+			return boolValue(false), nil
+		}
+		if lerr != nil {
+			return Value{}, lerr
+		}
+		if rerr != nil {
+			return Value{}, rerr
+		}
+		return boolValue(true), nil
+	}
+
+	lv, err := e.L.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	rv, err := e.R.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.Op {
+	case "=", "!=":
+		eq, err := valuesEqual(lv, rv)
+		if err != nil {
+			return Value{}, err
+		}
+		if e.Op == "!=" {
+			eq = !eq
+		}
+		return boolValue(eq), nil
+	case "<", "<=", ">", ">=":
+		c, err := compareValues(lv, rv)
+		if err != nil {
+			return Value{}, err
+		}
+		switch e.Op {
+		case "<":
+			return boolValue(c < 0), nil
+		case "<=":
+			return boolValue(c <= 0), nil
+		case ">":
+			return boolValue(c > 0), nil
+		default:
+			return boolValue(c >= 0), nil
+		}
+	case "+", "-", "*", "/":
+		lf, err := lv.asNum()
+		if err != nil {
+			return Value{}, err
+		}
+		rf, err := rv.asNum()
+		if err != nil {
+			return Value{}, err
+		}
+		switch e.Op {
+		case "+":
+			return numValue(lf + rf), nil
+		case "-":
+			return numValue(lf - rf), nil
+		case "*":
+			return numValue(lf * rf), nil
+		default:
+			if rf == 0 {
+				return Value{}, fmt.Errorf("sparql: division by zero")
+			}
+			return numValue(lf / rf), nil
+		}
+	}
+	return Value{}, fmt.Errorf("sparql: unknown operator %q", e.Op)
+}
+
+func (e BinaryExpr) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+
+// valuesEqual implements SPARQL '=' with numeric promotion.
+func valuesEqual(a, b Value) (bool, error) {
+	// Numeric comparison when both sides are numeric-capable.
+	if af, aerr := a.asNum(); aerr == nil {
+		if bf, berr := b.asNum(); berr == nil {
+			if numericCapable(a) && numericCapable(b) {
+				return af == bf, nil
+			}
+		}
+	}
+	as, aerr := a.asStr()
+	bs, berr := b.asStr()
+	if aerr == nil && berr == nil {
+		// Language tags distinguish literals.
+		if a.Kind == KindTerm && b.Kind == KindTerm {
+			return rdf.Equal(a.Term, b.Term), nil
+		}
+		return as == bs, nil
+	}
+	if a.Kind == KindTerm && b.Kind == KindTerm {
+		return rdf.Equal(a.Term, b.Term), nil
+	}
+	return false, fmt.Errorf("sparql: incomparable values")
+}
+
+func numericCapable(v Value) bool {
+	switch v.Kind {
+	case KindNum:
+		return true
+	case KindTerm:
+		if lit, ok := v.Term.(rdf.Literal); ok {
+			if lit.IsNumeric() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// compareValues orders two values: numerics numerically, otherwise
+// lexically by string form.
+func compareValues(a, b Value) (int, error) {
+	if numericCapable(a) && numericCapable(b) {
+		af, _ := a.asNum()
+		bf, _ := b.asNum()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	as, aerr := a.asStr()
+	bs, berr := b.asStr()
+	if aerr != nil || berr != nil {
+		return 0, fmt.Errorf("sparql: incomparable values")
+	}
+	return strings.Compare(as, bs), nil
+}
+
+// UnaryExpr applies '!' or unary '-'.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// Eval implements Expr.
+func (e UnaryExpr) Eval(b Binding) (Value, error) {
+	v, err := e.X.Eval(b)
+	if err != nil {
+		return Value{}, err
+	}
+	switch e.Op {
+	case "!":
+		bv, err := v.EBV()
+		if err != nil {
+			return Value{}, err
+		}
+		return boolValue(!bv), nil
+	case "-":
+		f, err := v.asNum()
+		if err != nil {
+			return Value{}, err
+		}
+		return numValue(-f), nil
+	}
+	return Value{}, fmt.Errorf("sparql: unknown unary %q", e.Op)
+}
+
+func (e UnaryExpr) String() string { return e.Op + e.X.String() }
+
+// FuncExpr is a built-in function call.
+type FuncExpr struct {
+	Name string // upper-cased
+	Args []Expr
+}
+
+func (e FuncExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Eval implements Expr.
+func (e FuncExpr) Eval(b Binding) (Value, error) {
+	argn := func(want int) error {
+		if len(e.Args) != want {
+			return fmt.Errorf("sparql: %s expects %d args, got %d", e.Name, want, len(e.Args))
+		}
+		return nil
+	}
+	switch e.Name {
+	case "BOUND":
+		if err := argn(1); err != nil {
+			return Value{}, err
+		}
+		ve, ok := e.Args[0].(VarExpr)
+		if !ok {
+			return Value{}, fmt.Errorf("sparql: BOUND expects a variable")
+		}
+		_, bound := b[ve.Name]
+		return boolValue(bound), nil
+	case "ISIRI", "ISURI", "ISLITERAL", "ISBLANK":
+		if err := argn(1); err != nil {
+			return Value{}, err
+		}
+		v, err := e.Args[0].Eval(b)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.Kind != KindTerm {
+			return boolValue(false), nil
+		}
+		switch e.Name {
+		case "ISLITERAL":
+			return boolValue(v.Term.Kind() == rdf.KindLiteral), nil
+		case "ISBLANK":
+			return boolValue(v.Term.Kind() == rdf.KindBlank), nil
+		default:
+			return boolValue(v.Term.Kind() == rdf.KindIRI), nil
+		}
+	case "STR":
+		if err := argn(1); err != nil {
+			return Value{}, err
+		}
+		v, err := e.Args[0].Eval(b)
+		if err != nil {
+			return Value{}, err
+		}
+		s, err := v.asStr()
+		if err != nil {
+			return Value{}, err
+		}
+		return strValue(s), nil
+	case "LANG":
+		if err := argn(1); err != nil {
+			return Value{}, err
+		}
+		v, err := e.Args[0].Eval(b)
+		if err != nil {
+			return Value{}, err
+		}
+		if lit, ok := v.Term.(rdf.Literal); ok {
+			return strValue(lit.Lang), nil
+		}
+		return Value{}, fmt.Errorf("sparql: LANG on non-literal")
+	case "DATATYPE":
+		if err := argn(1); err != nil {
+			return Value{}, err
+		}
+		v, err := e.Args[0].Eval(b)
+		if err != nil {
+			return Value{}, err
+		}
+		if lit, ok := v.Term.(rdf.Literal); ok {
+			return termValue(lit.EffectiveDatatype()), nil
+		}
+		return Value{}, fmt.Errorf("sparql: DATATYPE on non-literal")
+	case "SAMETERM":
+		if err := argn(2); err != nil {
+			return Value{}, err
+		}
+		a, err := e.Args[0].Eval(b)
+		if err != nil {
+			return Value{}, err
+		}
+		c, err := e.Args[1].Eval(b)
+		if err != nil {
+			return Value{}, err
+		}
+		if a.Kind != KindTerm || c.Kind != KindTerm {
+			return boolValue(false), nil
+		}
+		return boolValue(rdf.Equal(a.Term, c.Term)), nil
+	case "REGEX":
+		if len(e.Args) != 2 && len(e.Args) != 3 {
+			return Value{}, fmt.Errorf("sparql: REGEX expects 2 or 3 args")
+		}
+		text, err := evalStr(e.Args[0], b)
+		if err != nil {
+			return Value{}, err
+		}
+		pat, err := evalStr(e.Args[1], b)
+		if err != nil {
+			return Value{}, err
+		}
+		if len(e.Args) == 3 {
+			flags, err := evalStr(e.Args[2], b)
+			if err != nil {
+				return Value{}, err
+			}
+			if strings.Contains(flags, "i") {
+				pat = "(?i)" + pat
+			}
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return Value{}, fmt.Errorf("sparql: bad REGEX pattern: %w", err)
+		}
+		return boolValue(re.MatchString(text)), nil
+	case "CONTAINS", "STRSTARTS", "STRENDS":
+		if err := argn(2); err != nil {
+			return Value{}, err
+		}
+		a, err := evalStr(e.Args[0], b)
+		if err != nil {
+			return Value{}, err
+		}
+		c, err := evalStr(e.Args[1], b)
+		if err != nil {
+			return Value{}, err
+		}
+		switch e.Name {
+		case "CONTAINS":
+			return boolValue(strings.Contains(a, c)), nil
+		case "STRSTARTS":
+			return boolValue(strings.HasPrefix(a, c)), nil
+		default:
+			return boolValue(strings.HasSuffix(a, c)), nil
+		}
+	case "LCASE", "UCASE":
+		if err := argn(1); err != nil {
+			return Value{}, err
+		}
+		s, err := evalStr(e.Args[0], b)
+		if err != nil {
+			return Value{}, err
+		}
+		if e.Name == "LCASE" {
+			return strValue(strings.ToLower(s)), nil
+		}
+		return strValue(strings.ToUpper(s)), nil
+	case "STRLEN":
+		if err := argn(1); err != nil {
+			return Value{}, err
+		}
+		s, err := evalStr(e.Args[0], b)
+		if err != nil {
+			return Value{}, err
+		}
+		return numValue(float64(len([]rune(s)))), nil
+	case "ABS":
+		if err := argn(1); err != nil {
+			return Value{}, err
+		}
+		v, err := e.Args[0].Eval(b)
+		if err != nil {
+			return Value{}, err
+		}
+		f, err := v.asNum()
+		if err != nil {
+			return Value{}, err
+		}
+		if f < 0 {
+			f = -f
+		}
+		return numValue(f), nil
+	}
+	return Value{}, fmt.Errorf("sparql: unknown function %s", e.Name)
+}
+
+func evalStr(e Expr, b Binding) (string, error) {
+	v, err := e.Eval(b)
+	if err != nil {
+		return "", err
+	}
+	return v.asStr()
+}

@@ -1,0 +1,271 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func evalExprStr(t *testing.T, expr string, b Binding) (Value, error) {
+	t.Helper()
+	// Wrap the expression in a throwaway query to reuse the parser.
+	q, err := Parse(`SELECT ?s WHERE { ?s ?p ?o . FILTER(` + expr + `) }`)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	filter := findFilter(t, q.Where)
+	return filter.Expr.Eval(b)
+}
+
+func findFilter(t *testing.T, g *Group) Filter {
+	t.Helper()
+	for _, el := range g.Elements {
+		if f, ok := el.(Filter); ok {
+			return f
+		}
+	}
+	t.Fatal("no filter found")
+	return Filter{}
+}
+
+func TestExprArithmeticAndLogic(t *testing.T) {
+	b := Binding{"x": rdf.NewInt(10), "y": rdf.NewFloat(2.5)}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"?x + ?y = 12.5", true},
+		{"?x - ?y > 7", true},
+		{"?x * 2 = 20", true},
+		{"?x / 4 = 2.5", true},
+		{"-?y < 0", true},
+		{"!(?x < 5)", true},
+		{"?x > 5 && ?y > 5", false},
+		{"?x > 5 || ?y > 5", true},
+		{"?x != 10", false},
+		{"?x <= 10 && ?x >= 10", true},
+	}
+	for _, c := range cases {
+		t.Run(c.expr, func(t *testing.T) {
+			v, err := evalExprStr(t, c.expr, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := v.EBV()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+			}
+		})
+	}
+}
+
+func TestExprErrorCases(t *testing.T) {
+	b := Binding{"iri": rdf.IRI("http://x/a"), "s": rdf.NewLiteral("abc")}
+	cases := []string{
+		"?unbound > 1",       // unbound variable
+		"?iri + 1 > 0",       // IRI is not numeric
+		"?s * 2 = 4",         // string arithmetic
+		"1 / 0 = 1",          // division by zero
+		"LANG(?iri) = \"\"",  // LANG on IRI
+		"DATATYPE(?iri) = 1", // DATATYPE on IRI
+	}
+	for _, expr := range cases {
+		t.Run(expr, func(t *testing.T) {
+			if _, err := evalExprStr(t, expr, b); err == nil {
+				t.Errorf("%s should error", expr)
+			}
+		})
+	}
+}
+
+func TestExprOrTrueBeatsError(t *testing.T) {
+	// SPARQL: error || true = true.
+	b := Binding{"x": rdf.NewInt(1)}
+	v, err := evalExprStr(t, "?unbound > 1 || ?x = 1", b)
+	if err != nil {
+		t.Fatalf("true branch should rescue the OR: %v", err)
+	}
+	if ok, _ := v.EBV(); !ok {
+		t.Error("OR should be true")
+	}
+	// error && false = false.
+	v, err = evalExprStr(t, "?unbound > 1 && ?x = 2", b)
+	if err != nil {
+		t.Fatalf("false branch should rescue the AND: %v", err)
+	}
+	if ok, _ := v.EBV(); ok {
+		t.Error("AND should be false")
+	}
+	// error || false = error.
+	if _, err := evalExprStr(t, "?unbound > 1 || ?x = 2", b); err == nil {
+		t.Error("error||false must propagate the error")
+	}
+}
+
+func TestEBVRules(t *testing.T) {
+	cases := []struct {
+		val     Value
+		want    bool
+		wantErr bool
+	}{
+		{termValue(rdf.NewBool(true)), true, false},
+		{termValue(rdf.NewBool(false)), false, false},
+		{termValue(rdf.NewInt(0)), false, false},
+		{termValue(rdf.NewInt(3)), true, false},
+		{termValue(rdf.NewLiteral("")), false, false},
+		{termValue(rdf.NewLiteral("x")), true, false},
+		{termValue(rdf.NewLangLiteral("x", "en")), true, false},
+		{termValue(rdf.IRI("http://x")), false, true},
+		{termValue(rdf.BlankNode("b")), false, true},
+		{numValue(0), false, false},
+		{numValue(1.5), true, false},
+		{strValue(""), false, false},
+		{strValue("y"), true, false},
+		{boolValue(true), true, false},
+		{termValue(rdf.NewTypedLiteral("zzz", rdf.XSDInteger)), false, true}, // malformed numeric
+		{Value{}, false, true},                                               // empty value
+	}
+	for i, c := range cases {
+		got, err := c.val.EBV()
+		if (err != nil) != c.wantErr {
+			t.Errorf("case %d: err = %v, wantErr %v", i, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("case %d: EBV = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestExprStringFunctions(t *testing.T) {
+	b := Binding{"l": rdf.NewLangLiteral("Drought Watch", "en")}
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{`STRLEN(?l) = 13`, true},
+		{`UCASE(?l) = "DROUGHT WATCH"`, true},
+		{`LCASE(?l) = "drought watch"`, true},
+		{`CONTAINS(?l, "Watch")`, true},
+		{`STRSTARTS(STR(?l), "Drought")`, true},
+		{`STRENDS(?l, "Watch")`, true},
+		{`ABS(-3) = 3`, true},
+		{`SAMETERM(?l, ?l)`, true},
+		{`SAMETERM(?l, "Drought Watch")`, false}, // lang tag differs
+		{`ISLITERAL(?l)`, true},
+		{`ISBLANK(?l)`, false},
+		{`ISIRI(?l)`, false},
+		{`BOUND(?l)`, true},
+		{`!BOUND(?nope)`, true},
+	}
+	for _, c := range cases {
+		t.Run(c.expr, func(t *testing.T) {
+			v, err := evalExprStr(t, c.expr, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := v.EBV()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Errorf("%s = %v, want %v", c.expr, got, c.want)
+			}
+		})
+	}
+}
+
+func TestExprFunctionArity(t *testing.T) {
+	b := Binding{"x": rdf.NewInt(1)}
+	bad := []string{
+		`STRLEN(?x, ?x) = 1`,
+		`REGEX(?x) `,
+		`CONTAINS(?x) `,
+		`BOUND(1)`,
+	}
+	for _, expr := range bad {
+		if _, err := evalExprStr(t, expr, b); err == nil {
+			t.Errorf("%s should error", expr)
+		}
+	}
+	if _, err := Parse(`SELECT ?s WHERE { ?s ?p ?o . FILTER(NOSUCHFN(?s)) }`); err == nil {
+		t.Error("unknown function should fail at parse")
+	}
+}
+
+func TestExprRegexFlags(t *testing.T) {
+	b := Binding{"l": rdf.NewLiteral("Sifennefene")}
+	v, err := evalExprStr(t, `REGEX(?l, "^sifen", "i")`, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := v.EBV(); !ok {
+		t.Error("case-insensitive regex should match")
+	}
+	if _, err := evalExprStr(t, `REGEX(?l, "([")`, b); err == nil {
+		t.Error("bad regex should error")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	// Exercise the String() renderings for diagnostics.
+	q, err := Parse(`
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE {
+  ?s ex:p ?o .
+  FILTER(?o > 1 && REGEX(STR(?s), "x") || !BOUND(?z))
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := findFilter(t, q.Where)
+	s := f.Expr.String()
+	for _, frag := range []string{"?o", ">", "REGEX", "STR", "BOUND", "||", "&&", "!"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("expr string %q missing %q", s, frag)
+		}
+	}
+	// Pattern term and triple pattern strings.
+	bgp := q.Where.Elements[0].(BGP)
+	ts := bgp.Patterns[0].String()
+	if !strings.Contains(ts, "?s") || !strings.Contains(ts, "<http://example.org/p>") {
+		t.Errorf("pattern string = %q", ts)
+	}
+}
+
+func TestSolutionsSortedVars(t *testing.T) {
+	s := &Solutions{Vars: []Var{"z", "a", "m"}}
+	sorted := s.SortedVars()
+	if sorted[0] != "a" || sorted[2] != "z" {
+		t.Errorf("SortedVars = %v", sorted)
+	}
+	// Original untouched.
+	if s.Vars[0] != "z" {
+		t.Error("SortedVars must not mutate")
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	if _, err := (Value{Kind: KindBool, Bool: true}).asNum(); err != nil {
+		t.Error("bool should coerce to num")
+	}
+	if s, err := (Value{Kind: KindNum, Num: 2.5}).asStr(); err != nil || s != "2.5" {
+		t.Errorf("num asStr = %q, %v", s, err)
+	}
+	if s, err := (Value{Kind: KindBool, Bool: false}).asStr(); err != nil || s != "false" {
+		t.Errorf("bool asStr = %q, %v", s, err)
+	}
+	if s, err := termValue(rdf.IRI("http://x")).asStr(); err != nil || s != "http://x" {
+		t.Errorf("iri asStr = %q, %v", s, err)
+	}
+	if _, err := (Value{}).asStr(); err == nil {
+		t.Error("empty value has no string form")
+	}
+	if _, err := termValue(rdf.BlankNode("b")).asStr(); err == nil {
+		t.Error("blank node has no string form")
+	}
+}

@@ -1,0 +1,372 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// sTokKind enumerates SPARQL token kinds.
+type sTokKind int
+
+const (
+	sEOF     sTokKind = iota + 1
+	sVar              // ?name
+	sIRI              // <...>
+	sPName            // prefix:local or prefix:
+	sKeyword          // SELECT, WHERE, FILTER, ... (upper-cased in text)
+	sString           // quoted literal (unescaped text)
+	sLangTag          // @en
+	sDTSep            // ^^
+	sNumber
+	sLBrace
+	sRBrace
+	sLParen
+	sRParen
+	sDot
+	sSemicolon
+	sComma
+	sStar
+	sOp // = != < <= > >= && || ! + - /
+)
+
+type sToken struct {
+	kind sTokKind
+	text string
+	pos  int
+}
+
+func (t sToken) String() string {
+	if t.kind == sEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// sparql keywords recognized case-insensitively.
+var keywords = map[string]bool{
+	"SELECT": true, "ASK": true, "CONSTRUCT": true, "WHERE": true,
+	"FILTER": true, "OPTIONAL": true, "UNION": true, "PREFIX": true,
+	"BASE": true, "DISTINCT": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true,
+	"A": true, "TRUE": true, "FALSE": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"AS": true, "GROUP": true,
+}
+
+// builtin function names (recognized as keywords that start calls).
+var builtins = map[string]bool{
+	"BOUND": true, "REGEX": true, "STR": true, "LANG": true,
+	"DATATYPE": true, "ISIRI": true, "ISURI": true, "ISLITERAL": true,
+	"ISBLANK": true, "CONTAINS": true, "STRSTARTS": true, "STRENDS": true,
+	"LCASE": true, "UCASE": true, "STRLEN": true, "ABS": true,
+	"SAMETERM": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: position %d: %s", l.pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekRune() (rune, int) {
+	if l.pos >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.pos:])
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		r, w := l.peekRune()
+		if r == '#' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(r) {
+			return
+		}
+		l.pos += w
+	}
+}
+
+func (l *lexer) next() (sToken, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return sToken{kind: sEOF, pos: start}, nil
+	}
+	r, w := l.peekRune()
+	switch r {
+	case '{':
+		l.pos += w
+		return sToken{kind: sLBrace, text: "{", pos: start}, nil
+	case '}':
+		l.pos += w
+		return sToken{kind: sRBrace, text: "}", pos: start}, nil
+	case '(':
+		l.pos += w
+		return sToken{kind: sLParen, text: "(", pos: start}, nil
+	case ')':
+		l.pos += w
+		return sToken{kind: sRParen, text: ")", pos: start}, nil
+	case ';':
+		l.pos += w
+		return sToken{kind: sSemicolon, text: ";", pos: start}, nil
+	case ',':
+		l.pos += w
+		return sToken{kind: sComma, text: ",", pos: start}, nil
+	case '*':
+		l.pos += w
+		return sToken{kind: sStar, text: "*", pos: start}, nil
+	case '.':
+		// ".5" is a number
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			return l.lexNumber()
+		}
+		l.pos += w
+		return sToken{kind: sDot, text: ".", pos: start}, nil
+	case '?', '$':
+		l.pos += w
+		name := l.lexName()
+		if name == "" {
+			return sToken{}, l.errf("empty variable name")
+		}
+		return sToken{kind: sVar, text: name, pos: start}, nil
+	case '<':
+		// IRI or operator.
+		if l.pos+1 < len(l.src) {
+			c := l.src[l.pos+1]
+			if c == '=' {
+				l.pos += 2
+				return sToken{kind: sOp, text: "<=", pos: start}, nil
+			}
+			if c == ' ' || c == '?' || c == '\t' || c == '\n' {
+				l.pos++
+				return sToken{kind: sOp, text: "<", pos: start}, nil
+			}
+		}
+		return l.lexIRI()
+	case '>':
+		l.pos += w
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return sToken{kind: sOp, text: ">=", pos: start}, nil
+		}
+		return sToken{kind: sOp, text: ">", pos: start}, nil
+	case '=':
+		l.pos += w
+		return sToken{kind: sOp, text: "=", pos: start}, nil
+	case '!':
+		l.pos += w
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return sToken{kind: sOp, text: "!=", pos: start}, nil
+		}
+		return sToken{kind: sOp, text: "!", pos: start}, nil
+	case '&':
+		if strings.HasPrefix(l.src[l.pos:], "&&") {
+			l.pos += 2
+			return sToken{kind: sOp, text: "&&", pos: start}, nil
+		}
+		return sToken{}, l.errf("lone '&'")
+	case '|':
+		if strings.HasPrefix(l.src[l.pos:], "||") {
+			l.pos += 2
+			return sToken{kind: sOp, text: "||", pos: start}, nil
+		}
+		return sToken{}, l.errf("lone '|'")
+	case '+':
+		l.pos += w
+		return sToken{kind: sOp, text: "+", pos: start}, nil
+	case '-':
+		l.pos += w
+		// negative number literal
+		if l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+			tok, err := l.lexNumber()
+			if err != nil {
+				return tok, err
+			}
+			tok.text = "-" + tok.text
+			tok.pos = start
+			return tok, nil
+		}
+		return sToken{kind: sOp, text: "-", pos: start}, nil
+	case '/':
+		l.pos += w
+		return sToken{kind: sOp, text: "/", pos: start}, nil
+	case '^':
+		if strings.HasPrefix(l.src[l.pos:], "^^") {
+			l.pos += 2
+			return sToken{kind: sDTSep, text: "^^", pos: start}, nil
+		}
+		return sToken{}, l.errf("lone '^'")
+	case '"', '\'':
+		return l.lexString(byte(r))
+	case '@':
+		l.pos += w
+		tag := l.lexName()
+		if tag == "" {
+			return sToken{}, l.errf("empty language tag")
+		}
+		return sToken{kind: sLangTag, text: strings.ToLower(tag), pos: start}, nil
+	}
+	if r >= '0' && r <= '9' {
+		return l.lexNumber()
+	}
+	if unicode.IsLetter(r) || r == '_' {
+		word := l.lexName()
+		// prefixed name?
+		if l.pos < len(l.src) && l.src[l.pos] == ':' {
+			l.pos++
+			local := l.lexLocalName()
+			return sToken{kind: sPName, text: word + ":" + local, pos: start}, nil
+		}
+		upper := strings.ToUpper(word)
+		if keywords[upper] || builtins[upper] {
+			return sToken{kind: sKeyword, text: upper, pos: start}, nil
+		}
+		return sToken{}, l.errf("unexpected word %q", word)
+	}
+	if r == ':' {
+		// default-prefix pname
+		l.pos += w
+		local := l.lexLocalName()
+		return sToken{kind: sPName, text: ":" + local, pos: start}, nil
+	}
+	return sToken{}, l.errf("unexpected character %q", r)
+}
+
+func (l *lexer) lexName() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, w := l.peekRune()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			l.pos += w
+			continue
+		}
+		break
+	}
+	return l.src[start:l.pos]
+}
+
+// lexLocalName allows '-' and '.' (not trailing) in addition to name runes.
+func (l *lexer) lexLocalName() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, w := l.peekRune()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' {
+			l.pos += w
+			continue
+		}
+		if r == '.' {
+			// Only continue when followed by a name rune (else it is the
+			// triple terminator).
+			if l.pos+w < len(l.src) {
+				nr, _ := utf8.DecodeRuneInString(l.src[l.pos+w:])
+				if unicode.IsLetter(nr) || unicode.IsDigit(nr) || nr == '_' {
+					l.pos += w
+					continue
+				}
+			}
+		}
+		break
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexIRI() (sToken, error) {
+	start := l.pos
+	l.pos++ // consume '<'
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		r, w := l.peekRune()
+		l.pos += w
+		switch r {
+		case '>':
+			return sToken{kind: sIRI, text: b.String(), pos: start}, nil
+		case '\n':
+			return sToken{}, l.errf("newline in IRI")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return sToken{}, l.errf("unterminated IRI")
+}
+
+func (l *lexer) lexString(quote byte) (sToken, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			return sToken{kind: sString, text: b.String(), pos: start}, nil
+		}
+		if c == '\\' {
+			l.pos++
+			if l.pos >= len(l.src) {
+				return sToken{}, l.errf("dangling escape")
+			}
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\'':
+				b.WriteByte('\'')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return sToken{}, l.errf("invalid escape \\%c", l.src[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		if c == '\n' {
+			return sToken{}, l.errf("newline in string")
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return sToken{}, l.errf("unterminated string")
+}
+
+func (l *lexer) lexNumber() (sToken, error) {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			// trailing dot = statement terminator
+			if l.pos+1 >= len(l.src) || l.src[l.pos+1] < '0' || l.src[l.pos+1] > '9' {
+				return sToken{kind: sNumber, text: l.src[start:l.pos], pos: start}, nil
+			}
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			return sToken{kind: sNumber, text: l.src[start:l.pos], pos: start}, nil
+		}
+	}
+	return sToken{kind: sNumber, text: l.src[start:l.pos], pos: start}, nil
+}

@@ -1,0 +1,891 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Parse parses a SPARQL query in the supported subset. The returned Query
+// carries the prefix environment (seeded from rdf.DefaultPrefixes so the
+// middleware's vocabularies are always available).
+func Parse(src string) (*Query, error) {
+	p := &parser{lex: &lexer{src: src}, q: &Query{
+		Prefixes: rdf.DefaultPrefixes(),
+		Limit:    -1,
+	}}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	return p.q, nil
+}
+
+type parser struct {
+	lex    *lexer
+	peeked *sToken
+	q      *Query
+	bnode  int
+}
+
+func (p *parser) next() (sToken, error) {
+	if p.peeked != nil {
+		t := *p.peeked
+		p.peeked = nil
+		return t, nil
+	}
+	return p.lex.next()
+}
+
+func (p *parser) peek() (sToken, error) {
+	if p.peeked == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return sToken{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sparql: parse: %s", fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != sKeyword || t.text != kw {
+		return p.errf("expected %s, got %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) parse() error {
+	// Prologue.
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if t.kind == sKeyword && t.text == "PREFIX" {
+			if _, err := p.next(); err != nil {
+				return err
+			}
+			if err := p.parsePrefix(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != sKeyword {
+		return p.errf("expected query form, got %s", t)
+	}
+	switch t.text {
+	case "SELECT":
+		return p.parseSelect()
+	case "ASK":
+		return p.parseAsk()
+	case "CONSTRUCT":
+		return p.parseConstruct()
+	default:
+		return p.errf("unsupported query form %s", t.text)
+	}
+}
+
+func (p *parser) parsePrefix() error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != sPName || !strings.HasSuffix(t.text, ":") {
+		return p.errf("expected prefix name, got %s", t)
+	}
+	prefix := strings.TrimSuffix(t.text, ":")
+	iriTok, err := p.next()
+	if err != nil {
+		return err
+	}
+	if iriTok.kind != sIRI {
+		return p.errf("expected namespace IRI after PREFIX, got %s", iriTok)
+	}
+	p.q.Prefixes.Bind(prefix, rdf.Namespace(iriTok.text))
+	return nil
+}
+
+func (p *parser) parseSelect() error {
+	p.q.Form = FormSelect
+	t, err := p.peek()
+	if err != nil {
+		return err
+	}
+	if t.kind == sKeyword && t.text == "DISTINCT" {
+		p.q.Distinct = true
+		if _, err := p.next(); err != nil {
+			return err
+		}
+	}
+	// Projection.
+	t, err = p.peek()
+	if err != nil {
+		return err
+	}
+	if t.kind == sStar {
+		if _, err := p.next(); err != nil {
+			return err
+		}
+	} else {
+		for {
+			t, err = p.peek()
+			if err != nil {
+				return err
+			}
+			if t.kind == sVar {
+				p.q.Select = append(p.q.Select, Var(t.text))
+				if _, err := p.next(); err != nil {
+					return err
+				}
+				continue
+			}
+			if t.kind == sLParen {
+				if _, err := p.next(); err != nil {
+					return err
+				}
+				agg, err := p.parseAggSelect()
+				if err != nil {
+					return err
+				}
+				p.q.Aggregates = append(p.q.Aggregates, agg)
+				continue
+			}
+			break
+		}
+		if len(p.q.Select) == 0 && len(p.q.Aggregates) == 0 {
+			return p.errf("SELECT needs variables, aggregates or *")
+		}
+	}
+	// Optional WHERE keyword.
+	t, err = p.peek()
+	if err != nil {
+		return err
+	}
+	if t.kind == sKeyword && t.text == "WHERE" {
+		if _, err := p.next(); err != nil {
+			return err
+		}
+	}
+	g, err := p.parseGroup()
+	if err != nil {
+		return err
+	}
+	p.q.Where = g
+	if err := p.parseSolutionModifiers(); err != nil {
+		return err
+	}
+	return p.q.validateAggregates()
+}
+
+func (p *parser) parseAsk() error {
+	p.q.Form = FormAsk
+	t, err := p.peek()
+	if err != nil {
+		return err
+	}
+	if t.kind == sKeyword && t.text == "WHERE" {
+		if _, err := p.next(); err != nil {
+			return err
+		}
+	}
+	g, err := p.parseGroup()
+	if err != nil {
+		return err
+	}
+	p.q.Where = g
+	return p.expectEOF()
+}
+
+func (p *parser) parseConstruct() error {
+	p.q.Form = FormConstruct
+	tmplGroup, err := p.parseGroup()
+	if err != nil {
+		return err
+	}
+	// The template must be a pure BGP.
+	for _, el := range tmplGroup.Elements {
+		bgp, ok := el.(BGP)
+		if !ok {
+			return p.errf("CONSTRUCT template must contain only triple patterns")
+		}
+		p.q.Template = append(p.q.Template, bgp.Patterns...)
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return err
+	}
+	g, err := p.parseGroup()
+	if err != nil {
+		return err
+	}
+	p.q.Where = g
+	return p.parseSolutionModifiers()
+}
+
+func (p *parser) parseSolutionModifiers() error {
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if t.kind == sEOF {
+			return nil
+		}
+		if t.kind != sKeyword {
+			return p.errf("unexpected trailing token %s", t)
+		}
+		switch t.text {
+		case "GROUP":
+			if _, err := p.next(); err != nil {
+				return err
+			}
+			if err := p.expectKeyword("BY"); err != nil {
+				return err
+			}
+			for {
+				v, err := p.peek()
+				if err != nil {
+					return err
+				}
+				if v.kind != sVar {
+					break
+				}
+				p.q.GroupBy = append(p.q.GroupBy, Var(v.text))
+				if _, err := p.next(); err != nil {
+					return err
+				}
+			}
+			if len(p.q.GroupBy) == 0 {
+				return p.errf("GROUP BY needs at least one variable")
+			}
+		case "ORDER":
+			if _, err := p.next(); err != nil {
+				return err
+			}
+			if err := p.expectKeyword("BY"); err != nil {
+				return err
+			}
+			if err := p.parseOrderKeys(); err != nil {
+				return err
+			}
+		case "LIMIT":
+			if _, err := p.next(); err != nil {
+				return err
+			}
+			n, err := p.parseInt()
+			if err != nil {
+				return err
+			}
+			p.q.Limit = n
+		case "OFFSET":
+			if _, err := p.next(); err != nil {
+				return err
+			}
+			n, err := p.parseInt()
+			if err != nil {
+				return err
+			}
+			p.q.Offset = n
+		default:
+			return p.errf("unexpected keyword %s", t.text)
+		}
+	}
+}
+
+func (p *parser) parseInt() (int, error) {
+	t, err := p.next()
+	if err != nil {
+		return 0, err
+	}
+	if t.kind != sNumber {
+		return 0, p.errf("expected integer, got %s", t)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, p.errf("expected non-negative integer, got %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseOrderKeys() error {
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		switch {
+		case t.kind == sVar:
+			if _, err := p.next(); err != nil {
+				return err
+			}
+			p.q.OrderBy = append(p.q.OrderBy, OrderKey{Expr: VarExpr{Name: Var(t.text)}})
+		case t.kind == sKeyword && (t.text == "ASC" || t.text == "DESC"):
+			if _, err := p.next(); err != nil {
+				return err
+			}
+			if tok, err := p.next(); err != nil || tok.kind != sLParen {
+				return p.errf("expected ( after %s", t.text)
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			if tok, err := p.next(); err != nil || tok.kind != sRParen {
+				return p.errf("expected ) in ORDER BY")
+			}
+			p.q.OrderBy = append(p.q.OrderBy, OrderKey{Expr: e, Descending: t.text == "DESC"})
+		default:
+			if len(p.q.OrderBy) == 0 {
+				return p.errf("ORDER BY needs at least one key")
+			}
+			return nil
+		}
+	}
+}
+
+func (p *parser) expectEOF() error {
+	t, err := p.peek()
+	if err != nil {
+		return err
+	}
+	if t.kind != sEOF {
+		return p.errf("unexpected trailing token %s", t)
+	}
+	return nil
+}
+
+// --- group graph patterns ---
+
+func (p *parser) parseGroup() (*Group, error) {
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind != sLBrace {
+		return nil, p.errf("expected {, got %s", t)
+	}
+	g := &Group{}
+	var bgp *BGP
+	flush := func() {
+		if bgp != nil && len(bgp.Patterns) > 0 {
+			g.Elements = append(g.Elements, *bgp)
+		}
+		bgp = nil
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case t.kind == sRBrace:
+			flush()
+			if _, err := p.next(); err != nil {
+				return nil, err
+			}
+			return g, nil
+		case t.kind == sEOF:
+			return nil, p.errf("unterminated group pattern")
+		case t.kind == sKeyword && t.text == "FILTER":
+			flush()
+			if _, err := p.next(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseBrackettedOrCall()
+			if err != nil {
+				return nil, err
+			}
+			g.Elements = append(g.Elements, Filter{Expr: e})
+			p.skipDot()
+		case t.kind == sKeyword && t.text == "OPTIONAL":
+			flush()
+			if _, err := p.next(); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			g.Elements = append(g.Elements, Optional{Group: inner})
+			p.skipDot()
+		case t.kind == sLBrace:
+			flush()
+			first, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			branches := []*Group{first}
+			for {
+				t2, err := p.peek()
+				if err != nil {
+					return nil, err
+				}
+				if t2.kind == sKeyword && t2.text == "UNION" {
+					if _, err := p.next(); err != nil {
+						return nil, err
+					}
+					br, err := p.parseGroup()
+					if err != nil {
+						return nil, err
+					}
+					branches = append(branches, br)
+					continue
+				}
+				break
+			}
+			if len(branches) == 1 {
+				g.Elements = append(g.Elements, SubGroup{Group: first})
+			} else {
+				g.Elements = append(g.Elements, Union{Branches: branches})
+			}
+			p.skipDot()
+		default:
+			if bgp == nil {
+				bgp = &BGP{}
+			}
+			if err := p.parseTriplesSameSubject(bgp); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// skipDot consumes an optional '.' separator.
+func (p *parser) skipDot() {
+	t, err := p.peek()
+	if err == nil && t.kind == sDot {
+		_, _ = p.next()
+	}
+}
+
+// parseTriplesSameSubject parses "subject pred obj (, obj)* (; pred obj...)* .?"
+func (p *parser) parseTriplesSameSubject(bgp *BGP) error {
+	subj, err := p.parsePatternTerm()
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.parseVerb()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.parsePatternTerm()
+			if err != nil {
+				return err
+			}
+			bgp.Patterns = append(bgp.Patterns, TriplePattern{S: subj, P: pred, O: obj})
+			t, err := p.peek()
+			if err != nil {
+				return err
+			}
+			if t.kind == sComma {
+				if _, err := p.next(); err != nil {
+					return err
+				}
+				continue
+			}
+			break
+		}
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if t.kind == sSemicolon {
+			if _, err := p.next(); err != nil {
+				return err
+			}
+			// allow trailing ';' before '.' or '}'
+			t2, err := p.peek()
+			if err != nil {
+				return err
+			}
+			if t2.kind == sDot || t2.kind == sRBrace {
+				break
+			}
+			continue
+		}
+		break
+	}
+	p.skipDot()
+	return nil
+}
+
+func (p *parser) parseVerb() (PatternTerm, error) {
+	t, err := p.peek()
+	if err != nil {
+		return PatternTerm{}, err
+	}
+	if t.kind == sKeyword && t.text == "A" {
+		if _, err := p.next(); err != nil {
+			return PatternTerm{}, err
+		}
+		return PatternTerm{Term: rdf.RDFType}, nil
+	}
+	pt, err := p.parsePatternTerm()
+	if err != nil {
+		return PatternTerm{}, err
+	}
+	if !pt.IsVar() && pt.Term.Kind() != rdf.KindIRI {
+		return PatternTerm{}, p.errf("predicate must be IRI or variable")
+	}
+	return pt, nil
+}
+
+func (p *parser) parsePatternTerm() (PatternTerm, error) {
+	t, err := p.next()
+	if err != nil {
+		return PatternTerm{}, err
+	}
+	switch t.kind {
+	case sVar:
+		return PatternTerm{Var: Var(t.text)}, nil
+	case sIRI:
+		return PatternTerm{Term: rdf.IRI(t.text)}, nil
+	case sPName:
+		iri, err := p.q.Prefixes.Resolve(t.text)
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return PatternTerm{Term: iri}, nil
+	case sString:
+		lit, err := p.finishLiteral(t.text)
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return PatternTerm{Term: lit}, nil
+	case sNumber:
+		return PatternTerm{Term: numberLit(t.text)}, nil
+	case sKeyword:
+		switch t.text {
+		case "TRUE":
+			return PatternTerm{Term: rdf.NewBool(true)}, nil
+		case "FALSE":
+			return PatternTerm{Term: rdf.NewBool(false)}, nil
+		}
+	}
+	return PatternTerm{}, p.errf("expected term, got %s", t)
+}
+
+func (p *parser) finishLiteral(text string) (rdf.Literal, error) {
+	t, err := p.peek()
+	if err != nil {
+		return rdf.Literal{}, err
+	}
+	switch t.kind {
+	case sLangTag:
+		if _, err := p.next(); err != nil {
+			return rdf.Literal{}, err
+		}
+		return rdf.NewLangLiteral(text, t.text), nil
+	case sDTSep:
+		if _, err := p.next(); err != nil {
+			return rdf.Literal{}, err
+		}
+		dt, err := p.next()
+		if err != nil {
+			return rdf.Literal{}, err
+		}
+		switch dt.kind {
+		case sIRI:
+			return rdf.NewTypedLiteral(text, rdf.IRI(dt.text)), nil
+		case sPName:
+			iri, err := p.q.Prefixes.Resolve(dt.text)
+			if err != nil {
+				return rdf.Literal{}, err
+			}
+			return rdf.NewTypedLiteral(text, iri), nil
+		default:
+			return rdf.Literal{}, p.errf("expected datatype after ^^")
+		}
+	default:
+		return rdf.NewLiteral(text), nil
+	}
+}
+
+func numberLit(text string) rdf.Literal {
+	if strings.ContainsAny(text, "eE") {
+		return rdf.Literal{Lexical: text, Datatype: rdf.XSDDouble}
+	}
+	if strings.Contains(text, ".") {
+		return rdf.Literal{Lexical: text, Datatype: rdf.XSDDecimal}
+	}
+	return rdf.Literal{Lexical: text, Datatype: rdf.XSDInteger}
+}
+
+// --- expressions ---
+
+// parseBrackettedOrCall parses FILTER's argument: '(' expr ')' or a
+// builtin call like REGEX(...).
+func (p *parser) parseBrackettedOrCall() (Expr, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind == sLParen {
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if tok, err := p.next(); err != nil || tok.kind != sRParen {
+			return nil, p.errf("expected ) after FILTER expression")
+		}
+		return e, nil
+	}
+	if t.kind == sKeyword && builtins[t.text] {
+		return p.parsePrimaryExpr()
+	}
+	return nil, p.errf("FILTER expects ( or a function call, got %s", t)
+}
+
+// Precedence climbing: || < && < comparison < additive < multiplicative <
+// unary < primary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == sOp && t.text == "||" {
+			if _, err := p.next(); err != nil {
+				return nil, err
+			}
+			right, err := p.parseAnd()
+			if err != nil {
+				return nil, err
+			}
+			left = BinaryExpr{Op: "||", L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == sOp && t.text == "&&" {
+			if _, err := p.next(); err != nil {
+				return nil, err
+			}
+			right, err := p.parseComparison()
+			if err != nil {
+				return nil, err
+			}
+			left = BinaryExpr{Op: "&&", L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind == sOp {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			if _, err := p.next(); err != nil {
+				return nil, err
+			}
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return BinaryExpr{Op: t.text, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == sOp && (t.text == "+" || t.text == "-") {
+			if _, err := p.next(); err != nil {
+				return nil, err
+			}
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = BinaryExpr{Op: t.text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if (t.kind == sOp && t.text == "/") || t.kind == sStar {
+			if _, err := p.next(); err != nil {
+				return nil, err
+			}
+			op := "/"
+			if t.kind == sStar {
+				op = "*"
+			}
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = BinaryExpr{Op: op, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind == sOp && (t.text == "!" || t.text == "-") {
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: t.text, X: x}, nil
+	}
+	return p.parsePrimaryExpr()
+}
+
+func (p *parser) parsePrimaryExpr() (Expr, error) {
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	switch t.kind {
+	case sLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if tok, err := p.next(); err != nil || tok.kind != sRParen {
+			return nil, p.errf("expected )")
+		}
+		return e, nil
+	case sVar:
+		return VarExpr{Name: Var(t.text)}, nil
+	case sIRI:
+		return ConstExpr{Term: rdf.IRI(t.text)}, nil
+	case sPName:
+		iri, err := p.q.Prefixes.Resolve(t.text)
+		if err != nil {
+			return nil, err
+		}
+		return ConstExpr{Term: iri}, nil
+	case sString:
+		lit, err := p.finishLiteral(t.text)
+		if err != nil {
+			return nil, err
+		}
+		return ConstExpr{Term: lit}, nil
+	case sNumber:
+		return ConstExpr{Term: numberLit(t.text)}, nil
+	case sKeyword:
+		switch {
+		case t.text == "TRUE":
+			return ConstExpr{Term: rdf.NewBool(true)}, nil
+		case t.text == "FALSE":
+			return ConstExpr{Term: rdf.NewBool(false)}, nil
+		case builtins[t.text]:
+			return p.parseCall(t.text)
+		}
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}
+
+func (p *parser) parseCall(name string) (Expr, error) {
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind != sLParen {
+		return nil, p.errf("expected ( after %s", name)
+	}
+	var args []Expr
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == sRParen {
+			if _, err := p.next(); err != nil {
+				return nil, err
+			}
+			return FuncExpr{Name: name, Args: args}, nil
+		}
+		if len(args) > 0 {
+			if t.kind != sComma {
+				return nil, p.errf("expected , in %s arguments, got %s", name, t)
+			}
+			if _, err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+}

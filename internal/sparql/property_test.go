@@ -1,0 +1,150 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+// randomDataGraph builds a random sensor-ish graph.
+func randomDataGraph(rng *rand.Rand, n int) *rdf.Graph {
+	g := rdf.NewGraph()
+	ns := rdf.Namespace("http://example.org/")
+	props := []rdf.IRI{ns.IRI("observes"), ns.IRI("value"), ns.IRI("at")}
+	for i := 0; i < n; i++ {
+		s := ns.IRI(fmt.Sprintf("s%d", rng.Intn(20)))
+		p := props[rng.Intn(len(props))]
+		var o rdf.Term
+		if rng.Intn(2) == 0 {
+			o = ns.IRI(fmt.Sprintf("o%d", rng.Intn(10)))
+		} else {
+			o = rdf.NewFloat(rng.Float64() * 100)
+		}
+		g.MustAdd(rdf.T(s, p, o))
+	}
+	return g
+}
+
+// TestQuickBGPSoundness: every solution of "?s ?p ?o" with a FILTER on a
+// bound predicate corresponds to a triple actually in the graph.
+func TestQuickBGPSoundness(t *testing.T) {
+	q, err := Parse(`
+PREFIX ex: <http://example.org/>
+SELECT ?s ?o WHERE { ?s ex:value ?o . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDataGraph(rng, 120)
+		sols, err := NewEngine(g).Select(q)
+		if err != nil {
+			return false
+		}
+		valueProp := rdf.IRI("http://example.org/value")
+		for _, row := range sols.Rows {
+			if !g.Has(rdf.T(row["s"], valueProp, row["o"])) {
+				return false
+			}
+		}
+		// Completeness: solution count equals direct match count.
+		return len(sols.Rows) == g.Count(nil, valueProp, nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickJoinConsistency: a two-pattern join's solutions each satisfy
+// both patterns, and DISTINCT never increases the row count.
+func TestQuickJoinConsistency(t *testing.T) {
+	qJoin, err := Parse(`
+PREFIX ex: <http://example.org/>
+SELECT ?s ?x ?v WHERE { ?s ex:observes ?x . ?s ex:value ?v . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qDistinct, err := Parse(`
+PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?s WHERE { ?s ex:observes ?x . ?s ex:value ?v . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDataGraph(rng, 150)
+		e := NewEngine(g)
+		joined, err := e.Select(qJoin)
+		if err != nil {
+			return false
+		}
+		obs := rdf.IRI("http://example.org/observes")
+		val := rdf.IRI("http://example.org/value")
+		for _, row := range joined.Rows {
+			if !g.Has(rdf.T(row["s"], obs, row["x"])) || !g.Has(rdf.T(row["s"], val, row["v"])) {
+				return false
+			}
+		}
+		distinct, err := e.Select(qDistinct)
+		if err != nil {
+			return false
+		}
+		return len(distinct.Rows) <= len(joined.Rows)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLimitOffsetPartition: LIMIT/OFFSET pages partition the ordered
+// result set without loss or duplication.
+func TestQuickLimitOffsetPartition(t *testing.T) {
+	full, err := Parse(`
+PREFIX ex: <http://example.org/>
+SELECT ?s ?v WHERE { ?s ex:value ?v . } ORDER BY ?v ?s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomDataGraph(rng, 100)
+		e := NewEngine(g)
+		all, err := e.Select(full)
+		if err != nil {
+			return false
+		}
+		pageSize := 1 + rng.Intn(10)
+		var paged []Binding
+		for offset := 0; ; offset += pageSize {
+			q, err := Parse(fmt.Sprintf(`
+PREFIX ex: <http://example.org/>
+SELECT ?s ?v WHERE { ?s ex:value ?v . } ORDER BY ?v ?s LIMIT %d OFFSET %d`, pageSize, offset))
+			if err != nil {
+				return false
+			}
+			page, err := e.Select(q)
+			if err != nil {
+				return false
+			}
+			paged = append(paged, page.Rows...)
+			if len(page.Rows) < pageSize {
+				break
+			}
+		}
+		if len(paged) != len(all.Rows) {
+			return false
+		}
+		for i := range paged {
+			if !rdf.Equal(paged[i]["s"], all.Rows[i]["s"]) || !rdf.Equal(paged[i]["v"], all.Rows[i]["v"]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,470 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// testGraph builds a small sensor-flavoured graph:
+//
+//	:s1 a :Sensor ; :observes :Rainfall ; :value 12.5 ; :label "rain gauge"@en .
+//	:s2 a :Sensor ; :observes :SoilMoisture ; :value 0.18 .
+//	:s3 a :Station ; :observes :Rainfall ; :value 48 .
+//	:Rainfall rdfs:label "Niederschlag"@de .
+func testGraph(t *testing.T) *rdf.Graph {
+	t.Helper()
+	src := `
+@prefix ex: <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:s1 a ex:Sensor ; ex:observes ex:Rainfall ; ex:value 12.5 ; ex:label "rain gauge"@en .
+ex:s2 a ex:Sensor ; ex:observes ex:SoilMoisture ; ex:value 0.18 .
+ex:s3 a ex:Station ; ex:observes ex:Rainfall ; ex:value 48 .
+ex:Rainfall rdfs:label "Niederschlag"@de .
+`
+	g, err := rdf.ParseTurtleString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustSelect(t *testing.T, g *rdf.Graph, q string) *Solutions {
+	t.Helper()
+	query, err := Parse(q)
+	if err != nil {
+		t.Fatalf("parse: %v\nquery: %s", err, q)
+	}
+	sol, err := NewEngine(g).Select(query)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return sol
+}
+
+func TestSelectBasic(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s a ex:Sensor . }`)
+	if len(sol.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2: %s", len(sol.Rows), sol)
+	}
+}
+
+func TestSelectJoin(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s ?v WHERE {
+  ?s a ex:Sensor .
+  ?s ex:observes ex:Rainfall .
+  ?s ex:value ?v .
+}`)
+	if len(sol.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(sol.Rows))
+	}
+	v := sol.Rows[0][Var("v")].(rdf.Literal)
+	if f, _ := v.Float(); f != 12.5 {
+		t.Errorf("v = %v", v)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT * WHERE { ?s ex:observes ?p . }`)
+	if len(sol.Vars) != 2 {
+		t.Fatalf("vars = %v", sol.Vars)
+	}
+	if len(sol.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(sol.Rows))
+	}
+}
+
+func TestFilterNumericComparison(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:value ?v . FILTER(?v > 1 && ?v < 20) }`)
+	if len(sol.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1 (only 12.5)", len(sol.Rows))
+	}
+}
+
+func TestFilterArithmetic(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:value ?v . FILTER(?v * 2 >= 96) }`)
+	if len(sol.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1 (48*2)", len(sol.Rows))
+	}
+}
+
+func TestFilterRegexAndStringFns(t *testing.T) {
+	g := testGraph(t)
+	cases := []struct {
+		filter string
+		want   int
+	}{
+		{`FILTER REGEX(?l, "gauge")`, 1},
+		{`FILTER REGEX(?l, "GAUGE", "i")`, 1},
+		{`FILTER(CONTAINS(?l, "rain"))`, 1},
+		{`FILTER(STRSTARTS(?l, "rain"))`, 1},
+		{`FILTER(STRENDS(?l, "gauge"))`, 1},
+		{`FILTER(STRLEN(?l) = 10)`, 1},
+		{`FILTER(UCASE(?l) = "RAIN GAUGE")`, 1},
+		{`FILTER(LCASE(?l) = "rain gauge")`, 1},
+		{`FILTER(LANG(?l) = "en")`, 1},
+		{`FILTER(LANG(?l) = "de")`, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.filter, func(t *testing.T) {
+			sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:label ?l . `+c.filter+` }`)
+			if len(sol.Rows) != c.want {
+				t.Errorf("rows = %d, want %d", len(sol.Rows), c.want)
+			}
+		})
+	}
+}
+
+func TestFilterTermPredicates(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?o WHERE { ex:s1 ?p ?o . FILTER(ISLITERAL(?o)) }`)
+	if len(sol.Rows) != 2 { // 12.5 and "rain gauge"@en
+		t.Fatalf("rows = %d, want 2", len(sol.Rows))
+	}
+	sol = mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?o WHERE { ex:s1 ?p ?o . FILTER(ISIRI(?o)) }`)
+	if len(sol.Rows) != 2 { // ex:Sensor, ex:Rainfall
+		t.Fatalf("iri rows = %d, want 2", len(sol.Rows))
+	}
+}
+
+func TestFilterDatatypeAndStr(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT ?v WHERE { ex:s2 ex:value ?v . FILTER(DATATYPE(?v) = xsd:decimal) }`)
+	if len(sol.Rows) != 1 {
+		t.Fatalf("datatype rows = %d, want 1", len(sol.Rows))
+	}
+	sol = mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s a ex:Station . FILTER(STR(?s) = "http://example.org/s3") }`)
+	if len(sol.Rows) != 1 {
+		t.Fatalf("str rows = %d, want 1", len(sol.Rows))
+	}
+}
+
+func TestFilterBoundAndOptional(t *testing.T) {
+	g := testGraph(t)
+	// s2 has no label; OPTIONAL keeps it, FILTER(!BOUND) isolates it.
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE {
+  ?s a ex:Sensor .
+  OPTIONAL { ?s ex:label ?l . }
+  FILTER(!BOUND(?l))
+}`)
+	if len(sol.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(sol.Rows))
+	}
+	if got := sol.Rows[0][Var("s")]; !rdf.Equal(got, rdf.IRI("http://example.org/s2")) {
+		t.Errorf("s = %v", got)
+	}
+}
+
+func TestOptionalBindsWhenPresent(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s ?l WHERE {
+  ?s a ex:Sensor .
+  OPTIONAL { ?s ex:label ?l . }
+}`)
+	if len(sol.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(sol.Rows))
+	}
+	labelled := 0
+	for _, r := range sol.Rows {
+		if _, ok := r[Var("l")]; ok {
+			labelled++
+		}
+	}
+	if labelled != 1 {
+		t.Errorf("labelled = %d, want 1", labelled)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE {
+  { ?s a ex:Sensor . } UNION { ?s a ex:Station . }
+}`)
+	if len(sol.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(sol.Rows))
+	}
+}
+
+func TestUnionThreeBranches(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE {
+  { ?s ex:observes ex:Rainfall . }
+  UNION { ?s ex:observes ex:SoilMoisture . }
+  UNION { ?s a ex:Station . }
+}`)
+	if len(sol.Rows) != 4 { // s1, s3, s2, s3-again
+		t.Fatalf("rows = %d, want 4", len(sol.Rows))
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?p WHERE { ?s ex:observes ?p . }`)
+	if len(sol.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(sol.Rows))
+	}
+}
+
+func TestOrderByLimitOffset(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s ?v WHERE { ?s ex:value ?v . } ORDER BY ?v`)
+	if len(sol.Rows) != 3 {
+		t.Fatalf("rows = %d", len(sol.Rows))
+	}
+	first, _ := sol.Rows[0][Var("v")].(rdf.Literal).Float()
+	last, _ := sol.Rows[2][Var("v")].(rdf.Literal).Float()
+	if first != 0.18 || last != 48 {
+		t.Errorf("order: first=%v last=%v", first, last)
+	}
+
+	sol = mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?v WHERE { ?s ex:value ?v . } ORDER BY DESC(?v) LIMIT 1`)
+	if len(sol.Rows) != 1 {
+		t.Fatalf("limit rows = %d", len(sol.Rows))
+	}
+	if f, _ := sol.Rows[0][Var("v")].(rdf.Literal).Float(); f != 48 {
+		t.Errorf("DESC first = %v", f)
+	}
+
+	sol = mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?v WHERE { ?s ex:value ?v . } ORDER BY ?v OFFSET 1 LIMIT 1`)
+	if f, _ := sol.Rows[0][Var("v")].(rdf.Literal).Float(); f != 12.5 {
+		t.Errorf("offset row = %v", f)
+	}
+
+	sol = mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?v WHERE { ?s ex:value ?v . } OFFSET 99`)
+	if len(sol.Rows) != 0 {
+		t.Errorf("over-offset rows = %d", len(sol.Rows))
+	}
+}
+
+func TestAsk(t *testing.T) {
+	g := testGraph(t)
+	q, err := Parse(`PREFIX ex: <http://example.org/> ASK { ex:s1 a ex:Sensor . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := NewEngine(g).Ask(q)
+	if err != nil || !ok {
+		t.Fatalf("ASK = %v, %v", ok, err)
+	}
+	q, _ = Parse(`PREFIX ex: <http://example.org/> ASK { ex:s1 a ex:Station . }`)
+	ok, err = NewEngine(g).Ask(q)
+	if err != nil || ok {
+		t.Fatalf("negative ASK = %v, %v", ok, err)
+	}
+}
+
+func TestConstruct(t *testing.T) {
+	g := testGraph(t)
+	q, err := Parse(`
+PREFIX ex: <http://example.org/>
+CONSTRUCT { ?p ex:observedBy ?s . } WHERE { ?s ex:observes ?p . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewEngine(g).Construct(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("constructed %d triples, want 3", out.Len())
+	}
+	if !out.Has(rdf.T(rdf.IRI("http://example.org/Rainfall"),
+		rdf.IRI("http://example.org/observedBy"),
+		rdf.IRI("http://example.org/s1"))) {
+		t.Error("expected inverted triple missing")
+	}
+}
+
+func TestConstructSkipsInvalid(t *testing.T) {
+	g := testGraph(t)
+	// ?v binds literals; a literal subject is invalid and must be skipped.
+	q, err := Parse(`
+PREFIX ex: <http://example.org/>
+CONSTRUCT { ?v ex:of ?s . } WHERE { ?s ex:value ?v . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewEngine(g).Construct(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("invalid template rows must be skipped, got %d", out.Len())
+	}
+}
+
+func TestQueryDispatch(t *testing.T) {
+	g := testGraph(t)
+	e := NewEngine(g)
+	if res, err := e.Query(`PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s a ex:Sensor . }`); err != nil {
+		t.Fatal(err)
+	} else if _, ok := res.(*Solutions); !ok {
+		t.Errorf("dispatch select = %T", res)
+	}
+	if res, err := e.Query(`PREFIX ex: <http://example.org/> ASK { ?s a ex:Sensor . }`); err != nil {
+		t.Fatal(err)
+	} else if b, ok := res.(bool); !ok || !b {
+		t.Errorf("dispatch ask = %v", res)
+	}
+	if res, err := e.Query(`PREFIX ex: <http://example.org/> CONSTRUCT { ?s a ex:Thing . } WHERE { ?s a ex:Sensor . }`); err != nil {
+		t.Fatal(err)
+	} else if _, ok := res.(*rdf.Graph); !ok {
+		t.Errorf("dispatch construct = %T", res)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ``},
+		{"no form", `WHERE { ?s ?p ?o . }`},
+		{"select no vars", `SELECT WHERE { ?s ?p ?o . }`},
+		{"unterminated group", `SELECT ?s WHERE { ?s ?p ?o .`},
+		{"unknown prefix", `SELECT ?s WHERE { ?s a nope:Thing . }`},
+		{"bad filter", `SELECT ?s WHERE { ?s ?p ?o . FILTER ?s }`},
+		{"literal predicate", `SELECT ?s WHERE { ?s "p" ?o . }`},
+		{"trailing garbage", `ASK { ?s ?p ?o . } LIMIT 5 ???`},
+		{"negative limit", `SELECT ?s WHERE { ?s ?p ?o . } LIMIT -2`},
+		{"bare word", `SELECT ?s WHERE { ?s banana ?o . }`},
+		{"lone ampersand", `SELECT ?s WHERE { ?s ?p ?o . FILTER(?o & 1) }`},
+		{"unterminated string", `SELECT ?s WHERE { ?s ?p "oops . }`},
+		{"construct with filter in template", `CONSTRUCT { FILTER(1=1) } WHERE { ?s ?p ?o . }`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(c.src); err == nil {
+				t.Errorf("expected parse error for %q", c.src)
+			}
+		})
+	}
+}
+
+func TestFilterErrorEliminatesRow(t *testing.T) {
+	g := testGraph(t)
+	// LANG on an IRI errors; those rows must be dropped, not crash.
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?o WHERE { ex:s1 ?p ?o . FILTER(LANG(?o) = "en") }`)
+	if len(sol.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(sol.Rows))
+	}
+}
+
+func TestDivisionByZeroEliminatesRow(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?v WHERE { ?s ex:value ?v . FILTER(1 / (?v - ?v) > 0) }`)
+	if len(sol.Rows) != 0 {
+		t.Fatalf("rows = %d, want 0", len(sol.Rows))
+	}
+}
+
+func TestSolutionsString(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s a ex:Station . }`)
+	s := sol.String()
+	if !strings.Contains(s, "?s") || !strings.Contains(s, "s3") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestLangTaggedLiteralInPattern(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+SELECT ?p WHERE { ?p rdfs:label "Niederschlag"@de . }`)
+	if len(sol.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(sol.Rows))
+	}
+}
+
+func TestNumericLiteralObjects(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:value 48 . }`)
+	if len(sol.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(sol.Rows))
+	}
+}
+
+func TestSemicolonAndCommaInPatterns(t *testing.T) {
+	g := testGraph(t)
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s a ex:Sensor ; ex:observes ex:Rainfall . }`)
+	if len(sol.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(sol.Rows))
+	}
+}
+
+func TestPatternOrderingSelectivity(t *testing.T) {
+	ps := []TriplePattern{
+		{S: PatternTerm{Var: "a"}, P: PatternTerm{Var: "b"}, O: PatternTerm{Var: "c"}},
+		{S: PatternTerm{Term: rdf.IRI("x")}, P: PatternTerm{Term: rdf.IRI("y")}, O: PatternTerm{Var: "c"}},
+	}
+	ordered := orderPatterns(ps)
+	if ordered[0].S.IsVar() {
+		t.Error("most selective pattern should come first")
+	}
+}
+
+func TestQueryFormString(t *testing.T) {
+	if FormSelect.String() != "SELECT" || FormAsk.String() != "ASK" || FormConstruct.String() != "CONSTRUCT" {
+		t.Error("form names wrong")
+	}
+	if !strings.Contains(QueryForm(9).String(), "9") {
+		t.Error("unknown form should render numerically")
+	}
+}

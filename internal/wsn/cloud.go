@@ -1,0 +1,239 @@
+package wsn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// CloudStore is the cloud observation database of the paper's §5: the SMS
+// gateway uploads semi-processed readings into it, and the middleware's
+// interface protocol layer downloads from it. The implementation is an
+// in-memory, thread-safe store with a cursor-based download protocol so a
+// consumer can poll incrementally.
+type CloudStore struct {
+	mu       sync.RWMutex
+	readings []RawReading
+	uploads  int
+}
+
+// NewCloudStore returns an empty store.
+func NewCloudStore() *CloudStore { return &CloudStore{} }
+
+// Upload appends a batch of readings (idempotence is the uploader's
+// problem, as with real stores).
+func (c *CloudStore) Upload(batch []RawReading) {
+	if len(batch) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readings = append(c.readings, batch...)
+	c.uploads++
+}
+
+// Len returns the number of stored readings.
+func (c *CloudStore) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.readings)
+}
+
+// Uploads returns how many batches were uploaded.
+func (c *CloudStore) Uploads() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.uploads
+}
+
+// Download returns up to limit readings starting at cursor, plus the next
+// cursor. A limit <= 0 means "everything from cursor".
+func (c *CloudStore) Download(cursor int, limit int) ([]RawReading, int, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if cursor < 0 || cursor > len(c.readings) {
+		return nil, 0, fmt.Errorf("wsn: cursor %d out of range [0,%d]", cursor, len(c.readings))
+	}
+	end := len(c.readings)
+	if limit > 0 && cursor+limit < end {
+		end = cursor + limit
+	}
+	out := make([]RawReading, end-cursor)
+	copy(out, c.readings[cursor:end])
+	return out, end, nil
+}
+
+// Window returns a copy of the readings with Time in [from, to).
+func (c *CloudStore) Window(from, to time.Time) []RawReading {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []RawReading
+	for _, r := range c.readings {
+		if !r.Time.Before(from) && r.Time.Before(to) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// SMSGateway chunks mote frames into SMS-sized messages (the paper: "the
+// environmental readings are uploaded via SMS gateway for storage in the
+// cloud") and reassembles them at the cloud side. Chunking is simulated
+// at the byte level with a small header per message.
+type SMSGateway struct {
+	// MTU is the usable payload per SMS (140 bytes of 8-bit data minus
+	// our 4-byte chunk header).
+	MTU int
+	// Sent counts SMS messages.
+	Sent int
+}
+
+// NewSMSGateway returns a gateway with the standard 140-byte SMS budget.
+func NewSMSGateway() *SMSGateway { return &SMSGateway{MTU: 136} }
+
+// smsChunk is one simulated SMS: frame id, chunk index, total count, data.
+type smsChunk struct {
+	frameID uint16
+	index   uint8
+	total   uint8
+	data    []byte
+}
+
+// Chunk splits a frame into SMS messages.
+func (g *SMSGateway) Chunk(frameID uint16, frame []byte) []smsChunk {
+	if g.MTU <= 0 {
+		g.MTU = 136
+	}
+	total := (len(frame) + g.MTU - 1) / g.MTU
+	chunks := make([]smsChunk, 0, total)
+	for i := 0; i < total; i++ {
+		lo := i * g.MTU
+		hi := lo + g.MTU
+		if hi > len(frame) {
+			hi = len(frame)
+		}
+		data := make([]byte, hi-lo)
+		copy(data, frame[lo:hi])
+		chunks = append(chunks, smsChunk{frameID: frameID, index: uint8(i), total: uint8(total), data: data})
+	}
+	g.Sent += total
+	return chunks
+}
+
+// Reassemble reconstitutes a frame from its chunks (any order). It
+// returns an error when chunks are missing or inconsistent.
+func (g *SMSGateway) Reassemble(chunks []smsChunk) ([]byte, error) {
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("wsn: no chunks")
+	}
+	total := int(chunks[0].total)
+	frameID := chunks[0].frameID
+	if len(chunks) != total {
+		return nil, fmt.Errorf("wsn: have %d of %d chunks for frame %d", len(chunks), total, frameID)
+	}
+	ordered := make([][]byte, total)
+	for _, c := range chunks {
+		if c.frameID != frameID {
+			return nil, fmt.Errorf("wsn: mixed frames %d and %d", frameID, c.frameID)
+		}
+		if int(c.index) >= total {
+			return nil, fmt.Errorf("wsn: chunk index %d out of range", c.index)
+		}
+		if ordered[c.index] != nil {
+			return nil, fmt.Errorf("wsn: duplicate chunk %d", c.index)
+		}
+		ordered[c.index] = c.data
+	}
+	var out []byte
+	for i, part := range ordered {
+		if part == nil {
+			return nil, fmt.Errorf("wsn: missing chunk %d", i)
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// Gateway ties the pieces together: it accepts a node's sampling round,
+// frames it, pushes it across the lossy link, verifies, chunks it over
+// SMS, reassembles, decodes, and uploads to the cloud store. It is the
+// full §5 uplink path in one call.
+type Gateway struct {
+	Link  *Link
+	SMS   *SMSGateway
+	Cloud *CloudStore
+	// Districts maps node ID → district (gateways know their deployment).
+	Districts map[string]string
+	// Vendors maps node ID → vendor profile.
+	Vendors map[string]*VendorProfile
+
+	frameSeq uint16
+	// Decoded counts frames that survived the full path.
+	Decoded int
+	// Dropped counts frames lost despite retries.
+	Dropped int
+}
+
+// NewGateway wires a gateway from its parts.
+func NewGateway(link *Link, cloud *CloudStore) *Gateway {
+	return &Gateway{
+		Link:      link,
+		SMS:       NewSMSGateway(),
+		Cloud:     cloud,
+		Districts: make(map[string]string),
+		Vendors:   make(map[string]*VendorProfile),
+	}
+}
+
+// Register tells the gateway about a node.
+func (g *Gateway) Register(n *Node) {
+	g.Districts[n.cfg.ID] = n.cfg.District
+	g.Vendors[n.cfg.ID] = n.cfg.Vendor
+}
+
+// Ingest pushes one node round through the uplink. Readings from
+// unregistered nodes are rejected.
+func (g *Gateway) Ingest(rs []RawReading) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	nodeID := rs[0].NodeID
+	vendor, ok := g.Vendors[nodeID]
+	if !ok {
+		return fmt.Errorf("wsn: node %s not registered with gateway", nodeID)
+	}
+	pkt, err := PackReadings(vendor, rs)
+	if err != nil {
+		return err
+	}
+	frame, err := EncodePacket(pkt)
+	if err != nil {
+		return err
+	}
+	delivered := g.Link.Deliver(frame)
+	if delivered == nil {
+		g.Dropped++
+		return nil // loss is data, not an error
+	}
+	g.frameSeq++
+	chunks := g.SMS.Chunk(g.frameSeq, delivered)
+	reassembled, err := g.SMS.Reassemble(chunks)
+	if err != nil {
+		return err
+	}
+	decoded, err := DecodePacket(reassembled)
+	if err != nil {
+		// Corrupted frame that dodged the link retries; count as drop.
+		g.Dropped++
+		return nil
+	}
+	back, err := UnpackReadings(vendor, g.Districts[nodeID], decoded)
+	if err != nil {
+		return err
+	}
+	g.Cloud.Upload(back)
+	g.Decoded++
+	return nil
+}

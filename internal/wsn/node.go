@@ -1,0 +1,214 @@
+package wsn
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/climate"
+)
+
+// RawReading is one vendor-formatted measurement as it leaves a mote —
+// before any semantic mediation. Names and units are vendor-scoped.
+type RawReading struct {
+	// NodeID identifies the mote ("fs-mangaung-libelium-03").
+	NodeID string
+	// Vendor is the vendor profile name.
+	Vendor string
+	// District is the deployment site (a Free State district name).
+	District string
+	// PropertyName is the vendor's wire name for the measured property.
+	PropertyName string
+	// UnitName is the vendor's unit string.
+	UnitName string
+	// Value is the measurement in vendor units.
+	Value float64
+	// Time is the measurement timestamp.
+	Time time.Time
+	// Seq is the per-node sequence number.
+	Seq uint32
+	// BatteryV is the mote battery voltage (quality signal).
+	BatteryV float64
+}
+
+// String renders the reading for logs.
+func (r RawReading) String() string {
+	return fmt.Sprintf("%s %s=%.3f%s seq=%d @%s",
+		r.NodeID, r.PropertyName, r.Value, r.UnitName, r.Seq, r.Time.Format("2006-01-02"))
+}
+
+// NodeConfig configures a simulated mote.
+type NodeConfig struct {
+	ID       string
+	Vendor   *VendorProfile
+	District string
+	// Modalities the node actually carries (subset of the vendor's).
+	Modalities []Modality
+	// NoiseSD is multiplicative Gaussian noise (fraction of value).
+	NoiseSD float64
+	// DriftPerYear is a slow calibration drift (fraction per year).
+	DriftPerYear float64
+	// FailureRate is the per-sample probability of producing nothing
+	// (sensor fault, depleted battery).
+	FailureRate float64
+	// Seed for the node's private randomness.
+	Seed int64
+}
+
+// Node simulates one mote sampling the shared climate truth.
+type Node struct {
+	cfg      NodeConfig
+	rng      *rand.Rand
+	seq      uint32
+	started  time.Time
+	batteryV float64
+}
+
+// NewNode builds a node, validating the configuration against the vendor
+// profile.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("wsn: node needs an ID")
+	}
+	if cfg.Vendor == nil {
+		return nil, fmt.Errorf("wsn: node %s needs a vendor profile", cfg.ID)
+	}
+	if len(cfg.Modalities) == 0 {
+		return nil, fmt.Errorf("wsn: node %s has no modalities", cfg.ID)
+	}
+	for _, m := range cfg.Modalities {
+		if _, ok := cfg.Vendor.Channel(m); !ok {
+			return nil, fmt.Errorf("wsn: vendor %s has no channel for %s", cfg.Vendor.Name, m)
+		}
+	}
+	return &Node{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		batteryV: 4.1,
+	}, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Vendor returns the vendor profile name.
+func (n *Node) Vendor() string { return n.cfg.Vendor.Name }
+
+// Sample reads the day's climate truth through the node's channels,
+// applying noise, drift and failures. The returned slice may be empty on
+// a failed sampling round.
+func (n *Node) Sample(day climate.Day) []RawReading {
+	if n.started.IsZero() {
+		n.started = day.Date
+	}
+	// Battery decays slowly; solar recharge keeps it in a working band.
+	n.batteryV -= 0.0004
+	if n.batteryV < 3.4 {
+		n.batteryV = 3.9
+	}
+
+	var out []RawReading
+	elapsedYears := day.Date.Sub(n.started).Hours() / (24 * 365)
+	drift := 1 + n.cfg.DriftPerYear*elapsedYears
+	for _, m := range n.cfg.Modalities {
+		if n.rng.Float64() < n.cfg.FailureRate {
+			continue
+		}
+		ch, _ := n.cfg.Vendor.Channel(m)
+		canonical := canonicalValue(day, m)
+		noisy := canonical * (1 + n.cfg.NoiseSD*n.rng.NormFloat64()) * drift
+		// Physical floors: no negative rain/wind/level.
+		if noisy < 0 && (m == ModalityRainfall || m == ModalityWindSpeed || m == ModalityWaterLevel || m == ModalityNDVI || m == ModalitySoilMoisture) {
+			noisy = 0
+		}
+		n.seq++
+		out = append(out, RawReading{
+			NodeID:       n.cfg.ID,
+			Vendor:       n.cfg.Vendor.Name,
+			District:     n.cfg.District,
+			PropertyName: ch.WireName,
+			UnitName:     ch.UnitName,
+			Value:        ch.FromCanonical(noisy),
+			Time:         day.Date.Add(6 * time.Hour), // morning sampling round
+			Seq:          n.seq,
+			BatteryV:     n.batteryV,
+		})
+	}
+	return out
+}
+
+// canonicalValue extracts the modality's canonical value from a climate day.
+func canonicalValue(day climate.Day, m Modality) float64 {
+	switch m {
+	case ModalityRainfall:
+		return day.RainMM
+	case ModalitySoilMoisture:
+		return day.SoilMoisture
+	case ModalityAirTemperature:
+		return day.TempC
+	case ModalityRelativeHumidity:
+		return day.RelHumidity
+	case ModalityWindSpeed:
+		return day.WindSpeedMS
+	case ModalityWaterLevel:
+		return day.WaterLevelM
+	case ModalityNDVI:
+		return day.NDVI
+	default:
+		return 0
+	}
+}
+
+// Fleet is a set of nodes deployed across districts.
+type Fleet struct {
+	Nodes []*Node
+}
+
+// NewFleet deploys count nodes round-robin across the given districts and
+// the built-in vendor population, with realistic defaults. Deterministic
+// per seed.
+func NewFleet(count int, districts []string, seed int64) (*Fleet, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("wsn: fleet size must be positive")
+	}
+	if len(districts) == 0 {
+		return nil, fmt.Errorf("wsn: fleet needs districts")
+	}
+	vendors := BuiltinVendors()
+	rng := rand.New(rand.NewSource(seed))
+	f := &Fleet{}
+	for i := 0; i < count; i++ {
+		vendor := vendors[i%len(vendors)]
+		district := districts[i%len(districts)]
+		mods := make([]Modality, 0, len(vendor.Channels))
+		for _, m := range AllModalities {
+			if _, ok := vendor.Channel(m); ok {
+				mods = append(mods, m)
+			}
+		}
+		node, err := NewNode(NodeConfig{
+			ID:           fmt.Sprintf("fs-%s-%s-%02d", district, vendor.Name, i),
+			Vendor:       vendor,
+			District:     district,
+			Modalities:   mods,
+			NoiseSD:      0.02 + 0.03*rng.Float64(),
+			DriftPerYear: 0.01 * rng.Float64(),
+			FailureRate:  0.01 + 0.02*rng.Float64(),
+			Seed:         seed + int64(i)*7919,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.Nodes = append(f.Nodes, node)
+	}
+	return f, nil
+}
+
+// Sample runs one sampling round across the fleet.
+func (f *Fleet) Sample(day climate.Day) []RawReading {
+	var out []RawReading
+	for _, n := range f.Nodes {
+		out = append(out, n.Sample(day)...)
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package wsn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Packet framing: a compact binary mote frame in the spirit of a 6LoWPAN
+// application payload. Layout (big endian):
+//
+//	magic     uint16  0xDE25
+//	version   uint8   1
+//	nodeLen   uint8
+//	node      []byte  (nodeLen)
+//	seq       uint32
+//	unixTime  int64
+//	battery   uint16  (centivolts)
+//	count     uint8
+//	readings  count × { code uint8, value float64 }
+//	crc       uint16  (CRC-16/CCITT over everything before it)
+//
+// A frame carries one sampling round of one node; property codes are
+// vendor-scoped (the gateway knows each node's vendor).
+const (
+	packetMagic   = 0xDE25
+	packetVersion = 1
+	maxNodeIDLen  = 64
+	maxReadings   = 32
+)
+
+// Packet sentinel errors.
+var (
+	ErrBadMagic    = errors.New("wsn: bad packet magic")
+	ErrBadVersion  = errors.New("wsn: unsupported packet version")
+	ErrBadChecksum = errors.New("wsn: packet checksum mismatch")
+	ErrTruncated   = errors.New("wsn: truncated packet")
+)
+
+// PacketReading is one (code, value) pair inside a frame.
+type PacketReading struct {
+	Code  uint8
+	Value float64
+}
+
+// Packet is a decoded mote frame.
+type Packet struct {
+	NodeID   string
+	Seq      uint32
+	Time     time.Time
+	BatteryV float64
+	Readings []PacketReading
+}
+
+// EncodePacket serializes the frame.
+func EncodePacket(p Packet) ([]byte, error) {
+	if len(p.NodeID) == 0 || len(p.NodeID) > maxNodeIDLen {
+		return nil, fmt.Errorf("wsn: node id length %d out of range", len(p.NodeID))
+	}
+	if len(p.Readings) == 0 || len(p.Readings) > maxReadings {
+		return nil, fmt.Errorf("wsn: reading count %d out of range", len(p.Readings))
+	}
+	size := 2 + 1 + 1 + len(p.NodeID) + 4 + 8 + 2 + 1 + len(p.Readings)*9 + 2
+	buf := make([]byte, 0, size)
+	buf = binary.BigEndian.AppendUint16(buf, packetMagic)
+	buf = append(buf, packetVersion, byte(len(p.NodeID)))
+	buf = append(buf, p.NodeID...)
+	buf = binary.BigEndian.AppendUint32(buf, p.Seq)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.Time.Unix()))
+	cv := uint16(math.Round(p.BatteryV * 100))
+	buf = binary.BigEndian.AppendUint16(buf, cv)
+	buf = append(buf, byte(len(p.Readings)))
+	for _, r := range p.Readings {
+		buf = append(buf, r.Code)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(r.Value))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, crc16(buf))
+	return buf, nil
+}
+
+// DecodePacket parses and verifies a frame.
+func DecodePacket(buf []byte) (Packet, error) {
+	var p Packet
+	if len(buf) < 2+1+1+4+8+2+1+2 {
+		return p, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(buf) != packetMagic {
+		return p, ErrBadMagic
+	}
+	if buf[2] != packetVersion {
+		return p, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	// Verify CRC before trusting lengths further in.
+	body, crcBytes := buf[:len(buf)-2], buf[len(buf)-2:]
+	if crc16(body) != binary.BigEndian.Uint16(crcBytes) {
+		return p, ErrBadChecksum
+	}
+	nodeLen := int(buf[3])
+	off := 4
+	if len(buf) < off+nodeLen+4+8+2+1+2 {
+		return p, ErrTruncated
+	}
+	p.NodeID = string(buf[off : off+nodeLen])
+	off += nodeLen
+	p.Seq = binary.BigEndian.Uint32(buf[off:])
+	off += 4
+	p.Time = time.Unix(int64(binary.BigEndian.Uint64(buf[off:])), 0).UTC()
+	off += 8
+	p.BatteryV = float64(binary.BigEndian.Uint16(buf[off:])) / 100
+	off += 2
+	count := int(buf[off])
+	off++
+	if len(buf) < off+count*9+2 {
+		return p, ErrTruncated
+	}
+	p.Readings = make([]PacketReading, count)
+	for i := 0; i < count; i++ {
+		p.Readings[i].Code = buf[off]
+		p.Readings[i].Value = math.Float64frombits(binary.BigEndian.Uint64(buf[off+1:]))
+		off += 9
+	}
+	return p, nil
+}
+
+// crc16 implements CRC-16/CCITT-FALSE.
+func crc16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// PackReadings groups one node's sampling round into a frame. All
+// readings must share node, time, and sequence.
+func PackReadings(vendor *VendorProfile, rs []RawReading) (Packet, error) {
+	if len(rs) == 0 {
+		return Packet{}, fmt.Errorf("wsn: no readings to pack")
+	}
+	p := Packet{
+		NodeID:   rs[0].NodeID,
+		Seq:      rs[0].Seq,
+		Time:     rs[0].Time,
+		BatteryV: rs[0].BatteryV,
+	}
+	for _, r := range rs {
+		if r.NodeID != p.NodeID {
+			return Packet{}, fmt.Errorf("wsn: mixed nodes in one frame (%s vs %s)", r.NodeID, p.NodeID)
+		}
+		code, err := codeForWireName(vendor, r.PropertyName)
+		if err != nil {
+			return Packet{}, err
+		}
+		p.Readings = append(p.Readings, PacketReading{Code: code, Value: r.Value})
+	}
+	return p, nil
+}
+
+// UnpackReadings reverses PackReadings using the vendor's code table.
+func UnpackReadings(vendor *VendorProfile, district string, p Packet) ([]RawReading, error) {
+	out := make([]RawReading, 0, len(p.Readings))
+	for _, r := range p.Readings {
+		ch, err := channelForCode(vendor, r.Code)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RawReading{
+			NodeID:       p.NodeID,
+			Vendor:       vendor.Name,
+			District:     district,
+			PropertyName: ch.WireName,
+			UnitName:     ch.UnitName,
+			Value:        r.Value,
+			Time:         p.Time,
+			Seq:          p.Seq,
+			BatteryV:     p.BatteryV,
+		})
+	}
+	return out, nil
+}
+
+func codeForWireName(v *VendorProfile, wireName string) (uint8, error) {
+	for _, ch := range v.Channels {
+		if ch.WireName == wireName {
+			return ch.Code, nil
+		}
+	}
+	return 0, fmt.Errorf("wsn: vendor %s has no wire name %q", v.Name, wireName)
+}
+
+func channelForCode(v *VendorProfile, code uint8) (Channel, error) {
+	for _, ch := range v.Channels {
+		if ch.Code == code {
+			return ch, nil
+		}
+	}
+	return Channel{}, fmt.Errorf("wsn: vendor %s has no property code %d", v.Name, code)
+}

@@ -1,0 +1,176 @@
+// Package wsn simulates the paper's physical layer: a heterogeneous
+// wireless sensor network of Waspmote-class motes reporting through a
+// lossy 6LoWPAN-flavoured uplink and an SMS gateway into a cloud
+// observation store, from which the middleware's interface protocol layer
+// downloads semi-processed readings (§4.2.3, §5 of the paper).
+//
+// Heterogeneity is deliberate and is the phenomenon under study: each
+// vendor profile uses its own property names (naming heterogeneity — the
+// paper's "Hoehe"/"Stav" example) and its own units and scales (cognitive
+// heterogeneity).
+package wsn
+
+import "fmt"
+
+// Modality is the physical quantity a sensor channel measures,
+// independent of how any vendor names it.
+type Modality int
+
+// The simulated modalities.
+const (
+	ModalityRainfall Modality = iota + 1
+	ModalitySoilMoisture
+	ModalityAirTemperature
+	ModalityRelativeHumidity
+	ModalityWindSpeed
+	ModalityWaterLevel
+	ModalityNDVI
+)
+
+// AllModalities lists every modality in a stable order.
+var AllModalities = []Modality{
+	ModalityRainfall, ModalitySoilMoisture, ModalityAirTemperature,
+	ModalityRelativeHumidity, ModalityWindSpeed, ModalityWaterLevel,
+	ModalityNDVI,
+}
+
+// String names the modality.
+func (m Modality) String() string {
+	switch m {
+	case ModalityRainfall:
+		return "rainfall"
+	case ModalitySoilMoisture:
+		return "soil-moisture"
+	case ModalityAirTemperature:
+		return "air-temperature"
+	case ModalityRelativeHumidity:
+		return "relative-humidity"
+	case ModalityWindSpeed:
+		return "wind-speed"
+	case ModalityWaterLevel:
+		return "water-level"
+	case ModalityNDVI:
+		return "ndvi"
+	default:
+		return fmt.Sprintf("Modality(%d)", int(m))
+	}
+}
+
+// Channel describes one vendor-specific sensor channel: the name the
+// vendor uses on the wire, the unit string it reports, and the conversion
+// from canonical SI-ish values (mm, fraction, °C, %, m/s, m, index) to
+// the vendor's scale.
+type Channel struct {
+	// Modality is the underlying physical quantity.
+	Modality Modality
+	// WireName is the vendor's property name as it appears in uplinked
+	// data ("Hoehe", "soilMoist", ...).
+	WireName string
+	// UnitName is the vendor's unit string ("degF", "cbar", "%", ...).
+	UnitName string
+	// FromCanonical converts a canonical value into vendor units.
+	FromCanonical func(float64) float64
+	// Code is the compact on-wire property code used by the packet codec.
+	Code uint8
+}
+
+// VendorProfile is a family of devices sharing naming and units.
+type VendorProfile struct {
+	// Name identifies the vendor ("libelium", "davis", ...).
+	Name string
+	// Channels maps modality → channel description.
+	Channels map[Modality]Channel
+}
+
+// Channel returns the vendor's channel for a modality.
+func (v *VendorProfile) Channel(m Modality) (Channel, bool) {
+	c, ok := v.Channels[m]
+	return c, ok
+}
+
+func identity(v float64) float64  { return v }
+func toF(c float64) float64       { return c*9/5 + 32 }
+func toKelvin(c float64) float64  { return c + 273.15 }
+func toPercent(f float64) float64 { return f * 100 }
+func toInches(mm float64) float64 { return mm / 25.4 }
+func toKmh(ms float64) float64    { return ms * 3.6 }
+func toCm(m float64) float64      { return m * 100 }
+func toCbar(f float64) float64 {
+	// Soil tension in centibar is inversely related to moisture; use the
+	// simple linear stand-in 200*(1-f) used by irrigation charts.
+	return 200 * (1 - f)
+}
+
+// BuiltinVendors returns the simulated vendor population. Codes are
+// unique per vendor (not globally), mirroring real deployments where the
+// wire format is vendor-scoped.
+func BuiltinVendors() []*VendorProfile {
+	return []*VendorProfile{
+		{
+			// Libelium Waspmote-style (the paper's §5 hardware), mostly
+			// canonical names and SI units.
+			Name: "libelium",
+			Channels: map[Modality]Channel{
+				ModalityRainfall:         {ModalityRainfall, "pluviometer", "mm", identity, 1},
+				ModalitySoilMoisture:     {ModalitySoilMoisture, "soil_moisture", "frac", identity, 2},
+				ModalityAirTemperature:   {ModalityAirTemperature, "temperature", "degC", identity, 3},
+				ModalityRelativeHumidity: {ModalityRelativeHumidity, "humidity", "pct", identity, 4},
+				ModalityWindSpeed:        {ModalityWindSpeed, "anemometer", "m_s", identity, 5},
+				ModalityWaterLevel:       {ModalityWaterLevel, "water_level", "m", identity, 6},
+				ModalityNDVI:             {ModalityNDVI, "ndvi", "idx", identity, 7},
+			},
+		},
+		{
+			// US-style station: Fahrenheit, inches, mph-ish (km/h here).
+			Name: "davis",
+			Channels: map[Modality]Channel{
+				ModalityRainfall:         {ModalityRainfall, "rainRate", "in", toInches, 1},
+				ModalitySoilMoisture:     {ModalitySoilMoisture, "soilMoist", "cbar", toCbar, 2},
+				ModalityAirTemperature:   {ModalityAirTemperature, "outsideTemp", "degF", toF, 3},
+				ModalityRelativeHumidity: {ModalityRelativeHumidity, "outsideHumidity", "pct", identity, 4},
+				ModalityWindSpeed:        {ModalityWindSpeed, "windSpeed", "km_h", toKmh, 5},
+			},
+		},
+		{
+			// German hydrology network: the paper's "Hoehe" example.
+			Name: "pegelonline",
+			Channels: map[Modality]Channel{
+				ModalityWaterLevel:     {ModalityWaterLevel, "Hoehe", "cm", toCm, 1},
+				ModalityRainfall:       {ModalityRainfall, "Niederschlag", "mm", identity, 2},
+				ModalityAirTemperature: {ModalityAirTemperature, "Lufttemperatur", "K", toKelvin, 3},
+				ModalitySoilMoisture:   {ModalitySoilMoisture, "Bodenfeuchte", "pct", toPercent, 4},
+			},
+		},
+		{
+			// Czech hydro network: the paper's "Stav" example.
+			Name: "chmi",
+			Channels: map[Modality]Channel{
+				ModalityWaterLevel:       {ModalityWaterLevel, "Stav", "cm", toCm, 1},
+				ModalityRainfall:         {ModalityRainfall, "Srazky", "mm", identity, 2},
+				ModalityAirTemperature:   {ModalityAirTemperature, "Teplota", "degC", identity, 3},
+				ModalityRelativeHumidity: {ModalityRelativeHumidity, "Vlhkost", "pct", identity, 4},
+			},
+		},
+		{
+			// South African agricultural network (Afrikaans/Sesotho mix).
+			Name: "agri-sa",
+			Channels: map[Modality]Channel{
+				ModalityRainfall:       {ModalityRainfall, "reenval", "mm", identity, 1},
+				ModalitySoilMoisture:   {ModalitySoilMoisture, "grondvog", "pct", toPercent, 2},
+				ModalityAirTemperature: {ModalityAirTemperature, "lugtemp", "degC", identity, 3},
+				ModalityWindSpeed:      {ModalityWindSpeed, "windspoed", "km_h", toKmh, 4},
+				ModalityNDVI:           {ModalityNDVI, "plantegroei", "idx", identity, 5},
+			},
+		},
+	}
+}
+
+// VendorByName returns the built-in vendor with the given name.
+func VendorByName(name string) (*VendorProfile, error) {
+	for _, v := range BuiltinVendors() {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("wsn: unknown vendor %q", name)
+}

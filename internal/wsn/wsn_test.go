@@ -1,0 +1,515 @@
+package wsn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/climate"
+)
+
+func testDay() climate.Day {
+	return climate.Day{
+		Date:         time.Date(2015, 11, 20, 0, 0, 0, 0, time.UTC),
+		RainMM:       8.2,
+		TempC:        24.5,
+		SoilMoisture: 0.31,
+		RelHumidity:  62,
+		WindSpeedMS:  3.4,
+		NDVI:         0.47,
+		WaterLevelM:  2.6,
+	}
+}
+
+func TestVendorProfiles(t *testing.T) {
+	vendors := BuiltinVendors()
+	if len(vendors) < 4 {
+		t.Fatalf("want several vendors, got %d", len(vendors))
+	}
+	seenWireNames := make(map[string]string)
+	for _, v := range vendors {
+		codes := make(map[uint8]bool)
+		for m, ch := range v.Channels {
+			if ch.Modality != m {
+				t.Errorf("%s: channel %q modality mismatch", v.Name, ch.WireName)
+			}
+			if codes[ch.Code] {
+				t.Errorf("%s: duplicate code %d", v.Name, ch.Code)
+			}
+			codes[ch.Code] = true
+			seenWireNames[ch.WireName] = v.Name
+		}
+	}
+	// The paper's canonical examples must be present.
+	if seenWireNames["Hoehe"] == "" || seenWireNames["Stav"] == "" {
+		t.Error("expected the paper's Hoehe/Stav heterogeneity examples")
+	}
+}
+
+func TestVendorByName(t *testing.T) {
+	v, err := VendorByName("libelium")
+	if err != nil || v.Name != "libelium" {
+		t.Fatalf("VendorByName = %v, %v", v, err)
+	}
+	if _, err := VendorByName("acme"); err == nil {
+		t.Error("unknown vendor should error")
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	davis, _ := VendorByName("davis")
+	tempCh, _ := davis.Channel(ModalityAirTemperature)
+	if got := tempCh.FromCanonical(100); got != 212 {
+		t.Errorf("100C = %vF, want 212", got)
+	}
+	rainCh, _ := davis.Channel(ModalityRainfall)
+	if got := rainCh.FromCanonical(25.4); math.Abs(got-1) > 1e-9 {
+		t.Errorf("25.4mm = %v in, want 1", got)
+	}
+	pegel, _ := VendorByName("pegelonline")
+	lvl, _ := pegel.Channel(ModalityWaterLevel)
+	if got := lvl.FromCanonical(2.5); got != 250 {
+		t.Errorf("2.5m = %v cm, want 250", got)
+	}
+	kCh, _ := pegel.Channel(ModalityAirTemperature)
+	if got := kCh.FromCanonical(0); got != 273.15 {
+		t.Errorf("0C = %v K", got)
+	}
+}
+
+func TestNodeValidation(t *testing.T) {
+	lib, _ := VendorByName("libelium")
+	cases := []NodeConfig{
+		{},
+		{ID: "x"},
+		{ID: "x", Vendor: lib},
+		{ID: "x", Vendor: lib, Modalities: []Modality{Modality(99)}},
+	}
+	for i, cfg := range cases {
+		if _, err := NewNode(cfg); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	davis, _ := VendorByName("davis")
+	// davis has no NDVI channel.
+	if _, err := NewNode(NodeConfig{ID: "x", Vendor: davis, Modalities: []Modality{ModalityNDVI}}); err == nil {
+		t.Error("modality absent from vendor must be rejected")
+	}
+}
+
+func TestNodeSample(t *testing.T) {
+	lib, _ := VendorByName("libelium")
+	n, err := NewNode(NodeConfig{
+		ID: "n1", Vendor: lib, District: "mangaung",
+		Modalities: []Modality{ModalityRainfall, ModalityAirTemperature},
+		NoiseSD:    0.01, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := n.Sample(testDay())
+	if len(rs) != 2 {
+		t.Fatalf("readings = %d, want 2", len(rs))
+	}
+	for _, r := range rs {
+		if r.NodeID != "n1" || r.Vendor != "libelium" || r.District != "mangaung" {
+			t.Errorf("metadata wrong: %+v", r)
+		}
+		if r.Seq == 0 {
+			t.Error("sequence should start at 1")
+		}
+	}
+	// Values should be near truth (1% noise).
+	for _, r := range rs {
+		switch r.PropertyName {
+		case "pluviometer":
+			if math.Abs(r.Value-8.2) > 1.5 {
+				t.Errorf("rain %v too far from 8.2", r.Value)
+			}
+		case "temperature":
+			if math.Abs(r.Value-24.5) > 3 {
+				t.Errorf("temp %v too far from 24.5", r.Value)
+			}
+		}
+	}
+}
+
+func TestNodeFailureRate(t *testing.T) {
+	lib, _ := VendorByName("libelium")
+	n, _ := NewNode(NodeConfig{
+		ID: "n1", Vendor: lib,
+		Modalities:  []Modality{ModalityRainfall},
+		FailureRate: 1.0, Seed: 1,
+	})
+	if rs := n.Sample(testDay()); len(rs) != 0 {
+		t.Errorf("full failure rate should produce nothing, got %d", len(rs))
+	}
+}
+
+func TestFleetDeployment(t *testing.T) {
+	f, err := NewFleet(10, []string{"mangaung", "xhariep"}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Nodes) != 10 {
+		t.Fatalf("fleet size = %d", len(f.Nodes))
+	}
+	rs := f.Sample(testDay())
+	if len(rs) == 0 {
+		t.Fatal("fleet should produce readings")
+	}
+	vendors := make(map[string]bool)
+	for _, n := range f.Nodes {
+		vendors[n.Vendor()] = true
+	}
+	if len(vendors) < 4 {
+		t.Errorf("fleet should span vendors, got %v", vendors)
+	}
+	if _, err := NewFleet(0, []string{"x"}, 1); err == nil {
+		t.Error("zero fleet should error")
+	}
+	if _, err := NewFleet(3, nil, 1); err == nil {
+		t.Error("no districts should error")
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := Packet{
+		NodeID:   "fs-mangaung-libelium-03",
+		Seq:      1234,
+		Time:     time.Date(2015, 11, 20, 6, 0, 0, 0, time.UTC),
+		BatteryV: 3.87,
+		Readings: []PacketReading{{Code: 1, Value: 8.25}, {Code: 3, Value: 24.5}},
+	}
+	buf, err := EncodePacket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePacket(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeID != p.NodeID || got.Seq != p.Seq || !got.Time.Equal(p.Time) {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if math.Abs(got.BatteryV-p.BatteryV) > 0.005 {
+		t.Errorf("battery %v vs %v", got.BatteryV, p.BatteryV)
+	}
+	if len(got.Readings) != 2 || got.Readings[0] != p.Readings[0] || got.Readings[1] != p.Readings[1] {
+		t.Errorf("readings mismatch: %+v", got.Readings)
+	}
+}
+
+func TestPacketValidation(t *testing.T) {
+	if _, err := EncodePacket(Packet{NodeID: "", Readings: []PacketReading{{1, 1}}}); err == nil {
+		t.Error("empty node id should fail")
+	}
+	if _, err := EncodePacket(Packet{NodeID: "x"}); err == nil {
+		t.Error("no readings should fail")
+	}
+	long := make([]PacketReading, maxReadings+1)
+	if _, err := EncodePacket(Packet{NodeID: "x", Readings: long}); err == nil {
+		t.Error("too many readings should fail")
+	}
+}
+
+func TestPacketCorruptionDetected(t *testing.T) {
+	p := Packet{NodeID: "n", Seq: 1, Time: time.Unix(1e9, 0), BatteryV: 4, Readings: []PacketReading{{1, 2.5}}}
+	buf, _ := EncodePacket(p)
+	for i := 0; i < len(buf); i++ {
+		bad := make([]byte, len(buf))
+		copy(bad, buf)
+		bad[i] ^= 0x40
+		if _, err := DecodePacket(bad); err == nil {
+			// CRC collisions are possible in principle but a single-bit
+			// flip is always caught by CRC-16.
+			t.Errorf("bit flip at %d not detected", i)
+		}
+	}
+	if _, err := DecodePacket(buf[:5]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: %v", err)
+	}
+	if _, err := DecodePacket(make([]byte, 64)); !errors.Is(err, ErrBadMagic) {
+		t.Error("zero buffer should fail magic check")
+	}
+}
+
+func TestQuickPacketRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(maxReadings)
+		p := Packet{
+			NodeID:   "node-" + string(rune('a'+rng.Intn(26))),
+			Seq:      rng.Uint32(),
+			Time:     time.Unix(rng.Int63n(4e9), 0).UTC(),
+			BatteryV: 3 + rng.Float64(),
+			Readings: make([]PacketReading, n),
+		}
+		for i := range p.Readings {
+			p.Readings[i] = PacketReading{Code: uint8(rng.Intn(256)), Value: rng.NormFloat64() * 100}
+		}
+		buf, err := EncodePacket(p)
+		if err != nil {
+			return false
+		}
+		got, err := DecodePacket(buf)
+		if err != nil {
+			return false
+		}
+		if got.NodeID != p.NodeID || got.Seq != p.Seq || !got.Time.Equal(p.Time) {
+			return false
+		}
+		for i := range p.Readings {
+			if got.Readings[i] != p.Readings[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackUnpackReadings(t *testing.T) {
+	lib, _ := VendorByName("libelium")
+	n, _ := NewNode(NodeConfig{
+		ID: "n1", Vendor: lib, District: "xhariep",
+		Modalities: []Modality{ModalityRainfall, ModalitySoilMoisture},
+		Seed:       7,
+	})
+	rs := n.Sample(testDay())
+	pkt, err := PackReadings(lib, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnpackReadings(lib, "xhariep", pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rs) {
+		t.Fatalf("unpacked %d, want %d", len(back), len(rs))
+	}
+	for i := range rs {
+		if back[i].PropertyName != rs[i].PropertyName || back[i].Value != rs[i].Value {
+			t.Errorf("reading %d mismatch: %+v vs %+v", i, back[i], rs[i])
+		}
+		if back[i].District != "xhariep" {
+			t.Errorf("district lost: %+v", back[i])
+		}
+	}
+}
+
+func TestPackReadingsErrors(t *testing.T) {
+	lib, _ := VendorByName("libelium")
+	if _, err := PackReadings(lib, nil); err == nil {
+		t.Error("empty pack should fail")
+	}
+	mixed := []RawReading{
+		{NodeID: "a", PropertyName: "pluviometer"},
+		{NodeID: "b", PropertyName: "pluviometer"},
+	}
+	if _, err := PackReadings(lib, mixed); err == nil {
+		t.Error("mixed nodes should fail")
+	}
+	if _, err := PackReadings(lib, []RawReading{{NodeID: "a", PropertyName: "nope"}}); err == nil {
+		t.Error("unknown wire name should fail")
+	}
+	if _, err := UnpackReadings(lib, "d", Packet{Readings: []PacketReading{{Code: 250}}}); err == nil {
+		t.Error("unknown code should fail")
+	}
+}
+
+func TestLinkPerfectAndLossy(t *testing.T) {
+	frame := []byte("hello world frame")
+	perfect := NewLink(LinkConfig{Seed: 1})
+	if got := perfect.Deliver(frame); string(got) != string(frame) {
+		t.Fatal("perfect link should deliver")
+	}
+	dead := NewLink(LinkConfig{LossRate: 1, MaxRetries: 3, Seed: 1})
+	if got := dead.Deliver(frame); got != nil {
+		t.Fatal("fully lossy link should drop")
+	}
+	st := dead.Stats()
+	if st.GivenUp != 1 || st.Retries != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	lossy := NewLink(LinkConfig{LossRate: 0.5, MaxRetries: 5, Seed: 42})
+	delivered := 0
+	for i := 0; i < 200; i++ {
+		if lossy.Deliver(frame) != nil {
+			delivered++
+		}
+	}
+	if delivered < 180 {
+		t.Errorf("retries should recover most frames: %d/200", delivered)
+	}
+	if lossy.Stats().Goodput() != float64(delivered)/200 {
+		t.Error("goodput accounting wrong")
+	}
+}
+
+func TestLinkCorruptionHitsCRC(t *testing.T) {
+	p := Packet{NodeID: "n", Seq: 1, Time: time.Unix(1e9, 0), BatteryV: 4, Readings: []PacketReading{{1, 2.5}}}
+	frame, _ := EncodePacket(p)
+	link := NewLink(LinkConfig{CorruptRate: 1, MaxRetries: 0, Seed: 9})
+	// With corruption certain and no retries, most deliveries fail CRC
+	// and are treated as losses. Over repeats, deliveries are rare.
+	ok := 0
+	for i := 0; i < 50; i++ {
+		if out := link.Deliver(frame); out != nil {
+			if _, err := DecodePacket(out); err == nil {
+				ok++
+			}
+		}
+	}
+	if ok > 2 {
+		t.Errorf("corrupted frames decoded cleanly %d times", ok)
+	}
+}
+
+func TestSMSChunkReassemble(t *testing.T) {
+	g := NewSMSGateway()
+	frame := make([]byte, 500)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	chunks := g.Chunk(7, frame)
+	if len(chunks) != 4 { // 500/136 → 4
+		t.Fatalf("chunks = %d", len(chunks))
+	}
+	// Shuffle order.
+	chunks[0], chunks[2] = chunks[2], chunks[0]
+	out, err := g.Reassemble(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(frame) {
+		t.Fatal("reassembly mismatch")
+	}
+	// Missing chunk.
+	if _, err := g.Reassemble(chunks[:3]); err == nil {
+		t.Error("missing chunk should fail")
+	}
+	// Duplicate chunk.
+	dup := append([]smsChunk{}, chunks...)
+	dup[1] = dup[0]
+	if _, err := g.Reassemble(dup); err == nil {
+		t.Error("duplicate chunk should fail")
+	}
+	if _, err := g.Reassemble(nil); err == nil {
+		t.Error("no chunks should fail")
+	}
+}
+
+func TestCloudStoreDownloadProtocol(t *testing.T) {
+	c := NewCloudStore()
+	day := testDay()
+	for i := 0; i < 25; i++ {
+		c.Upload([]RawReading{{NodeID: "n", Time: day.Date.Add(time.Duration(i) * time.Hour)}})
+	}
+	if c.Len() != 25 || c.Uploads() != 25 {
+		t.Fatalf("Len=%d Uploads=%d", c.Len(), c.Uploads())
+	}
+	batch, cur, err := c.Download(0, 10)
+	if err != nil || len(batch) != 10 || cur != 10 {
+		t.Fatalf("download 1: %d %d %v", len(batch), cur, err)
+	}
+	batch, cur, err = c.Download(cur, 100)
+	if err != nil || len(batch) != 15 || cur != 25 {
+		t.Fatalf("download 2: %d %d %v", len(batch), cur, err)
+	}
+	batch, cur, err = c.Download(cur, 10)
+	if err != nil || len(batch) != 0 || cur != 25 {
+		t.Fatalf("download 3 (empty): %d %d %v", len(batch), cur, err)
+	}
+	if _, _, err := c.Download(-1, 5); err == nil {
+		t.Error("negative cursor should fail")
+	}
+	if _, _, err := c.Download(999, 5); err == nil {
+		t.Error("out-of-range cursor should fail")
+	}
+	w := c.Window(day.Date, day.Date.Add(5*time.Hour))
+	if len(w) != 5 {
+		t.Errorf("window = %d, want 5", len(w))
+	}
+}
+
+func TestGatewayEndToEnd(t *testing.T) {
+	cloud := NewCloudStore()
+	link := NewLink(LinkConfig{LossRate: 0.2, CorruptRate: 0.05, MaxRetries: 4, Seed: 5})
+	gw := NewGateway(link, cloud)
+	fleet, err := NewFleet(8, []string{"mangaung", "xhariep", "fezile-dabi"}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range fleet.Nodes {
+		gw.Register(n)
+	}
+	day := testDay()
+	rounds := 0
+	for i := 0; i < 30; i++ {
+		day.Date = day.Date.AddDate(0, 0, 1)
+		for _, n := range fleet.Nodes {
+			rs := n.Sample(day)
+			if len(rs) == 0 {
+				continue
+			}
+			rounds++
+			if err := gw.Ingest(rs); err != nil {
+				t.Fatalf("ingest: %v", err)
+			}
+		}
+	}
+	if gw.Decoded == 0 {
+		t.Fatal("nothing made it through the uplink")
+	}
+	if gw.Decoded+gw.Dropped != rounds {
+		t.Errorf("accounting: decoded %d + dropped %d != rounds %d", gw.Decoded, gw.Dropped, rounds)
+	}
+	if cloud.Len() == 0 {
+		t.Fatal("cloud store is empty")
+	}
+	// Readings must have survived with vendor naming intact.
+	batch, _, _ := cloud.Download(0, 50)
+	names := make(map[string]bool)
+	for _, r := range batch {
+		names[r.PropertyName] = true
+	}
+	if len(names) < 3 {
+		t.Errorf("expected heterogeneous names in the cloud, got %v", names)
+	}
+}
+
+func TestGatewayRejectsUnregistered(t *testing.T) {
+	gw := NewGateway(NewLink(LinkConfig{Seed: 1}), NewCloudStore())
+	err := gw.Ingest([]RawReading{{NodeID: "ghost", PropertyName: "x"}})
+	if err == nil {
+		t.Error("unregistered node should be rejected")
+	}
+	if err := gw.Ingest(nil); err != nil {
+		t.Error("empty ingest should be a no-op")
+	}
+}
+
+func TestModalityString(t *testing.T) {
+	for _, m := range AllModalities {
+		if s := m.String(); s == "" || s[0] == 'M' {
+			t.Errorf("modality %d has bad name %q", m, s)
+		}
+	}
+	if Modality(99).String() == "" {
+		t.Error("unknown modality should render")
+	}
+}
+
+func TestRawReadingString(t *testing.T) {
+	r := RawReading{NodeID: "n1", PropertyName: "Hoehe", Value: 250, UnitName: "cm", Seq: 9, Time: time.Unix(1e9, 0)}
+	if s := r.String(); s == "" {
+		t.Error("empty String()")
+	}
+}
