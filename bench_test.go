@@ -1,12 +1,13 @@
-// Package repro's root bench harness regenerates every experiment in
-// DESIGN.md's per-experiment index. The paper (a position paper) has no
-// quantitative tables; its three figures are architecture diagrams, so
-// each figure becomes an executable pipeline benchmark (F1–F3) and each
-// testable prose claim becomes a measured experiment (C1–C7). Run:
+// Package repro's root bench harness regenerates every experiment. The
+// paper (a position paper) has no quantitative tables; its three figures
+// are architecture diagrams, so each figure becomes an executable
+// pipeline benchmark (F1–F3) and each testable prose claim becomes a
+// measured experiment (C1–C7). Run:
 //
 //	go test -bench=. -benchmem
 //
-// EXPERIMENTS.md records the measured shapes against the paper's claims.
+// ARCHITECTURE.md describes the three-tier pipeline the F-series
+// benchmarks exercise.
 package repro
 
 import (
@@ -558,7 +559,7 @@ func BenchmarkC7PacketCodec(b *testing.B) {
 	}
 }
 
-// --- EXP-A1: fusion ablation (design-choice study from DESIGN.md) ---
+// --- EXP-A1: fusion ablation (design-choice study) ---
 
 // BenchmarkA1FusionAblation runs one recorded simulation and re-scores
 // the fusion variants, reporting each variant's Brier as a metric. The
@@ -607,4 +608,88 @@ func BenchmarkSPIComputation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- EXP-S1: broker subscription-index scaling ---
+
+// benchBrokerPublishSubs measures the cost of one publish when nSubs
+// subscriptions exist on distinct concrete topics. With a linear
+// subscription scan this is O(nSubs) per publish; with the topic-trie
+// index it is O(topic depth + matches), i.e. flat as nSubs grows.
+func benchBrokerPublishSubs(b *testing.B, nSubs int) {
+	broker := core.NewBroker()
+	for i := 0; i < nSubs; i++ {
+		if _, err := broker.Subscribe(fmt.Sprintf("obs/district%d/Rainfall", i), 16, core.DropOldest); err != nil {
+			b.Fatal(err)
+		}
+	}
+	msg := core.Message{Topic: "obs/district0/Rainfall", Payload: 1.0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := broker.Publish(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != 1 {
+			b.Fatalf("matched %d subscriptions, want 1", n)
+		}
+	}
+}
+
+func BenchmarkBrokerPublishSubs10(b *testing.B)   { benchBrokerPublishSubs(b, 10) }
+func BenchmarkBrokerPublishSubs100(b *testing.B)  { benchBrokerPublishSubs(b, 100) }
+func BenchmarkBrokerPublishSubs1000(b *testing.B) { benchBrokerPublishSubs(b, 1000) }
+
+// BenchmarkIngestParallel measures a full ingest cycle over many
+// sources and districts at once — the shape the staged pipeline
+// (parallel fetch → batch mediation → batch publish → sharded CEP)
+// is built for.
+func BenchmarkIngestParallel(b *testing.B) {
+	onto, _, err := drought.BuildMaterialized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rules, err := cep.ParseRules(dews.SensorRules)
+	if err != nil {
+		b.Fatal(err)
+	}
+	districts := []string{"mangaung", "xhariep", "lejweleputswa", "fezile-dabi", "thabo-mofutsanyana"}
+	mw, err := core.New(core.Config{Ontology: onto, Rules: rules})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clouds := make([]*wsn.CloudStore, len(districts))
+	for i := range districts {
+		clouds[i] = wsn.NewCloudStore()
+		if err := mw.Protocol().AddSource(fmt.Sprintf("cloud-%d", i), clouds[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	start := time.Date(2015, 1, 1, 6, 0, 0, 0, time.UTC)
+	const perSource = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := start.Add(time.Duration(i) * 24 * time.Hour)
+		for ci, cloud := range clouds {
+			batch := make([]wsn.RawReading, perSource)
+			for j := range batch {
+				batch[j] = wsn.RawReading{
+					NodeID: fmt.Sprintf("n%d-%d", ci, j), Vendor: "libelium",
+					District: districts[ci], PropertyName: "pluviometer",
+					UnitName: "mm", Value: float64(j % 10),
+					Time: t0.Add(time.Duration(j) * time.Second),
+					Seq:  uint32(i*perSource + j + 1), BatteryV: 4,
+				}
+			}
+			cloud.Upload(batch)
+		}
+		rep, err := mw.Ingest(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Annotated != perSource*len(districts) {
+			b.Fatalf("annotated %d, want %d", rep.Annotated, perSource*len(districts))
+		}
+	}
+	b.ReportMetric(float64(perSource*len(districts)), "readings/op")
 }

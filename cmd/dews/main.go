@@ -7,7 +7,7 @@
 // Usage:
 //
 //	dews [-seed N] [-years N] [-train N] [-lead N] [-districts a,b,c]
-//	     [-nodes N] [-serve :8080]
+//	     [-nodes N] [-fetch-parallel N] [-serve :8080]
 package main
 
 import (
@@ -37,6 +37,7 @@ func run(args []string) error {
 		lead      = fs.Int("lead", 30, "forecast lead time in days")
 		districts = fs.String("districts", "", "comma-separated district slugs (default: all five)")
 		nodes     = fs.Int("nodes", 4, "sensor nodes per district")
+		fetchPar  = fs.Int("fetch-parallel", 0, "concurrent cloud-source downloads per ingest (0 = layer default, 1 = serial)")
 		serve     = fs.String("serve", "", "serve the semantic-web channel on this address after the run")
 		ablation  = fs.Bool("ablation", false, "run the fusion ablation study instead of the standard table")
 	)
@@ -50,6 +51,7 @@ func run(args []string) error {
 		TrainYears:       *train,
 		LeadDays:         *lead,
 		NodesPerDistrict: *nodes,
+		FetchParallelism: *fetchPar,
 	}
 	if *districts != "" {
 		cfg.Districts = strings.Split(*districts, ",")

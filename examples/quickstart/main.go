@@ -52,9 +52,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 4. Subscribe to unified observations, then ingest.
+	// 4. Subscribe to unified observations — once poll-style, once
+	//    push-style through the broker's dispatcher — then ingest.
 	sub, err := mw.Broker().Subscribe("obs/#", 16, core.DropOldest)
 	if err != nil {
+		log.Fatal(err)
+	}
+	pushed := make(chan core.Message, 16)
+	if _, err := mw.Broker().SubscribeHandler("obs/+/WaterLevel", 16, core.DropOldest,
+		func(m core.Message) { pushed <- m }); err != nil {
 		log.Fatal(err)
 	}
 	rep, err := mw.Ingest(0)
@@ -65,6 +71,12 @@ func main() {
 
 	for _, msg := range sub.Poll(0) {
 		fmt.Printf("published on %q at %s\n", msg.Topic, msg.Time.Format(time.RFC3339))
+	}
+	mw.Broker().DrainDispatch()
+	mw.Broker().StopDispatch()
+	close(pushed)
+	for msg := range pushed {
+		fmt.Printf("pushed to handler from %q\n", msg.Topic)
 	}
 
 	// 5. Query it back: the vendor's "Hoehe" in centimetres is now a

@@ -1,9 +1,15 @@
 package cep
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
+
+// ErrOutOfOrder marks events rejected for arriving behind the engine's
+// clock. Callers skip these (lossy uplinks reorder); every other
+// Process error is a configuration or data bug and must surface.
+var ErrOutOfOrder = errors.New("cep: out-of-order event")
 
 // maxChainDepth bounds rule chaining (rule A emits an event that fires
 // rule B, ...). Cycles among rules otherwise loop forever.
@@ -19,8 +25,11 @@ type EngineStats struct {
 }
 
 // Engine evaluates a fixed rule set over a single time-ordered event
-// stream. It is deliberately single-goroutine (the DEWS layer shards by
-// district); Process must not be called concurrently.
+// stream. It is deliberately single-goroutine; Process must not be
+// called concurrently. The core layer shards one engine per district
+// and serializes each shard behind its own lock (see
+// core.Segment.CEPEngine), which is what lets ingest cycles fan
+// districts out across workers without the engine itself locking.
 type Engine struct {
 	rules []Rule
 	// byType maps normalized event type → indexes of rules listening to it.
@@ -150,7 +159,7 @@ func (e *Engine) Process(ev Event) ([]Event, error) {
 	}
 	if !e.clock.IsZero() && ev.Time.Before(e.clock) {
 		e.stats.OutOfOrder++
-		return nil, fmt.Errorf("cep: out-of-order event %s before clock %s", ev, e.clock.Format(time.RFC3339))
+		return nil, fmt.Errorf("%w: %s before clock %s", ErrOutOfOrder, ev, e.clock.Format(time.RFC3339))
 	}
 	var emitted []Event
 	if err := e.process(ev, 0, &emitted); err != nil {

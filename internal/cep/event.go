@@ -69,14 +69,21 @@ func (e Event) Validate() error {
 	return nil
 }
 
-// SortEvents orders events by time then type (stable input for the
-// engine when merging sources).
+// LessEvents is the canonical event ordering: time, then type. Any
+// consumer sorting events (or structures carrying them) must use it so
+// merged streams agree on order.
+func LessEvents(a, b Event) bool {
+	if !a.Time.Equal(b.Time) {
+		return a.Time.Before(b.Time)
+	}
+	return a.Type < b.Type
+}
+
+// SortEvents orders events by LessEvents (stable input for the engine
+// when merging sources).
 func SortEvents(evs []Event) {
 	sort.SliceStable(evs, func(i, j int) bool {
-		if !evs[i].Time.Equal(evs[j].Time) {
-			return evs[i].Time.Before(evs[j].Time)
-		}
-		return evs[i].Type < evs[j].Type
+		return LessEvents(evs[i], evs[j])
 	})
 }
 

@@ -17,6 +17,23 @@ const (
 	DropNewest
 )
 
+// subscriber is the behavior Publish/retain/replay needs from any
+// subscription flavor. Subscription (at-most-once poll), AckSubscription
+// (at-least-once fetch/ack) and handlerSub (push dispatch) all satisfy
+// it, so fan-out, retained replay and stats accounting exist once.
+type subscriber interface {
+	offer(m Message)
+	shut()
+	Dropped() int
+}
+
+// subEntry is one registered subscription in the broker's index.
+type subEntry struct {
+	id      int
+	pattern string
+	sub     subscriber
+}
+
 // Subscription is one subscriber's bounded mailbox.
 type Subscription struct {
 	// ID is the broker-assigned identity.
@@ -90,55 +107,73 @@ func (s *Subscription) offer(m Message) {
 	s.delivered++
 }
 
+func (s *Subscription) shut() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+func (s *Subscription) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // BrokerStats summarizes broker activity.
 type BrokerStats struct {
-	Published     int
-	Deliveries    int
-	Drops         int
+	Published  int
+	Deliveries int
+	// Drops totals backpressure losses across every subscription flavor,
+	// including the at-least-once tier.
+	Drops int
+	// Subscriptions counts all live registrations: plain, acknowledged
+	// and push-handler subscriptions.
 	Subscriptions int
 }
 
 // Broker is the application abstraction layer's pub/sub fabric. Delivery
 // is synchronous fan-out into bounded per-subscriber queues; subscribers
-// poll. This keeps the middleware deterministic under test while still
-// exposing real backpressure semantics.
+// poll, fetch/ack, or receive pushes via the dispatcher. Matching goes
+// through a segment-based topic trie, so publish cost scales with topic
+// depth and match count, not with the total number of subscriptions.
 type Broker struct {
-	mu         sync.RWMutex
-	subs       map[int]*Subscription
-	ackSubs    map[int]*AckSubscription
+	mu         sync.Mutex
+	index      *topicTree
+	entries    map[int]*subEntry
 	nextID     int
 	published  int
 	deliveries int
 	// retained keeps the last message per concrete topic so late
 	// subscribers can catch up (MQTT-style retained messages).
 	retained map[string]Message
+
+	dispatchMu sync.Mutex
+	dispatch   *dispatcher
 }
 
 // NewBroker returns an empty broker.
 func NewBroker() *Broker {
 	return &Broker{
-		subs:     make(map[int]*Subscription),
+		index:    newTopicTree(),
+		entries:  make(map[int]*subEntry),
 		retained: make(map[string]Message),
 	}
 }
 
-// Subscribe registers a pattern with a queue capacity (default 1024 when
-// <= 0) and a drop policy. Retained messages matching the pattern are
-// replayed into the new subscription immediately.
-func (b *Broker) Subscribe(pattern string, capacity int, policy DropPolicy) (*Subscription, error) {
+// register validates the pattern, indexes the subscriber, replays
+// retained messages in deterministic topic order, and returns the
+// assigned ID. All subscription flavors funnel through here.
+func (b *Broker) register(pattern string, sub subscriber) (int, error) {
 	if err := ValidatePattern(pattern); err != nil {
-		return nil, err
-	}
-	if capacity <= 0 {
-		capacity = 1024
+		return 0, err
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.nextID++
-	sub := &Subscription{ID: b.nextID, Pattern: pattern, cap: capacity, policy: policy}
-	b.subs[sub.ID] = sub
+	e := &subEntry{id: b.nextID, pattern: pattern, sub: sub}
+	b.entries[e.id] = e
+	b.index.insert(pattern, e)
 
-	// Replay retained messages in deterministic topic order.
 	topics := make([]string, 0, len(b.retained))
 	for t := range b.retained {
 		if TopicMatch(pattern, t) {
@@ -149,6 +184,35 @@ func (b *Broker) Subscribe(pattern string, capacity int, policy DropPolicy) (*Su
 	for _, t := range topics {
 		sub.offer(b.retained[t])
 	}
+	return e.id, nil
+}
+
+// remove closes and deregisters a subscription by ID.
+func (b *Broker) remove(id int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.entries[id]
+	if !ok {
+		return
+	}
+	e.sub.shut()
+	delete(b.entries, id)
+	b.index.remove(e.pattern, id)
+}
+
+// Subscribe registers a pattern with a queue capacity (default 1024 when
+// <= 0) and a drop policy. Retained messages matching the pattern are
+// replayed into the new subscription immediately.
+func (b *Broker) Subscribe(pattern string, capacity int, policy DropPolicy) (*Subscription, error) {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	sub := &Subscription{Pattern: pattern, cap: capacity, policy: policy}
+	id, err := b.register(pattern, sub)
+	if err != nil {
+		return nil, err
+	}
+	sub.ID = id
 	return sub, nil
 }
 
@@ -157,12 +221,7 @@ func (b *Broker) Unsubscribe(sub *Subscription) {
 	if sub == nil {
 		return
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	sub.mu.Lock()
-	sub.closed = true
-	sub.mu.Unlock()
-	delete(b.subs, sub.ID)
+	b.remove(sub.ID)
 }
 
 // Publish fans a message out to every matching subscription, retains it,
@@ -174,51 +233,71 @@ func (b *Broker) Publish(m Message) (int, error) {
 	b.mu.Lock()
 	b.published++
 	b.retained[m.Topic] = m
-	// Snapshot matching subs under the read side of the lock.
-	var matched []*Subscription
-	for _, s := range b.subs {
-		if TopicMatch(s.Pattern, m.Topic) {
-			matched = append(matched, s)
-		}
-	}
-	var matchedAck []*AckSubscription
-	for _, s := range b.ackSubs {
-		if TopicMatch(s.Pattern, m.Topic) {
-			matchedAck = append(matchedAck, s)
-		}
-	}
-	b.deliveries += len(matched) + len(matchedAck)
+	matched := b.index.match(m.Topic, nil)
+	b.deliveries += len(matched)
 	b.mu.Unlock()
 
-	for _, s := range matched {
-		s.offer(m)
+	for _, e := range matched {
+		e.sub.offer(m)
 	}
-	for _, s := range matchedAck {
-		s.offer(m)
-	}
-	return len(matched) + len(matchedAck), nil
+	return len(matched), nil
 }
 
-// Stats returns current broker statistics.
+// PublishBatch publishes a batch of messages under a single index-lock
+// acquisition, amortizing lock and matching overhead across the batch.
+// It returns the total number of subscription deliveries. Validation
+// happens up front: an invalid message fails the whole batch before
+// anything is published.
+func (b *Broker) PublishBatch(msgs []Message) (int, error) {
+	for _, m := range msgs {
+		if err := m.Validate(); err != nil {
+			return 0, err
+		}
+	}
+	if len(msgs) == 0 {
+		return 0, nil
+	}
+	matched := make([][]*subEntry, len(msgs))
+	b.mu.Lock()
+	total := 0
+	for i, m := range msgs {
+		b.published++
+		b.retained[m.Topic] = m
+		matched[i] = b.index.match(m.Topic, nil)
+		total += len(matched[i])
+	}
+	b.deliveries += total
+	b.mu.Unlock()
+
+	for i, ms := range matched {
+		for _, e := range ms {
+			e.sub.offer(msgs[i])
+		}
+	}
+	return total, nil
+}
+
+// Stats returns current broker statistics across every subscription
+// flavor, including at-least-once (ack) subscriptions.
 func (b *Broker) Stats() BrokerStats {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	drops := 0
-	for _, s := range b.subs {
-		drops += s.Dropped()
+	for _, e := range b.entries {
+		drops += e.sub.Dropped()
 	}
 	return BrokerStats{
 		Published:     b.published,
 		Deliveries:    b.deliveries,
 		Drops:         drops,
-		Subscriptions: len(b.subs),
+		Subscriptions: len(b.entries),
 	}
 }
 
 // Retained returns the retained message for a concrete topic.
 func (b *Broker) Retained(topic string) (Message, bool) {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	m, ok := b.retained[topic]
 	return m, ok
 }

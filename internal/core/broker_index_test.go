@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// collectTopics publishes one message per topic and returns which ones
+// the subscription received.
+func deliveredTopics(t *testing.T, b *Broker, sub *Subscription, topics []string) []string {
+	t.Helper()
+	for _, topic := range topics {
+		if _, err := b.Publish(Message{Topic: topic, Payload: topic}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for _, m := range sub.Poll(0) {
+		got = append(got, m.Topic)
+	}
+	sort.Strings(got)
+	return got
+}
+
+func TestBrokerWildcardEdgeCases(t *testing.T) {
+	topics := []string{"a", "a/b", "a/b/c", "x", "x/y"}
+	cases := []struct {
+		pattern string
+		want    []string
+	}{
+		// '#' at the root matches every topic.
+		{"#", []string{"a", "a/b", "a/b/c", "x", "x/y"}},
+		// '+' as the whole pattern matches single-segment topics only.
+		{"+", []string{"a", "x"}},
+		// '+' in the first segment.
+		{"+/b", []string{"a/b"}},
+		// '+' in the last segment.
+		{"a/+", []string{"a/b"}},
+		// '+' chains.
+		{"+/+", []string{"a/b", "x/y"}},
+		// '#' matches the parent level itself (MQTT semantics).
+		{"a/#", []string{"a", "a/b", "a/b/c"}},
+		// mixed wildcard forms.
+		{"+/b/#", []string{"a/b", "a/b/c"}},
+	}
+	for _, c := range cases {
+		b := NewBroker()
+		sub, err := b.Subscribe(c.pattern, 64, DropOldest)
+		if err != nil {
+			t.Fatalf("Subscribe(%q): %v", c.pattern, err)
+		}
+		got := deliveredTopics(t, b, sub, topics)
+		want := append([]string(nil), c.want...)
+		sort.Strings(want)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("pattern %q delivered %v, want %v", c.pattern, got, want)
+		}
+	}
+}
+
+func TestBrokerRejectsEmptySegments(t *testing.T) {
+	b := NewBroker()
+	for _, p := range []string{"", "/", "a//b", "/a", "a/"} {
+		if _, err := b.Subscribe(p, 8, DropOldest); err == nil {
+			t.Errorf("Subscribe(%q) should fail", p)
+		}
+		if _, err := b.SubscribeAck(p, 8); err == nil {
+			t.Errorf("SubscribeAck(%q) should fail", p)
+		}
+	}
+}
+
+// TestBrokerIndexOverlap checks that overlapping patterns each receive
+// the message exactly once through the trie.
+func TestBrokerIndexOverlap(t *testing.T) {
+	b := NewBroker()
+	patterns := []string{"obs/#", "obs/+/Rainfall", "obs/mangaung/#", "obs/mangaung/Rainfall", "#"}
+	subs := make([]*Subscription, len(patterns))
+	for i, p := range patterns {
+		var err error
+		subs[i], err = b.Subscribe(p, 8, DropOldest)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := b.Publish(Message{Topic: "obs/mangaung/Rainfall", Payload: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(patterns) {
+		t.Fatalf("matched %d, want %d", n, len(patterns))
+	}
+	for i, s := range subs {
+		if got := len(s.Poll(0)); got != 1 {
+			t.Errorf("pattern %q received %d messages, want 1", patterns[i], got)
+		}
+	}
+}
+
+// TestBrokerIndexUnsubscribePrunes verifies removal actually detaches
+// the pattern from the index (no ghost deliveries, no leaked branches).
+func TestBrokerIndexUnsubscribePrunes(t *testing.T) {
+	b := NewBroker()
+	s1, _ := b.Subscribe("deep/a/b/c/#", 8, DropOldest)
+	s2, _ := b.Subscribe("deep/a/+/c/d", 8, DropOldest)
+	b.Unsubscribe(s1)
+	n, err := b.Publish(Message{Topic: "deep/a/b/c/d", Payload: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("matched %d after unsubscribe, want 1", n)
+	}
+	if s1.Pending() != 0 {
+		t.Error("unsubscribed subscription got a delivery")
+	}
+	if len(s2.Poll(0)) != 1 {
+		t.Error("surviving subscription missed the delivery")
+	}
+	b.Unsubscribe(s2)
+	if !b.index.root.empty() {
+		t.Error("index not pruned after every unsubscribe")
+	}
+}
+
+func TestBrokerStatsIncludesAckTier(t *testing.T) {
+	b := NewBroker()
+	plain, _ := b.Subscribe("x/#", 1, DropNewest)
+	acked, _ := b.SubscribeAck("x/#", 1)
+	for i := 0; i < 3; i++ {
+		if _, err := b.Publish(Message{Topic: "x/t", Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := b.Stats()
+	if st.Subscriptions != 2 {
+		t.Errorf("Subscriptions = %d, want 2 (ack tier must be counted)", st.Subscriptions)
+	}
+	// Each queue held 1 and refused 2.
+	if plain.Dropped() != 2 || acked.Dropped() != 2 {
+		t.Fatalf("per-sub drops = %d/%d", plain.Dropped(), acked.Dropped())
+	}
+	if st.Drops != 4 {
+		t.Errorf("Stats.Drops = %d, want 4 (ack drops must be visible)", st.Drops)
+	}
+	if st.Deliveries != 6 {
+		t.Errorf("Deliveries = %d, want 6", st.Deliveries)
+	}
+}
+
+// TestRedeliverAfterUnsubscribe pins the contract: unsubscribing an ack
+// subscription stops new deliveries, but queued and in-flight work stays
+// fetchable so a consumer can finish what it started.
+func TestRedeliverAfterUnsubscribe(t *testing.T) {
+	b := NewBroker()
+	sub, err := b.SubscribeAck("x/#", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Publish(Message{Topic: "x/t", Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := sub.Fetch(2) // two in flight, one queued
+	if len(ds) != 2 {
+		t.Fatalf("fetched %d", len(ds))
+	}
+	b.UnsubscribeAck(sub)
+	// New publishes no longer reach the mailbox.
+	if _, err := b.Publish(Message{Topic: "x/t", Payload: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if q, infl := sub.Pending(); q != 1 || infl != 2 {
+		t.Fatalf("pending after unsubscribe = %d/%d, want 1/2", q, infl)
+	}
+	// Redeliver still returns the in-flight work to the queue head.
+	if n := sub.Redeliver(); n != 2 {
+		t.Fatalf("redelivered %d, want 2", n)
+	}
+	rest := sub.Fetch(0)
+	if len(rest) != 3 {
+		t.Fatalf("drained %d, want 3", len(rest))
+	}
+	for _, d := range rest {
+		if d.Message.Payload == 99 {
+			t.Error("message published after unsubscribe leaked into the mailbox")
+		}
+		if err := sub.Ack(d.Seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPublishBatch(t *testing.T) {
+	b := NewBroker()
+	sub, _ := b.Subscribe("obs/#", 64, DropOldest)
+	msgs := []Message{
+		{Topic: "obs/a/Rainfall", Payload: 1},
+		{Topic: "obs/b/Rainfall", Payload: 2},
+		{Topic: "other/x", Payload: 3},
+	}
+	n, err := b.PublishBatch(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("deliveries = %d, want 2", n)
+	}
+	got := sub.Poll(0)
+	if len(got) != 2 || got[0].Payload != 1 || got[1].Payload != 2 {
+		t.Fatalf("poll = %v", got)
+	}
+	// Retained state reflects every message in the batch.
+	if _, ok := b.Retained("other/x"); !ok {
+		t.Error("batch publish must retain non-matching topics too")
+	}
+	st := b.Stats()
+	if st.Published != 3 || st.Deliveries != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Invalid message fails the whole batch before any delivery.
+	if _, err := b.PublishBatch([]Message{{Topic: "ok/t"}, {Topic: "bad//t"}}); err == nil {
+		t.Fatal("invalid message in batch should fail")
+	}
+	if _, ok := b.Retained("ok/t"); ok {
+		t.Error("failed batch must not publish anything")
+	}
+	if n, err := b.PublishBatch(nil); n != 0 || err != nil {
+		t.Errorf("empty batch = %d, %v", n, err)
+	}
+}
+
+func TestDispatcherPush(t *testing.T) {
+	b := NewBroker()
+	b.StartDispatch(4)
+	defer b.StopDispatch()
+
+	var mu sync.Mutex
+	seen := make(map[string][]int)
+	sub, err := b.SubscribeHandler("obs/+/Rainfall", 1024, DropOldest, func(m Message) {
+		mu.Lock()
+		seen[m.Topic] = append(seen[m.Topic], m.Payload.(int))
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perTopic = 200
+	topics := []string{"obs/a/Rainfall", "obs/b/Rainfall", "obs/c/Rainfall"}
+	var wg sync.WaitGroup
+	for _, topic := range topics {
+		wg.Add(1)
+		go func(topic string) {
+			defer wg.Done()
+			for i := 0; i < perTopic; i++ {
+				if _, err := b.Publish(Message{Topic: topic, Payload: i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(topic)
+	}
+	wg.Wait()
+	b.DrainDispatch()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, topic := range topics {
+		if len(seen[topic]) != perTopic {
+			t.Fatalf("topic %s handled %d, want %d", topic, len(seen[topic]), perTopic)
+		}
+		// Per-subscription handler invocations preserve publish order.
+		for i, v := range seen[topic] {
+			if v != i {
+				t.Fatalf("topic %s out of order at %d: %v...", topic, i, seen[topic][:i+1])
+			}
+		}
+	}
+	if sub.Pending() != 0 {
+		t.Errorf("mailbox still holds %d after drain", sub.Pending())
+	}
+}
+
+func TestDispatcherRetainedReplayAndRestart(t *testing.T) {
+	b := NewBroker()
+	if _, err := b.Publish(Message{Topic: "obs/a/Rainfall", Payload: 7}); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Message, 16)
+	if _, err := b.SubscribeHandler("obs/#", 16, DropOldest, func(m Message) { got <- m }); err != nil {
+		t.Fatal(err)
+	}
+	b.DrainDispatch()
+	select {
+	case m := <-got:
+		if m.Payload != 7 {
+			t.Fatalf("replayed payload = %v", m.Payload)
+		}
+	default:
+		t.Fatal("retained message not pushed to handler")
+	}
+
+	// Stop the pool, accumulate a backlog, restart: backlog must flow.
+	b.StopDispatch()
+	if _, err := b.Publish(Message{Topic: "obs/b/Rainfall", Payload: 8}); err != nil {
+		t.Fatal(err)
+	}
+	b.StartDispatch(2)
+	b.DrainDispatch()
+	b.StopDispatch()
+	select {
+	case m := <-got:
+		if m.Payload != 8 {
+			t.Fatalf("backlog payload = %v", m.Payload)
+		}
+	default:
+		t.Fatal("backlog not dispatched after restart")
+	}
+}

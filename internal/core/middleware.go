@@ -1,8 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cep"
@@ -33,6 +37,9 @@ type IngestReport struct {
 	Failed int
 	// Inferences is the number of CEP emissions.
 	Inferences int
+	// OutOfOrder is the number of events the CEP shards rejected for
+	// arriving behind their shard's clock (lossy-uplink reordering).
+	OutOfOrder int
 }
 
 // Middleware is the assembled three-tier semantic middleware.
@@ -44,6 +51,8 @@ type Middleware struct {
 	// ikCatalogue indexes indicator slugs for IK report publication.
 	ikCatalogue map[string]ik.Indicator
 	ikTracker   *ik.InformantTracker
+	// ikOutOfOrder totals IK events skipped as stale by the CEP shards.
+	ikOutOfOrder atomic.Int64
 }
 
 // New assembles the middleware.
@@ -77,106 +86,212 @@ func (m *Middleware) Protocol() *ProtocolLayer { return m.protocol }
 // IKTracker exposes the informant reliability tracker.
 func (m *Middleware) IKTracker() *ik.InformantTracker { return m.ikTracker }
 
-// Ingest runs one full cycle of Figure 2's integration framework:
-// download semi-processed readings from every cloud source, mediate them
-// against the unified ontology, publish the unified observations on the
-// broker, feed the per-district CEP shards, and publish every inference.
+// Ingest runs one full cycle of Figure 2's integration framework as a
+// staged pipeline: download semi-processed readings from every cloud
+// source (concurrently, via the protocol layer), mediate the whole
+// batch against the unified ontology, batch-publish the unified
+// observations on the broker, fan the events out to per-district CEP
+// worker shards, and publish every inference in deterministic district
+// order.
 func (m *Middleware) Ingest(limit int) (IngestReport, error) {
 	var rep IngestReport
-	raw, err := m.protocol.FetchAll(limit)
-	if err != nil {
-		return rep, err
+	raw, fetchErr := m.protocol.FetchAll(limit)
+	// A failing source must not discard the other sources' readings:
+	// their cursors already advanced, so this is the only chance to
+	// process them. Run the pipeline on what arrived, then report the
+	// fetch error.
+	if len(raw) == 0 && fetchErr != nil {
+		return rep, fetchErr
 	}
 	rep.Fetched = len(raw)
+
+	// Stage 1: batch mediation.
 	records, failed := m.segment.Annotator().AnnotateBatch(raw)
 	rep.Annotated = len(records)
 	rep.Failed = failed
 
-	for _, rec := range records {
-		district := districtSlug(rec.Feature)
-		// 1. Publish the unified observation.
-		topic := TopicObservation(district, rec.Property.LocalName())
-		if _, err := m.broker.Publish(Message{
-			Topic:   topic,
+	// Stage 2: publish the unified observations in one batch (a single
+	// broker lock acquisition instead of one per record).
+	msgs := make([]Message, len(records))
+	districts := make([]string, len(records))
+	for i, rec := range records {
+		districts[i] = districtSlug(rec.Feature)
+		msgs[i] = Message{
+			Topic:   TopicObservation(districts[i], rec.Property.LocalName()),
 			Time:    rec.Time,
 			Payload: rec,
 			Headers: map[string]string{"unit": rec.Unit.LocalName()},
-		}); err != nil {
-			return rep, err
 		}
-		// 2. Materialize into the data graph if configured.
-		if m.cfg.GraphObservations {
+	}
+	if _, err := m.broker.PublishBatch(msgs); err != nil {
+		return rep, err
+	}
+
+	// Stage 3: materialize into the data graph if configured (serial:
+	// the RDF graph is a single-writer structure).
+	if m.cfg.GraphObservations {
+		for _, rec := range records {
 			if err := rec.ToGraph(m.segment.Graph()); err != nil {
 				return rep, err
 			}
 		}
-		// 3. Feed the CEP shard.
-		eng, err := m.segment.CEPEngine(district)
-		if err != nil {
-			return rep, err
-		}
-		emitted, err := eng.Process(cep.Event{
+	}
+
+	// Stage 4: CEP, fanned out to per-district shards. Arrival order is
+	// preserved within each district.
+	byDistrict := make(map[string][]cep.Event)
+	for i, rec := range records {
+		byDistrict[districts[i]] = append(byDistrict[districts[i]], cep.Event{
 			Type:       rec.Property.LocalName(),
 			Time:       rec.Time,
 			Value:      rec.Value,
 			Confidence: rec.Quality,
-			Key:        district,
+			Key:        districts[i],
 		})
-		if err != nil {
-			// Out-of-order readings happen with lossy uplinks; skip, count
-			// nothing, keep going.
-			continue
-		}
-		if err := m.publishInferences(district, emitted); err != nil {
-			return rep, err
-		}
-		rep.Inferences += len(emitted)
 	}
-	return rep, nil
+	inferences, outOfOrder, err := m.runCEPShards(byDistrict)
+	if err != nil {
+		return rep, err
+	}
+	rep.Inferences = inferences
+	rep.OutOfOrder = outOfOrder
+	return rep, fetchErr
+}
+
+// runCEPShards feeds each district's events through that district's CEP
+// engine shard, one worker goroutine per shard (bounded by GOMAXPROCS),
+// then publishes every emission in sorted district order so downstream
+// consumers see a deterministic stream. It returns the total number of
+// inferences and of skipped out-of-order events (lossy uplinks reorder;
+// the serial path skipped them too, silently).
+func (m *Middleware) runCEPShards(byDistrict map[string][]cep.Event) (inferences, outOfOrder int, err error) {
+	if len(byDistrict) == 0 {
+		return 0, 0, nil
+	}
+	order := make([]string, 0, len(byDistrict))
+	for d := range byDistrict {
+		order = append(order, d)
+	}
+	sort.Strings(order)
+
+	// Resolve every shard up front (engine construction can fail and the
+	// segment lock serializes it anyway).
+	engines := make([]*cep.Engine, len(order))
+	for i, d := range order {
+		eng, err := m.segment.CEPEngine(d)
+		if err != nil {
+			return 0, 0, err
+		}
+		engines[i] = eng
+	}
+
+	emittedBy := make([][]cep.Event, len(order))
+	skippedBy := make([]int, len(order))
+	errBy := make([]error, len(order))
+	runBounded(len(order), runtime.GOMAXPROCS(0), func(i int) {
+		// Serialize against overlapping cycles: the shard's engine is a
+		// single-goroutine structure.
+		l := m.segment.cepShardLock(order[i])
+		l.Lock()
+		emittedBy[i], skippedBy[i], errBy[i] = processShard(engines[i], byDistrict[order[i]])
+		l.Unlock()
+	})
+
+	// Publish every shard's emissions — including partial ones from a
+	// failing shard — before surfacing the first error: the engines'
+	// clocks have advanced and the events are consumed, so an emission
+	// not published here is lost for good.
+	var firstErr error
+	for i, d := range order {
+		if errBy[i] != nil && firstErr == nil {
+			firstErr = errBy[i]
+		}
+		if err := m.publishInferences(d, emittedBy[i]); err != nil {
+			return inferences, outOfOrder, err
+		}
+		inferences += len(emittedBy[i])
+		outOfOrder += skippedBy[i]
+	}
+	return inferences, outOfOrder, firstErr
+}
+
+// processShard feeds one shard's events through its engine in arrival
+// order; the caller holds the shard's lock. Out-of-order events (lossy
+// uplinks reorder) are skipped and counted; any other engine error —
+// invalid events, rule-chain cycles — is a configuration or data bug
+// and aborts the shard.
+func processShard(eng *cep.Engine, events []cep.Event) (emitted []cep.Event, skipped int, err error) {
+	for _, ev := range events {
+		out, perr := eng.Process(ev)
+		if perr != nil {
+			if errors.Is(perr, cep.ErrOutOfOrder) {
+				skipped++
+				continue
+			}
+			return emitted, skipped, perr
+		}
+		emitted = append(emitted, out...)
+	}
+	return emitted, skipped, nil
 }
 
 // PublishIKReports injects indigenous-knowledge reports: each becomes an
 // IK topic message and a CEP event on the district shard; inferences
 // (IKDrySignal, IKDroughtWarning, ...) are published like sensor-derived
-// ones.
+// ones. Events are time-sorted before hitting the shards; each report
+// rides along its own event (paired, so payloads and graph entries stay
+// attached to the right report after the sort).
 func (m *Middleware) PublishIKReports(reports []ik.Report) (int, error) {
-	events, err := ik.EventsFromReports(reports, m.ikCatalogue, m.ikTracker)
+	paired, err := ik.PairedEventsFromReports(reports, m.ikCatalogue, m.ikTracker)
 	if err != nil {
 		return 0, err
 	}
-	inferences := 0
-	for i, ev := range events {
-		if _, err := m.broker.Publish(Message{
-			Topic:   TopicIK(ev.Key, strings.TrimPrefix(ev.Type, "ik-")),
-			Time:    ev.Time,
-			Payload: reports[i],
-		}); err != nil {
-			return inferences, err
+
+	// Stage 1: batch-publish the IK report messages.
+	msgs := make([]Message, len(paired))
+	for i, p := range paired {
+		msgs[i] = Message{
+			Topic:   TopicIK(p.Event.Key, strings.TrimPrefix(p.Event.Type, "ik-")),
+			Time:    p.Event.Time,
+			Payload: p.Report,
 		}
-		if m.cfg.GraphObservations {
-			m.graphIKReport(reports[i], ev.Confidence)
-		}
-		eng, err := m.segment.CEPEngine(ev.Key)
-		if err != nil {
-			return inferences, err
-		}
-		emitted, err := eng.Process(ev)
-		if err != nil {
-			continue // out-of-order reports are dropped, not fatal
-		}
-		if err := m.publishInferences(ev.Key, emitted); err != nil {
-			return inferences, err
-		}
-		inferences += len(emitted)
 	}
-	return inferences, nil
+	if _, err := m.broker.PublishBatch(msgs); err != nil {
+		return 0, err
+	}
+
+	// Stage 2: graph materialization (serial, single-writer graph).
+	if m.cfg.GraphObservations {
+		for _, p := range paired {
+			m.graphIKReport(p.Report, p.Event.Confidence)
+		}
+	}
+
+	// Stage 3: per-district CEP shards, as in Ingest.
+	byDistrict := make(map[string][]cep.Event)
+	for _, p := range paired {
+		byDistrict[p.Event.Key] = append(byDistrict[p.Event.Key], p.Event)
+	}
+	inferences, outOfOrder, err := m.runCEPShards(byDistrict)
+	m.ikOutOfOrder.Add(int64(outOfOrder))
+	return inferences, err
 }
 
-// publishInferences publishes CEP emissions and mirrors them into the
-// data graph with provenance.
+// IKOutOfOrder returns the cumulative count of IK report events skipped
+// for arriving behind their district shard's clock — the IK-side
+// counterpart of IngestReport.OutOfOrder, kept as a running total
+// because PublishIKReports' signature predates the counter.
+func (m *Middleware) IKOutOfOrder() int64 { return m.ikOutOfOrder.Load() }
+
+// publishInferences batch-publishes CEP emissions and mirrors them into
+// the data graph with provenance.
 func (m *Middleware) publishInferences(district string, emitted []cep.Event) error {
-	for _, ev := range emitted {
-		if _, err := m.broker.Publish(Message{
+	if len(emitted) == 0 {
+		return nil
+	}
+	msgs := make([]Message, len(emitted))
+	for i, ev := range emitted {
+		msgs[i] = Message{
 			Topic:   TopicEvent(district, ev.Type),
 			Time:    ev.Time,
 			Payload: ev,
@@ -184,10 +299,13 @@ func (m *Middleware) publishInferences(district string, emitted []cep.Event) err
 				"severity": ev.Attrs["severity"],
 				"rule":     ev.Attrs["rule"],
 			},
-		}); err != nil {
-			return err
 		}
-		if m.cfg.GraphObservations {
+	}
+	if _, err := m.broker.PublishBatch(msgs); err != nil {
+		return err
+	}
+	if m.cfg.GraphObservations {
+		for _, ev := range emitted {
 			m.graphInference(district, ev)
 		}
 	}

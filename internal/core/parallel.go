@@ -1,0 +1,35 @@
+package core
+
+import "sync"
+
+// runBounded invokes fn(i) for every i in [0, n) using at most workers
+// goroutines, falling back to a plain loop when one worker suffices.
+// fn must handle its own synchronization for any shared state beyond
+// index-disjoint slice slots.
+func runBounded(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

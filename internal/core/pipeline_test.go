@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ik"
+	"repro/internal/wsn"
+)
+
+// newSourceWithNodes returns a cloud store holding n readings whose
+// node IDs are prefixed with the source name.
+func newSourceWithNodes(name string, n int) *wsn.CloudStore {
+	cloud := wsn.NewCloudStore()
+	now := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	batch := make([]wsn.RawReading, n)
+	for i := range batch {
+		batch[i] = wsn.RawReading{
+			NodeID: fmt.Sprintf("%s-%d", name, i),
+			Time:   now.Add(time.Duration(i) * time.Minute),
+		}
+	}
+	cloud.Upload(batch)
+	return cloud
+}
+
+// TestPublishIKReportsPairsReportsWithEvents is the regression test for
+// the report/event misalignment bug: events are time-sorted before
+// publication, and the published payload (and graph entry) must follow
+// each event's own report — not the report that happened to share its
+// slice index. Reports are injected deliberately out of time order with
+// distinct indicators so any misalignment is visible on the topic.
+func TestPublishIKReportsPairsReportsWithEvents(t *testing.T) {
+	m := buildMiddleware(t)
+	sub, err := m.Broker().Subscribe("ik/#", 100, DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2015, 8, 1, 0, 0, 0, 0, time.UTC)
+	// Newest first: sorting reverses the slice order.
+	reports := []ik.Report{
+		{Informant: "elder-c", Indicator: "moon-halo", District: "xhariep",
+			Time: base.AddDate(0, 0, 20), Strength: 0.9},
+		{Informant: "elder-b", Indicator: "acacia-early-bloom", District: "mangaung",
+			Time: base.AddDate(0, 0, 10), Strength: 0.7},
+		{Informant: "elder-a", Indicator: "mutiga-flowering", District: "xhariep",
+			Time: base, Strength: 0.8},
+	}
+	if _, err := m.PublishIKReports(reports); err != nil {
+		t.Fatal(err)
+	}
+	msgs := sub.Poll(0)
+	if len(msgs) != len(reports) {
+		t.Fatalf("published %d, want %d", len(msgs), len(reports))
+	}
+	for _, msg := range msgs {
+		r, ok := msg.Payload.(ik.Report)
+		if !ok {
+			t.Fatalf("payload = %#v", msg.Payload)
+		}
+		segs := strings.Split(msg.Topic, "/")
+		if len(segs) != 3 {
+			t.Fatalf("topic = %q", msg.Topic)
+		}
+		if segs[1] != r.District {
+			t.Errorf("topic %q carries report for district %q", msg.Topic, r.District)
+		}
+		if segs[2] != r.Indicator {
+			t.Errorf("topic %q carries report for indicator %q (misaligned pair)", msg.Topic, r.Indicator)
+		}
+		if !msg.Time.Equal(r.Time) {
+			t.Errorf("message time %v != report time %v", msg.Time, r.Time)
+		}
+	}
+}
+
+// TestIngestDeterministicMergeOrder verifies the parallel protocol
+// fetch preserves the serial merge contract: readings appear in sorted
+// source-name order, sources' internal order intact.
+func TestIngestDeterministicMergeOrder(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		p := NewProtocolLayer()
+		p.SetParallelism(parallelism)
+		names := []string{"delta", "alpha", "charlie", "bravo"}
+		for _, n := range names {
+			cloud := newSourceWithNodes(n, 5)
+			if err := p.AddSource(n, cloud); err != nil {
+				t.Fatal(err)
+			}
+		}
+		all, err := p.FetchAll(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(all) != 20 {
+			t.Fatalf("fetched %d, want 20", len(all))
+		}
+		want := []string{"alpha", "bravo", "charlie", "delta"}
+		for i, r := range all {
+			src := want[i/5]
+			if !strings.HasPrefix(r.NodeID, src+"-") {
+				t.Fatalf("parallelism=%d: position %d holds %q, want source %q first",
+					parallelism, i, r.NodeID, src)
+			}
+		}
+	}
+}
+
+// failingSource always errors.
+type failingSource struct{}
+
+func (failingSource) Download(cursor, limit int) ([]wsn.RawReading, int, error) {
+	return nil, cursor, fmt.Errorf("synthetic outage")
+}
+
+// TestFetchAllPartialOnSourceFailure pins the salvage contract: a
+// failing source must not discard the other sources' readings, whose
+// cursors have already advanced past them.
+func TestFetchAllPartialOnSourceFailure(t *testing.T) {
+	p := NewProtocolLayer()
+	if err := p.AddSource("alpha", newSourceWithNodes("alpha", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSource("bravo", failingSource{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSource("charlie", newSourceWithNodes("charlie", 2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.FetchAll(0)
+	if err == nil {
+		t.Fatal("failing source must surface its error")
+	}
+	if len(got) != 5 {
+		t.Fatalf("salvaged %d readings, want 5 (alpha+charlie)", len(got))
+	}
+	// The healthy sources' cursors advanced; only the broken source
+	// retries next cycle.
+	again, err := p.FetchAll(0)
+	if err == nil || len(again) != 0 {
+		t.Fatalf("second fetch = %d readings, err=%v", len(again), err)
+	}
+}

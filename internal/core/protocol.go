@@ -19,23 +19,44 @@ type ReadingSource interface {
 
 var _ ReadingSource = (*wsn.CloudStore)(nil)
 
+// defaultFetchParallelism bounds how many sources FetchAll downloads
+// from at once when no explicit limit is configured.
+const defaultFetchParallelism = 8
+
 // ProtocolLayer is the interface protocol layer: it tracks a download
 // cursor per source and hands batches of semi-processed readings upward.
+// FetchAll downloads from every source concurrently (bounded by
+// SetParallelism) while keeping the merged batch in deterministic
+// sorted-source order.
 type ProtocolLayer struct {
 	mu      sync.Mutex
 	sources map[string]ReadingSource
 	cursors map[string]int
 	// fetched counts readings pulled per source.
 	fetched map[string]int
+	// parallelism bounds concurrent downloads in FetchAll.
+	parallelism int
 }
 
 // NewProtocolLayer returns an empty layer.
 func NewProtocolLayer() *ProtocolLayer {
 	return &ProtocolLayer{
-		sources: make(map[string]ReadingSource),
-		cursors: make(map[string]int),
-		fetched: make(map[string]int),
+		sources:     make(map[string]ReadingSource),
+		cursors:     make(map[string]int),
+		fetched:     make(map[string]int),
+		parallelism: defaultFetchParallelism,
 	}
+}
+
+// SetParallelism bounds the number of sources FetchAll downloads from
+// concurrently. n <= 1 makes FetchAll strictly serial.
+func (p *ProtocolLayer) SetParallelism(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	p.parallelism = n
 }
 
 // AddSource registers a named reading source.
@@ -73,25 +94,46 @@ func (p *ProtocolLayer) Fetch(name string, limit int) ([]wsn.RawReading, error) 
 	return batch, nil
 }
 
-// FetchAll downloads up to limit readings from every source (in sorted
-// name order for determinism).
+// FetchAll downloads up to limit readings from every source. Sources
+// are fetched concurrently with bounded parallelism; the merged batch
+// is assembled in sorted source-name order, so the result is
+// byte-identical to a serial fetch. On failure the error from the first
+// failing source in sorted order is returned (also deterministic),
+// together with every successfully fetched batch: those sources'
+// cursors have already advanced, so discarding their readings would
+// lose them permanently. Callers should process the partial batch even
+// when err != nil.
 func (p *ProtocolLayer) FetchAll(limit int) ([]wsn.RawReading, error) {
 	p.mu.Lock()
 	names := make([]string, 0, len(p.sources))
 	for n := range p.sources {
 		names = append(names, n)
 	}
+	workers := p.parallelism
 	p.mu.Unlock()
 	sort.Strings(names)
-	var out []wsn.RawReading
-	for _, n := range names {
-		batch, err := p.Fetch(n, limit)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, batch...)
+	if len(names) == 0 {
+		return nil, nil
 	}
-	return out, nil
+
+	batches := make([][]wsn.RawReading, len(names))
+	errs := make([]error, len(names))
+	runBounded(len(names), workers, func(i int) {
+		batches[i], errs[i] = p.Fetch(names[i], limit)
+	})
+
+	var out []wsn.RawReading
+	var firstErr error
+	for i := range names {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		out = append(out, batches[i]...)
+	}
+	return out, firstErr
 }
 
 // Fetched returns the total readings pulled from a source.

@@ -51,6 +51,12 @@ func (s *AckSubscription) offer(m Message) {
 	s.queue = append(s.queue, Delivery{Seq: s.seq, Message: m})
 }
 
+func (s *AckSubscription) shut() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
 // Fetch moves up to max messages (all when max <= 0) into the in-flight
 // set and returns them.
 func (s *AckSubscription) Fetch(max int) []Delivery {
@@ -128,43 +134,24 @@ func (s *AckSubscription) Dropped() int {
 // SubscribeAck registers an at-least-once subscription (capacity default
 // 1024). Retained messages are replayed like for plain subscriptions.
 func (b *Broker) SubscribeAck(pattern string, capacity int) (*AckSubscription, error) {
-	if err := ValidatePattern(pattern); err != nil {
-		return nil, err
-	}
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.nextID++
-	sub := &AckSubscription{ID: b.nextID, Pattern: pattern, capacity: capacity}
-	if b.ackSubs == nil {
-		b.ackSubs = make(map[int]*AckSubscription)
+	sub := &AckSubscription{Pattern: pattern, capacity: capacity}
+	id, err := b.register(pattern, sub)
+	if err != nil {
+		return nil, err
 	}
-	b.ackSubs[sub.ID] = sub
-
-	topics := make([]string, 0, len(b.retained))
-	for t := range b.retained {
-		if TopicMatch(pattern, t) {
-			topics = append(topics, t)
-		}
-	}
-	sort.Strings(topics)
-	for _, t := range topics {
-		sub.offer(b.retained[t])
-	}
+	sub.ID = id
 	return sub, nil
 }
 
-// UnsubscribeAck removes an acknowledged subscription.
+// UnsubscribeAck removes an acknowledged subscription. In-flight and
+// queued deliveries remain fetchable so a consumer can finish
+// outstanding work; the mailbox just receives nothing new.
 func (b *Broker) UnsubscribeAck(sub *AckSubscription) {
 	if sub == nil {
 		return
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	sub.mu.Lock()
-	sub.closed = true
-	sub.mu.Unlock()
-	delete(b.ackSubs, sub.ID)
+	b.remove(sub.ID)
 }

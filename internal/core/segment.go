@@ -56,6 +56,10 @@ type Segment struct {
 
 	mu       sync.Mutex
 	cepByKey map[string]*cep.Engine
+	// cepLocks serializes Process calls per shard: the engine itself is
+	// single-goroutine, so overlapping ingest cycles must take the
+	// shard's lock before feeding it.
+	cepLocks map[string]*sync.Mutex
 	services map[rdf.IRI]ServiceDescription
 }
 
@@ -76,6 +80,7 @@ func NewSegment(o *ontology.Ontology, rules []cep.Rule) (*Segment, error) {
 		annotator: mediator.NewAnnotator(o),
 		rules:     rules,
 		cepByKey:  make(map[string]*cep.Engine),
+		cepLocks:  make(map[string]*sync.Mutex),
 		services:  make(map[rdf.IRI]ServiceDescription),
 	}
 	mediator.SeedAlignments(s.annotator.Registry())
@@ -105,7 +110,8 @@ func (s *Segment) Select(src string) (*sparql.Solutions, error) {
 
 // CEPEngine returns (creating on first use) the engine shard for a
 // partition key (district). Each shard gets a fresh compilation of the
-// configured rule set.
+// configured rule set. Callers that may overlap with other ingest
+// cycles must hold the shard's lock (cepShardLock) while processing.
 func (s *Segment) CEPEngine(key string) (*cep.Engine, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -117,7 +123,20 @@ func (s *Segment) CEPEngine(key string) (*cep.Engine, error) {
 		return nil, err
 	}
 	s.cepByKey[key] = e
+	s.cepLocks[key] = &sync.Mutex{}
 	return e, nil
+}
+
+// cepShardLock returns the mutex serializing Process calls on a shard.
+func (s *Segment) cepShardLock(key string) *sync.Mutex {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.cepLocks[key]
+	if !ok {
+		l = &sync.Mutex{}
+		s.cepLocks[key] = l
+	}
+	return l
 }
 
 // CEPKeys lists the active shards in sorted order.

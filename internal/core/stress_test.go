@@ -3,7 +3,12 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"repro/internal/ik"
+	"repro/internal/wsn"
 )
 
 // TestAckSubscriptionConcurrent exercises the at-least-once path under
@@ -103,5 +108,107 @@ SELECT ?c WHERE { ?c rdfs:subClassOf dews:DroughtEvent . }`); err != nil {
 	wg.Wait()
 	if len(seg.CEPKeys()) != 20 {
 		t.Errorf("shards = %d, want 20", len(seg.CEPKeys()))
+	}
+}
+
+// TestConcurrentIngestPipeline drives the whole staged pipeline from
+// several directions at once: overlapping Ingest cycles, concurrent IK
+// report publication, a push-mode handler, and a polling subscriber.
+// Run with -race; the per-shard CEP locks and the trie-indexed broker
+// must keep every layer consistent.
+func TestConcurrentIngestPipeline(t *testing.T) {
+	m := buildMiddleware(t)
+	m.Broker().StartDispatch(4)
+	defer m.Broker().StopDispatch()
+
+	districts := []string{"mangaung", "xhariep", "lejweleputswa"}
+	const perDistrict = 120
+	start := time.Date(2015, 3, 1, 6, 0, 0, 0, time.UTC)
+	for di, d := range districts {
+		cloud := wsn.NewCloudStore()
+		batch := make([]wsn.RawReading, perDistrict)
+		for i := range batch {
+			batch[i] = wsn.RawReading{
+				NodeID: fmt.Sprintf("n%d-%d", di, i), Vendor: "libelium", District: d,
+				PropertyName: "pluviometer", UnitName: "mm", Value: float64(i % 9),
+				Time: start.Add(time.Duration(i) * time.Hour), Seq: uint32(i + 1), BatteryV: 4,
+			}
+		}
+		cloud.Upload(batch)
+		if err := m.Protocol().AddSource("cloud-"+d, cloud); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var handled atomic.Int64
+	if _, err := m.Broker().SubscribeHandler("obs/#", 1<<16, DropOldest, func(Message) {
+		handled.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pollSub, err := m.Broker().Subscribe("obs/#", 1<<16, DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		fetched   atomic.Int64
+		annotated atomic.Int64
+	)
+	// Overlapping ingest cycles, each pulling a slice of the backlog.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				rep, err := m.Ingest(32)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rep.Fetched == 0 {
+					return
+				}
+				fetched.Add(int64(rep.Fetched))
+				annotated.Add(int64(rep.Annotated))
+			}
+		}()
+	}
+	// Concurrent IK publication on the same shards.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base := time.Date(2015, 3, 1, 0, 0, 0, 0, time.UTC)
+		for i := 0; i < 20; i++ {
+			_, err := m.PublishIKReports([]ik.Report{{
+				Informant: fmt.Sprintf("elder-%d", i), Indicator: "moon-halo",
+				District: districts[i%len(districts)],
+				Time:     base.AddDate(0, 0, i), Strength: 0.7,
+			}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	m.Broker().DrainDispatch()
+
+	total := int64(len(districts) * perDistrict)
+	if fetched.Load() != total {
+		t.Errorf("fetched %d, want %d", fetched.Load(), total)
+	}
+	if annotated.Load() != total {
+		t.Errorf("annotated %d, want %d", annotated.Load(), total)
+	}
+	if got := handled.Load(); got != total {
+		t.Errorf("push handler saw %d observations, want %d", got, total)
+	}
+	if got := int64(len(pollSub.Poll(0))); got != total {
+		t.Errorf("poll subscriber saw %d observations, want %d", got, total)
+	}
+	if st := m.Broker().Stats(); st.Drops != 0 {
+		t.Errorf("drops = %d with ample capacity", st.Drops)
 	}
 }

@@ -1,0 +1,127 @@
+package core
+
+import "strings"
+
+// topicTree is a segment-based subscription index. Each pattern is
+// inserted once, at the node its segments lead to; '+' descends into a
+// dedicated single-level child, '#' terminates at the node covering its
+// parent level (MQTT semantics: "obs/#" matches "obs" itself). Matching
+// a concrete topic walks the exact child and the '+' child at every
+// level, so cost is O(depth × branching of wildcards + matches) and —
+// unlike a linear scan over all subscriptions — independent of the
+// total subscription count.
+type topicTree struct {
+	root *trieNode
+}
+
+type trieNode struct {
+	// children maps an exact segment to its subtree.
+	children map[string]*trieNode
+	// plus is the subtree for the '+' single-segment wildcard.
+	plus *trieNode
+	// subs holds entries whose pattern ends exactly at this node.
+	subs map[int]*subEntry
+	// hashSubs holds entries whose pattern ends with '#' at this level;
+	// they match any remainder, including none.
+	hashSubs map[int]*subEntry
+}
+
+func newTopicTree() *topicTree {
+	return &topicTree{root: &trieNode{}}
+}
+
+func newTrieNode() *trieNode { return &trieNode{} }
+
+// empty reports whether the node holds no entries and no subtrees.
+func (n *trieNode) empty() bool {
+	return len(n.subs) == 0 && len(n.hashSubs) == 0 && len(n.children) == 0 && n.plus == nil
+}
+
+// insert registers an entry under its (already validated) pattern.
+func (t *topicTree) insert(pattern string, e *subEntry) {
+	node := t.root
+	for _, seg := range strings.Split(pattern, "/") {
+		if seg == "#" { // validated: always the final segment
+			if node.hashSubs == nil {
+				node.hashSubs = make(map[int]*subEntry)
+			}
+			node.hashSubs[e.id] = e
+			return
+		}
+		var next *trieNode
+		if seg == "+" {
+			if node.plus == nil {
+				node.plus = newTrieNode()
+			}
+			next = node.plus
+		} else {
+			if node.children == nil {
+				node.children = make(map[string]*trieNode)
+			}
+			next = node.children[seg]
+			if next == nil {
+				next = newTrieNode()
+				node.children[seg] = next
+			}
+		}
+		node = next
+	}
+	if node.subs == nil {
+		node.subs = make(map[int]*subEntry)
+	}
+	node.subs[e.id] = e
+}
+
+// remove deletes an entry by pattern and id, pruning empty branches.
+func (t *topicTree) remove(pattern string, id int) {
+	t.removeFrom(t.root, strings.Split(pattern, "/"), id)
+}
+
+func (t *topicTree) removeFrom(node *trieNode, segs []string, id int) bool {
+	if len(segs) == 0 {
+		delete(node.subs, id)
+		return node.empty()
+	}
+	seg := segs[0]
+	switch seg {
+	case "#":
+		delete(node.hashSubs, id)
+	case "+":
+		if node.plus != nil && t.removeFrom(node.plus, segs[1:], id) {
+			node.plus = nil
+		}
+	default:
+		if child := node.children[seg]; child != nil && t.removeFrom(child, segs[1:], id) {
+			delete(node.children, seg)
+		}
+	}
+	return node.empty()
+}
+
+// match appends every entry whose pattern matches the concrete topic to
+// dst and returns the extended slice. Each matching entry is visited
+// exactly once: patterns live at a single node, and the walk reaches
+// each node along at most one path.
+func (t *topicTree) match(topic string, dst []*subEntry) []*subEntry {
+	return t.matchFrom(t.root, strings.Split(topic, "/"), dst)
+}
+
+func (t *topicTree) matchFrom(node *trieNode, segs []string, dst []*subEntry) []*subEntry {
+	// '#' at this level covers any remainder, including none.
+	for _, e := range node.hashSubs {
+		dst = append(dst, e)
+	}
+	if len(segs) == 0 {
+		for _, e := range node.subs {
+			dst = append(dst, e)
+		}
+		return dst
+	}
+	if child, ok := node.children[segs[0]]; ok {
+		dst = t.matchFrom(child, segs[1:], dst)
+	}
+	if node.plus != nil {
+		dst = t.matchFrom(node.plus, segs[1:], dst)
+	}
+	return dst
+}

@@ -71,6 +71,9 @@ type Config struct {
 	// Result so ablations can re-evaluate forecaster variants offline
 	// without re-running the simulation.
 	RecordIssues bool
+	// FetchParallelism bounds concurrent per-source downloads in the
+	// protocol layer (0 keeps the layer's default; 1 forces serial).
+	FetchParallelism int
 }
 
 func (c *Config) applyDefaults() {
@@ -217,6 +220,9 @@ func NewSystem(cfg Config) (*System, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.FetchParallelism > 0 {
+		mw.Protocol().SetParallelism(cfg.FetchParallelism)
 	}
 
 	s := &System{
@@ -414,15 +420,17 @@ func (s *System) Run() (*Result, error) {
 				}
 			}
 		}
-		// 3b. middleware ingests from every cloud.
+		// 3b. middleware ingests from every cloud. Ingest may salvage a
+		// partial batch when a source fails, so account the cycle's work
+		// before deciding the error is fatal.
 		rep, err := s.middleware.Ingest(0)
-		if err != nil {
-			return nil, err
-		}
 		result.Fetched += rep.Fetched
 		result.Annotated += rep.Annotated
 		result.Failed += rep.Failed
 		result.Inferences += rep.Inferences
+		if err != nil {
+			return nil, err
+		}
 
 		// 3c. IK reports dated today enter the middleware.
 		for _, d := range s.districts {

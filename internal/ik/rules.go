@@ -63,10 +63,19 @@ EMIT IKDroughtWarning SEVERITY warning CONFIDENCE 0.85 SOURCE ik
 	return cep.ParseRules(b.String())
 }
 
-// EventsFromReports converts reports to CEP events (confidence = the
-// tracker's posterior for the informant, strength as the value).
-func EventsFromReports(reports []Report, catalogue map[string]Indicator, tracker *InformantTracker) ([]cep.Event, error) {
-	out := make([]cep.Event, 0, len(reports))
+// ReportEvent pairs a report with the CEP event derived from it, so the
+// association survives time-sorting. Consumers that publish the report
+// alongside its event must use the pair, not parallel slices.
+type ReportEvent struct {
+	Report Report
+	Event  cep.Event
+}
+
+// PairedEventsFromReports converts reports to CEP events (confidence =
+// the tracker's posterior for the informant, strength as the value),
+// sorted by event time with each report carried along its event.
+func PairedEventsFromReports(reports []Report, catalogue map[string]Indicator, tracker *InformantTracker) ([]ReportEvent, error) {
+	out := make([]ReportEvent, 0, len(reports))
 	for _, r := range reports {
 		if err := r.Validate(catalogue); err != nil {
 			return nil, err
@@ -76,15 +85,36 @@ func EventsFromReports(reports []Report, catalogue map[string]Indicator, tracker
 			conf = tracker.Reliability(r.Informant)
 		}
 		ind := catalogue[r.Indicator]
-		out = append(out, cep.Event{
-			Type:       ind.EventType(),
-			Time:       r.Time,
-			Value:      r.Strength,
-			Confidence: conf,
-			Key:        r.District,
-			Attrs:      map[string]string{"informant": r.Informant},
+		out = append(out, ReportEvent{
+			Report: r,
+			Event: cep.Event{
+				Type:       ind.EventType(),
+				Time:       r.Time,
+				Value:      r.Strength,
+				Confidence: conf,
+				Key:        r.District,
+				Attrs:      map[string]string{"informant": r.Informant},
+			},
 		})
 	}
-	cep.SortEvents(out)
+	sort.SliceStable(out, func(i, j int) bool {
+		return cep.LessEvents(out[i].Event, out[j].Event)
+	})
+	return out, nil
+}
+
+// EventsFromReports converts reports to time-sorted CEP events. When the
+// caller needs to know which report produced which event, use
+// PairedEventsFromReports instead: the sort here reorders events
+// relative to the input slice.
+func EventsFromReports(reports []Report, catalogue map[string]Indicator, tracker *InformantTracker) ([]cep.Event, error) {
+	paired, err := PairedEventsFromReports(reports, catalogue, tracker)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]cep.Event, len(paired))
+	for i, p := range paired {
+		out[i] = p.Event
+	}
 	return out, nil
 }
