@@ -2,20 +2,26 @@
 // climate → heterogeneous WSN → semantic middleware (mediation, ontology,
 // CEP, IK fusion) → forecast verification → dissemination. It prints the
 // EXP-C1 skill table, pipeline accounting, and sample bulletins, and can
-// optionally serve the semantic-web channel over HTTP.
+// optionally keep serving afterwards: -serve mounts the streaming
+// subscription gateway (SSE /subscribe, /publish, /v1/queue ack queues,
+// /stats, /healthz — see API.md) together with the semantic-web channel
+// (/semweb/*, plus legacy /bulletins /sparql /health).
 //
 // Usage:
 //
 //	dews [-seed N] [-years N] [-train N] [-lead N] [-districts a,b,c]
-//	     [-nodes N] [-fetch-parallel N] [-serve :8080]
+//	     [-nodes N] [-fetch-parallel N] [-gateway-buffer N] [-serve :8080]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/dews"
@@ -38,7 +44,8 @@ func run(args []string) error {
 		districts = fs.String("districts", "", "comma-separated district slugs (default: all five)")
 		nodes     = fs.Int("nodes", 4, "sensor nodes per district")
 		fetchPar  = fs.Int("fetch-parallel", 0, "concurrent cloud-source downloads per ingest (0 = layer default, 1 = serial)")
-		serve     = fs.String("serve", "", "serve the semantic-web channel on this address after the run")
+		gwBuffer  = fs.Int("gateway-buffer", 0, "default per-client SSE buffer of the subscription gateway (0 = gateway default)")
+		serve     = fs.String("serve", "", "serve the subscription gateway and semantic-web channel on this address after the run")
 		ablation  = fs.Bool("ablation", false, "run the fusion ablation study instead of the standard table")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -52,6 +59,7 @@ func run(args []string) error {
 		LeadDays:         *lead,
 		NodesPerDistrict: *nodes,
 		FetchParallelism: *fetchPar,
+		GatewayBuffer:    *gwBuffer,
 	}
 	if *districts != "" {
 		cfg.Districts = strings.Split(*districts, ",")
@@ -108,13 +116,30 @@ func run(args []string) error {
 	fmt.Print(system.DVIMap().Render())
 
 	if *serve != "" {
-		fmt.Printf("\nserving semantic-web channel on %s (endpoints: /bulletins /sparql /health)\n", *serve)
+		mux, gw, err := system.ServeMux()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nserving on %s — gateway: /subscribe /publish /v1/queue /stats /healthz; semantic web: /semweb/* (also /bulletins /sparql /health)\n", *serve)
 		server := &http.Server{
 			Addr:              *serve,
-			Handler:           system.Web(),
+			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
 		}
-		return server.ListenAndServe()
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		errCh := make(chan error, 1)
+		go func() { errCh <- server.ListenAndServe() }()
+		select {
+		case err := <-errCh:
+			return err
+		case <-ctx.Done():
+			// Ctrl-C: say goodbye to SSE clients, then close the listener.
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = gw.Shutdown(shutCtx)
+			return server.Shutdown(shutCtx)
+		}
 	}
 	return nil
 }

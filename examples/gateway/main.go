@@ -1,0 +1,158 @@
+// Gateway: the streaming subscription gateway over the middleware
+// broker.
+//
+// Runs a short DEWS simulation, serves the gateway on a loopback port,
+// and then acts as its own remote client: replays retained bulletins
+// over SSE, publishes an external envelope, and drains an
+// at-least-once ack queue — the flows API.md documents with curl.
+//
+// Run: go run ./examples/gateway
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/dews"
+)
+
+func main() {
+	// A short two-district run so there are retained bulletins to serve.
+	system, err := dews.NewSystem(dews.Config{
+		Seed:       2015,
+		Years:      2,
+		TrainYears: 1,
+		Districts:  []string{"mangaung", "xhariep"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := system.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated 2 years: %d bulletins issued\n\n", len(result.Bulletins))
+
+	// Serve the gateway + semantic web mux on a loopback port.
+	mux, gw, err := system.ServeMux()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	server := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = server.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("gateway listening on %s\n\n", base)
+
+	// 1. SSE subscription with retained replay: a late subscriber to
+	// bulletin/# immediately receives the latest bulletin per district.
+	resp, err := http.Get(base + "/subscribe?pattern=" + url.QueryEscape("bulletin/#"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := bufio.NewScanner(resp.Body)
+	fmt.Println("— SSE retained replay (bulletin/#) —")
+	printEvents(events, 2)
+
+	// 2. Publish an external envelope through the gateway; the open SSE
+	// stream sees it like any in-process publication.
+	pub, err := http.Post(base+"/publish", "application/json", strings.NewReader(
+		`{"topic": "bulletin/demo", "payload": {"district": "demo", "probability": 0.42}}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(pub.Body)
+	pub.Body.Close()
+	fmt.Printf("\n— POST /publish → %s —\n%s", pub.Status, body)
+	fmt.Println("— SSE live delivery —")
+	printEvents(events, 1)
+
+	// 3. At-least-once consumption: create an ack queue, fetch, ack.
+	q := postJSON(base + "/v1/queue?pattern=" + url.QueryEscape("bulletin/#"))
+	qid := q["queue"].(string)
+	fetched := getJSON(base + "/v1/queue/" + qid + "/fetch")
+	deliveries := fetched["deliveries"].([]any)
+	fmt.Printf("\n— ack queue %s fetched %d retained bulletins —\n", qid, len(deliveries))
+	for _, d := range deliveries {
+		m := d.(map[string]any)
+		seq := int(m["seq"].(float64))
+		fmt.Printf("  seq %d  topic %s\n", seq, m["message"].(map[string]any)["topic"])
+		postJSON(fmt.Sprintf("%s/v1/queue/%s/ack?seq=%d", base, qid, seq))
+	}
+	after := getJSON(base + "/v1/queue/" + qid)
+	fmt.Printf("  acked=%v queued=%v inflight=%v\n", after["acked"], after["queued"], after["inflight"])
+
+	// 4. Operator view.
+	stats := getJSON(base + "/stats")
+	pretty, _ := json.MarshalIndent(stats, "", "  ")
+	fmt.Printf("\n— GET /stats —\n%s\n", pretty)
+
+	// Clean shutdown: SSE clients get a goodbye event first.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := server.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ngateway shut down cleanly")
+}
+
+// printEvents copies n SSE "message" events to stdout, topic only.
+func printEvents(sc *bufio.Scanner, n int) {
+	seen := 0
+	for seen < n && sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var env struct {
+			Topic string `json:"topic"`
+		}
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &env); err != nil {
+			continue
+		}
+		seen++
+		fmt.Printf("  event %d  topic %s\n", seen, env.Topic)
+	}
+}
+
+func getJSON(u string) map[string]any {
+	resp, err := http.Get(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return decode(resp.Body)
+}
+
+func postJSON(u string) map[string]any {
+	resp, err := http.Post(u, "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return decode(resp.Body)
+}
+
+func decode(r io.Reader) map[string]any {
+	var out map[string]any
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+// Package cep implements the detection-oriented Complex Event Processing
+// engine of the paper's ontology segment layer: the component that
+// "infer[s] patterns leading to drought event based on a set of rules
+// derived from indigenous knowledge".
+//
+// The engine consumes a single time-ordered event stream — the
+// middleware runs one engine shard per district, fanned out across a
+// worker pool and serialized behind per-shard locks (see
+// internal/core's Ingest pipeline) — maintains per-type sliding
+// windows, and evaluates declarative rules written in a small text DSL:
+//
+//	RULE rainfall-deficit
+//	WHEN avg(rainfall) < 1.2 OVER 30d AND last(soil_moisture) < 0.25
+//	COOLDOWN 14d
+//	EMIT RainfallDeficit SEVERITY warning CONFIDENCE 0.7
+//
+// Rules support windowed aggregates (avg/min/max/sum/count/last),
+// sequence detection (SEQ(A, B, C) WITHIN 45d), event counting
+// (COUNT(x) >= n WITHIN 30d), absence (ABSENT x FOR 21d), boolean
+// composition with AND/OR and parentheses, per-rule cooldowns, and
+// emission of composite events that feed back into the stream so rules
+// can chain (process → event, the paper's DOLCE story). Events arriving
+// behind a shard's clock are rejected with ErrOutOfOrder, which callers
+// count rather than fail on (lossy uplinks reorder).
+package cep

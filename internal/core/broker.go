@@ -119,16 +119,21 @@ func (s *Subscription) isClosed() bool {
 	return s.closed
 }
 
-// BrokerStats summarizes broker activity.
+// BrokerStats summarizes broker activity. The JSON tags are the wire
+// shape of the gateway's /stats endpoint.
 type BrokerStats struct {
-	Published  int
-	Deliveries int
+	Published  int `json:"published"`
+	Deliveries int `json:"deliveries"`
 	// Drops totals backpressure losses across every subscription flavor,
-	// including the at-least-once tier.
-	Drops int
+	// including the at-least-once tier. It is cumulative: drops by
+	// since-removed subscriptions stay counted.
+	Drops int `json:"drops"`
 	// Subscriptions counts all live registrations: plain, acknowledged
 	// and push-handler subscriptions.
-	Subscriptions int
+	Subscriptions int `json:"subscriptions"`
+	// DispatchWorkers is the size of the push-mode worker pool, 0 when
+	// the dispatcher is not running.
+	DispatchWorkers int `json:"dispatch_workers"`
 }
 
 // Broker is the application abstraction layer's pub/sub fabric. Delivery
@@ -146,6 +151,11 @@ type Broker struct {
 	// retained keeps the last message per concrete topic so late
 	// subscribers can catch up (MQTT-style retained messages).
 	retained map[string]Message
+	// removedDrops accumulates the drop counts of unsubscribed
+	// subscriptions so Stats stays cumulative.
+	removedDrops int
+	// retainedLimit caps distinct retained topics (0 = unlimited).
+	retainedLimit int
 
 	dispatchMu sync.Mutex
 	dispatch   *dispatcher
@@ -187,7 +197,11 @@ func (b *Broker) register(pattern string, sub subscriber) (int, error) {
 	return e.id, nil
 }
 
-// remove closes and deregisters a subscription by ID.
+// remove closes and deregisters a subscription by ID. The subscription's
+// backpressure losses are folded into the broker's cumulative drop
+// counter so Stats keeps accounting for departed subscribers (the
+// gateway disconnects slow SSE consumers; their drops must not vanish
+// from /stats with them).
 func (b *Broker) remove(id int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -196,6 +210,7 @@ func (b *Broker) remove(id int) {
 		return
 	}
 	e.sub.shut()
+	b.removedDrops += e.sub.Dropped()
 	delete(b.entries, id)
 	b.index.remove(e.pattern, id)
 }
@@ -224,6 +239,29 @@ func (b *Broker) Unsubscribe(sub *Subscription) {
 	b.remove(sub.ID)
 }
 
+// SetRetainedLimit caps how many distinct topics the broker retains.
+// Once the cap is reached, messages on new topics are still delivered
+// but not retained (existing topics keep updating). The middleware's
+// own topic universe is closed and small, but a network-facing broker
+// (the gateway's /publish) must not let remote clients grow the
+// retained map without bound. n <= 0 means unlimited.
+func (b *Broker) SetRetainedLimit(n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.retainedLimit = n
+}
+
+// retain stores a topic's latest message, honoring the retained-topic
+// cap. Caller holds b.mu.
+func (b *Broker) retain(m Message) {
+	if b.retainedLimit > 0 {
+		if _, ok := b.retained[m.Topic]; !ok && len(b.retained) >= b.retainedLimit {
+			return
+		}
+	}
+	b.retained[m.Topic] = m
+}
+
 // Publish fans a message out to every matching subscription, retains it,
 // and returns the number of subscriptions it reached.
 func (b *Broker) Publish(m Message) (int, error) {
@@ -232,7 +270,7 @@ func (b *Broker) Publish(m Message) (int, error) {
 	}
 	b.mu.Lock()
 	b.published++
-	b.retained[m.Topic] = m
+	b.retain(m)
 	matched := b.index.match(m.Topic, nil)
 	b.deliveries += len(matched)
 	b.mu.Unlock()
@@ -262,7 +300,7 @@ func (b *Broker) PublishBatch(msgs []Message) (int, error) {
 	total := 0
 	for i, m := range msgs {
 		b.published++
-		b.retained[m.Topic] = m
+		b.retain(m)
 		matched[i] = b.index.match(m.Topic, nil)
 		total += len(matched[i])
 	}
@@ -278,19 +316,25 @@ func (b *Broker) PublishBatch(msgs []Message) (int, error) {
 }
 
 // Stats returns current broker statistics across every subscription
-// flavor, including at-least-once (ack) subscriptions.
+// flavor, including at-least-once (ack) subscriptions and the
+// accumulated drops of subscriptions that have since been removed.
 func (b *Broker) Stats() BrokerStats {
+	workers := 0
+	if d := b.dispatcher(); d != nil {
+		workers = d.workers
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	drops := 0
+	drops := b.removedDrops
 	for _, e := range b.entries {
 		drops += e.sub.Dropped()
 	}
 	return BrokerStats{
-		Published:     b.published,
-		Deliveries:    b.deliveries,
-		Drops:         drops,
-		Subscriptions: len(b.entries),
+		Published:       b.published,
+		Deliveries:      b.deliveries,
+		Drops:           drops,
+		Subscriptions:   len(b.entries),
+		DispatchWorkers: workers,
 	}
 }
 

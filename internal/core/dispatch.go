@@ -44,6 +44,9 @@ type dispatcher struct {
 	idle    *sync.Cond // broadcast when inFlight returns to zero
 	queue   []*handlerSub
 	stopped bool
+	// workers is the pool size, fixed at construction (exposed in
+	// BrokerStats).
+	workers int
 	// inFlight counts mailboxes that are queued or being drained.
 	inFlight int
 	wg       sync.WaitGroup
@@ -53,7 +56,7 @@ func newDispatcher(workers int) *dispatcher {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	d := &dispatcher{}
+	d := &dispatcher{workers: workers}
 	d.work = sync.NewCond(&d.mu)
 	d.idle = sync.NewCond(&d.mu)
 	d.wg.Add(workers)

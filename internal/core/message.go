@@ -1,23 +1,3 @@
-// Package core implements the paper's primary contribution: the
-// ontology-based semantic middleware, structured exactly as Figure 3's
-// three-tier architecture:
-//
-//   - the application abstraction layer (broker.go): a topic-based
-//     publish/subscribe message fabric with wildcard subscriptions,
-//     bounded subscriber queues and explicit backpressure accounting —
-//     "a high level of software abstraction that allows communication
-//     among the applications and the semantic middleware";
-//
-//   - the ontology segment layer (segment.go): the unified ontology with
-//     its reasoner, the SPARQL query engine, the semantic annotator, the
-//     CEP inference engine (sharded per district) and the semantic
-//     service description registry;
-//
-//   - the interface protocol layer (protocol.go): the adapter that
-//     "liaise[s] with the storage database in the cloud for downloading
-//     the semi-processed sensory reading".
-//
-// middleware.go wires the three tiers into one facade.
 package core
 
 import (

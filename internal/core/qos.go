@@ -124,6 +124,13 @@ func (s *AckSubscription) Acked() int {
 	return s.acked
 }
 
+// Capacity returns the mailbox bound (queued + in-flight).
+func (s *AckSubscription) Capacity() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.capacity
+}
+
 // Dropped returns messages refused due to backpressure.
 func (s *AckSubscription) Dropped() int {
 	s.mu.Lock()

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestStatsDropsSurviveUnsubscribe: removing a subscription must not
+// erase its backpressure losses from the broker totals — /stats readers
+// (the gateway) rely on Drops being cumulative.
+func TestStatsDropsSurviveUnsubscribe(t *testing.T) {
+	b := NewBroker()
+	sub, err := b.Subscribe("obs/#", 1, DropNewest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Publish(Message{Topic: "obs/x", Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Stats().Drops; got != 2 {
+		t.Fatalf("drops before unsubscribe = %d, want 2", got)
+	}
+	b.Unsubscribe(sub)
+	st := b.Stats()
+	if st.Drops != 2 {
+		t.Errorf("drops after unsubscribe = %d, want 2 (cumulative)", st.Drops)
+	}
+	if st.Subscriptions != 0 {
+		t.Errorf("subscriptions = %d, want 0", st.Subscriptions)
+	}
+}
+
+// TestStatsDropsSurviveAckUnsubscribe: same cumulative guarantee for the
+// at-least-once tier.
+func TestStatsDropsSurviveAckUnsubscribe(t *testing.T) {
+	b := NewBroker()
+	sub, err := b.SubscribeAck("alert/#", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := b.Publish(Message{Topic: "alert/x", Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sub.Dropped() != 3 {
+		t.Fatalf("sub dropped = %d, want 3", sub.Dropped())
+	}
+	b.UnsubscribeAck(sub)
+	if got := b.Stats().Drops; got != 3 {
+		t.Errorf("broker drops after ack unsubscribe = %d, want 3", got)
+	}
+}
+
+// TestStatsDispatchWorkers: the stats snapshot reports the push-mode
+// pool size while running and 0 once stopped.
+func TestStatsDispatchWorkers(t *testing.T) {
+	b := NewBroker()
+	if got := b.Stats().DispatchWorkers; got != 0 {
+		t.Fatalf("workers before start = %d", got)
+	}
+	b.StartDispatch(3)
+	if got := b.Stats().DispatchWorkers; got != 3 {
+		t.Errorf("workers while running = %d, want 3", got)
+	}
+	b.StopDispatch()
+	if got := b.Stats().DispatchWorkers; got != 0 {
+		t.Errorf("workers after stop = %d, want 0", got)
+	}
+}
+
+// TestAckRedeliverAfterUnsubscribe: UnsubscribeAck promises that queued
+// and in-flight deliveries stay fetchable so a consumer can finish
+// outstanding work. Redeliver after close must return in-flight work to
+// the queue, in sequence order, and Ack must still function.
+func TestAckRedeliverAfterUnsubscribe(t *testing.T) {
+	b := NewBroker()
+	sub, err := b.SubscribeAck("job/#", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Publish(Message{Topic: "job/x", Payload: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := sub.Fetch(0)
+	if len(ds) != 3 {
+		t.Fatalf("fetched %d, want 3", len(ds))
+	}
+	b.UnsubscribeAck(sub)
+
+	// The mailbox is closed: new publishes must not land.
+	if _, err := b.Publish(Message{Topic: "job/x", Payload: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if q, inflight := sub.Pending(); q != 0 || inflight != 3 {
+		t.Fatalf("pending after close = %d/%d, want 0/3", q, inflight)
+	}
+
+	// Ack one in-flight delivery, return the rest.
+	if err := sub.Ack(ds[0].Seq); err != nil {
+		t.Fatalf("ack after close: %v", err)
+	}
+	if n := sub.Redeliver(); n != 2 {
+		t.Fatalf("redelivered %d, want 2", n)
+	}
+	again := sub.Fetch(0)
+	if len(again) != 2 {
+		t.Fatalf("refetched %d, want 2", len(again))
+	}
+	if again[0].Seq != ds[1].Seq || again[1].Seq != ds[2].Seq {
+		t.Errorf("redelivery order broken: %v", again)
+	}
+	for _, d := range again {
+		if err := sub.Ack(d.Seq); err != nil {
+			t.Errorf("ack %d after redeliver: %v", d.Seq, err)
+		}
+	}
+	if sub.Acked() != 3 {
+		t.Errorf("acked = %d, want 3", sub.Acked())
+	}
+}
+
+// TestRetainedLimit: beyond the cap, new topics deliver but are not
+// retained; already-retained topics keep updating.
+func TestRetainedLimit(t *testing.T) {
+	b := NewBroker()
+	b.SetRetainedLimit(2)
+	sub, err := b.Subscribe("t/#", 10, DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topic := range []string{"t/a", "t/b", "t/c"} {
+		if _, err := b.Publish(Message{Topic: topic, Payload: topic}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delivery is unaffected by the cap.
+	if got := len(sub.Poll(0)); got != 3 {
+		t.Fatalf("delivered %d, want 3", got)
+	}
+	if _, ok := b.Retained("t/c"); ok {
+		t.Error("t/c retained beyond the limit")
+	}
+	// Existing topics still update.
+	if _, err := b.Publish(Message{Topic: "t/a", Payload: "new"}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := b.Retained("t/a")
+	if !ok || m.Payload != "new" {
+		t.Errorf("t/a retained = %v %v", m.Payload, ok)
+	}
+	// Batch path honors the cap too.
+	if _, err := b.PublishBatch([]Message{{Topic: "t/d", Payload: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Retained("t/d"); ok {
+		t.Error("t/d retained beyond the limit via batch")
+	}
+}
+
+// TestAckRedeliverAfterCloseEmpty: redeliver on a closed, fully drained
+// subscription is a harmless no-op.
+func TestAckRedeliverAfterCloseEmpty(t *testing.T) {
+	b := NewBroker()
+	sub, err := b.SubscribeAck("job/#", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.UnsubscribeAck(sub)
+	if n := sub.Redeliver(); n != 0 {
+		t.Errorf("redeliver on empty closed sub = %d, want 0", n)
+	}
+	if ds := sub.Fetch(0); len(ds) != 0 {
+		t.Errorf("fetch on empty closed sub = %v", ds)
+	}
+}

@@ -2,13 +2,16 @@ package dews
 
 import (
 	"fmt"
+	"net/http"
 	"strings"
+	"sync"
 
 	"repro/internal/cep"
 	"repro/internal/climate"
 	"repro/internal/core"
 	"repro/internal/dissemination"
 	"repro/internal/forecast"
+	"repro/internal/gateway"
 	"repro/internal/ik"
 	"repro/internal/ontology/drought"
 	"repro/internal/ontology/ssn"
@@ -74,6 +77,9 @@ type Config struct {
 	// FetchParallelism bounds concurrent per-source downloads in the
 	// protocol layer (0 keeps the layer's default; 1 forces serial).
 	FetchParallelism int
+	// GatewayBuffer is the default per-client SSE queue capacity of the
+	// subscription gateway (0 keeps the gateway's default).
+	GatewayBuffer int
 }
 
 func (c *Config) applyDefaults() {
@@ -190,6 +196,21 @@ type System struct {
 	web        *dissemination.SemanticWeb
 	dviMap     *forecast.VulnerabilityMap
 	districts  []*districtState
+
+	// totalsMu guards the running ingest totals, which the gateway's
+	// /stats endpoint reads while Run is (or was) accumulating them.
+	totalsMu sync.Mutex
+	totals   IngestTotals
+}
+
+// IngestTotals is the running pipeline accounting surfaced by the
+// gateway's /stats endpoint (Result carries the same numbers once Run
+// returns).
+type IngestTotals struct {
+	Fetched    int `json:"fetched"`
+	Annotated  int `json:"annotated"`
+	Failed     int `json:"failed"`
+	Inferences int `json:"inferences"`
 }
 
 // NewSystem builds the full stack.
@@ -224,6 +245,13 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.FetchParallelism > 0 {
 		mw.Protocol().SetParallelism(cfg.FetchParallelism)
 	}
+	// The simulation's own topic universe is small and closed (per
+	// district: observations, IK indicators, events, one bulletin), but
+	// -serve exposes /publish to the network; cap retained-topic
+	// cardinality so remote publishers cannot grow broker memory
+	// without bound. Together with the gateway's per-envelope payload
+	// cap this bounds worst-case retained bytes.
+	mw.Broker().SetRetainedLimit(8192)
 
 	s := &System{
 		cfg:        cfg,
@@ -290,6 +318,49 @@ func (s *System) Billboard() *dissemination.SmartBillboard { return s.billboard 
 
 // DVIMap exposes the spatial drought-vulnerability-index distribution.
 func (s *System) DVIMap() *forecast.VulnerabilityMap { return s.dviMap }
+
+// IngestTotals returns the running pipeline accounting.
+func (s *System) IngestTotals() IngestTotals {
+	s.totalsMu.Lock()
+	defer s.totalsMu.Unlock()
+	return s.totals
+}
+
+// NewGateway builds the HTTP/SSE subscription gateway over the system's
+// broker, with the DEWS ingest and dissemination totals wired into its
+// /stats endpoint.
+func (s *System) NewGateway() (*gateway.Gateway, error) {
+	return gateway.New(gateway.Config{
+		Broker:        s.middleware.Broker(),
+		DefaultBuffer: s.cfg.GatewayBuffer,
+		Extra: func() map[string]any {
+			return map[string]any{
+				"ingest":          s.IngestTotals(),
+				"ik_out_of_order": s.middleware.IKOutOfOrder(),
+				"dissemination":   s.hub.Stats(),
+			}
+		},
+	})
+}
+
+// ServeMux mounts the gateway at the root alongside the semantic-web
+// channel: gateway endpoints (/subscribe, /publish, /v1/queue, /stats,
+// /healthz) plus the RDF channel under /semweb/ and at its legacy paths
+// (/bulletins, /sparql, /health). The returned Gateway should be shut
+// down when the server stops so SSE clients get a clean goodbye.
+func (s *System) ServeMux() (*http.ServeMux, *gateway.Gateway, error) {
+	gw, err := s.NewGateway()
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", gw)
+	mux.Handle("/semweb/", http.StripPrefix("/semweb", s.web))
+	mux.Handle("/bulletins", s.web)
+	mux.Handle("/sparql", s.web)
+	mux.Handle("/health", s.web)
+	return mux, gw, nil
+}
 
 // Run executes the full simulation and verification.
 func (s *System) Run() (*Result, error) {
@@ -428,6 +499,12 @@ func (s *System) Run() (*Result, error) {
 		result.Annotated += rep.Annotated
 		result.Failed += rep.Failed
 		result.Inferences += rep.Inferences
+		s.totalsMu.Lock()
+		s.totals.Fetched += rep.Fetched
+		s.totals.Annotated += rep.Annotated
+		s.totals.Failed += rep.Failed
+		s.totals.Inferences += rep.Inferences
+		s.totalsMu.Unlock()
 		if err != nil {
 			return nil, err
 		}
@@ -495,10 +572,23 @@ func (s *System) Run() (*Result, error) {
 				})
 			}
 
-			// Fused bulletin dissemination (weekly cadence).
+			// Fused bulletin dissemination (weekly cadence). Bulletins
+			// also go out on the broker's bulletin topic, so gateway
+			// subscribers (SSE dashboards, ack-queue SMS bridges) see the
+			// same product as the in-process channels — and late
+			// subscribers replay the latest bulletin per district from
+			// the retained store.
 			if dayIdx%7 == 0 {
 				b := forecast.MakeBulletin(d.name, f, forecasters[4], cfg.LeadDays)
 				if err := s.hub.Publish(b); err != nil {
+					return nil, err
+				}
+				if _, err := s.middleware.Broker().Publish(core.Message{
+					Topic:   core.TopicBulletin(d.name),
+					Time:    b.Issued,
+					Payload: b,
+					Headers: map[string]string{"band": b.Band.String()},
+				}); err != nil {
 					return nil, err
 				}
 				if err := s.dviMap.Update(b); err != nil {

@@ -1,10 +1,3 @@
-// Package dissemination implements the paper's output channels: "the
-// information in form of drought vulnerability index is disseminated to
-// the targeted end-user via various output IoT channels such as the
-// smart screen [billboards], semantic web and mobile apps", plus the IP
-// radio the motivation section calls for. A Hub fans bulletins out to
-// every registered channel with per-channel severity filtering and
-// delivery accounting.
 package dissemination
 
 import (

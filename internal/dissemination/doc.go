@@ -1,0 +1,14 @@
+// Package dissemination implements the paper's output channels: "the
+// information in form of drought vulnerability index is disseminated to
+// the targeted end-user via various output IoT channels such as the
+// smart screen [billboards], semantic web and mobile apps", plus the IP
+// radio the motivation section calls for. A Hub fans bulletins out to
+// every registered channel with per-channel severity filtering and
+// delivery accounting.
+//
+// The SemanticWeb channel doubles as an http.Handler serving the
+// bulletin graph as Turtle and answering SPARQL; cmd/dews -serve mounts
+// it next to the streaming subscription gateway (internal/gateway),
+// which serves the same bulletins as SSE streams and ack queues for
+// remote consumers such as the SMS bridge.
+package dissemination

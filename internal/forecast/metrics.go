@@ -1,12 +1,3 @@
-// Package forecast implements the drought forecasters the evaluation
-// compares — climatology and persistence baselines, a statistical
-// sensor-only model ("most drought predicting/forecasting system is based
-// on statistical model using data from weather stations and WSNs data
-// only", §3 of the paper), an IK-only forecaster, and the paper's
-// contribution: the fused forecaster that combines semantically
-// integrated sensor data, CEP inferences and indigenous knowledge — plus
-// the verification metrics (POD, FAR, CSI, HSS, Brier) and the drought
-// vulnerability index (DVI) bulletins the output channels disseminate.
 package forecast
 
 import (

@@ -1,0 +1,165 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// handleSubscribe streams matching messages to the client as
+// Server-Sent Events. The stream is backed by a bounded broker
+// subscription, so retained replay, wildcard matching and QoS drop
+// accounting are exactly the in-process semantics. A client whose
+// subscription drops more than the configured limit is disconnected
+// with a terminal "goodbye" event (slow-consumer eviction).
+//
+//	GET /subscribe?pattern=obs/%2B/Rainfall&buffer=64&policy=oldest
+//
+// Events:
+//
+//	event: message   data: Envelope JSON        (one per delivery)
+//	event: goodbye   data: {"reason", "dropped"} (terminal)
+//	: keep-alive                                 (comment heartbeat)
+func (g *Gateway) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	pattern := r.URL.Query().Get("pattern")
+	if pattern == "" {
+		httpError(w, http.StatusBadRequest, "missing ?pattern=")
+		return
+	}
+	buffer, err := queryInt(r, "buffer", g.cfg.DefaultBuffer)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	if buffer > g.cfg.MaxBuffer {
+		buffer = g.cfg.MaxBuffer
+	}
+	policy := core.DropOldest
+	switch r.URL.Query().Get("policy") {
+	case "", "oldest":
+	case "newest":
+		policy = core.DropNewest
+	default:
+		httpError(w, http.StatusBadRequest, "bad policy (want oldest|newest)")
+		return
+	}
+	dropLimit := g.cfg.DropLimit
+	if dropLimit <= 0 {
+		dropLimit = buffer
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	if !g.addStream() {
+		httpError(w, http.StatusServiceUnavailable, "gateway is shutting down")
+		return
+	}
+	defer g.wg.Done()
+
+	sub, err := g.cfg.Broker.Subscribe(pattern, buffer, policy)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer g.cfg.Broker.Unsubscribe(sub)
+	// Retained replay happens inside Subscribe; a catalogue larger than
+	// the client's buffer overflows it before the client had any chance
+	// to read. Those drops are the replay's, not the consumer's — only
+	// drops beyond this baseline count toward eviction.
+	replayDropped := sub.Dropped()
+
+	// Per-write deadlines: a transport-stalled client (dead laptop, NAT
+	// half-open) must fail its write and unwind the pump rather than
+	// block it forever — a global server WriteTimeout can't be used on
+	// an endless stream. SetWriteDeadline errors (unsupported writer)
+	// are ignored; writes then simply have no deadline, as before.
+	rc := http.NewResponseController(w)
+	deadline := func() { _ = rc.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout)) }
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	deadline()
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	g.sseStreams.Add(1)
+	g.sseActive.Add(1)
+	defer g.sseActive.Add(-1)
+
+	flush := time.NewTicker(g.cfg.FlushInterval)
+	defer flush.Stop()
+	keepAlive := time.NewTicker(g.cfg.KeepAlive)
+	defer keepAlive.Stop()
+
+	eventID := 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-g.ctx.Done():
+			deadline()
+			g.writeGoodbye(w, fl, &eventID, "shutdown", sub.Dropped())
+			return
+		case <-keepAlive.C:
+			deadline()
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-flush.C:
+			// Evict before draining: a consumer that has already lost
+			// dropLimit messages is not keeping up, and the backlog we
+			// would write next is exactly what it failed to absorb.
+			// The goodbye reports live-stream losses only, consistent
+			// with the threshold.
+			if dropped := sub.Dropped() - replayDropped; dropped >= dropLimit {
+				g.slowDisconnects.Add(1)
+				deadline()
+				g.writeGoodbye(w, fl, &eventID, "slow-consumer", dropped)
+				return
+			}
+			msgs := sub.Poll(0)
+			if len(msgs) == 0 {
+				continue
+			}
+			deadline()
+			for _, m := range msgs {
+				if err := writeEvent(w, &eventID, "message", envelopeOf(m)); err != nil {
+					return
+				}
+			}
+			g.sseEvents.Add(int64(len(msgs)))
+			fl.Flush()
+		}
+	}
+}
+
+// writeGoodbye emits the terminal event; errors are moot, the stream is
+// ending either way.
+func (g *Gateway) writeGoodbye(w http.ResponseWriter, fl http.Flusher, eventID *int, reason string, dropped int) {
+	_ = writeEvent(w, eventID, "goodbye", map[string]any{
+		"reason":  reason,
+		"dropped": dropped,
+	})
+	fl.Flush()
+}
+
+// writeEvent writes one SSE frame with an incrementing id.
+func writeEvent(w http.ResponseWriter, eventID *int, event string, data any) error {
+	body, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	*eventID++
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", *eventID, event, body)
+	return err
+}

@@ -1,0 +1,15 @@
+// Package ik implements the indigenous-knowledge substrate of the
+// middleware: the indicator catalogue (sifennefene worms, mutiga tree
+// phenology and the other signs the paper's citations document),
+// informant reports with per-informant reliability tracking,
+// questionnaire ingestion (the paper gathers IK "through the use of
+// questionnaire, workshop and interactive sessions"), a synthetic
+// report generator conditioned on the simulated climate, and
+// compilation of indicators into CEP rules — the "set of rules derived
+// from IK of the local people on drought".
+//
+// PairedEventsFromReports is the bridge into the middleware's batched
+// ingest: it time-sorts report-derived CEP events while keeping each
+// report attached to its own event, so payload publication and graph
+// materialization stay aligned after the sort.
+package ik

@@ -1,12 +1,3 @@
-// Package ik implements the indigenous-knowledge substrate of the
-// middleware: the indicator catalogue (sifennefene worms, mutiga tree
-// phenology and the other signs the paper's citations document), informant
-// reports with per-informant reliability tracking, questionnaire
-// ingestion (the paper gathers IK "through the use of questionnaire,
-// workshop and interactive sessions"), a synthetic report generator
-// conditioned on the simulated climate, and compilation of indicators
-// into CEP rules — the "set of rules derived from IK of the local people
-// on drought".
 package ik
 
 import (

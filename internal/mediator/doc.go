@@ -1,0 +1,9 @@
+// Package mediator implements the middleware's heterogeneity-elimination
+// stage (§4 of the paper): it resolves vendor-specific property names
+// against the unified ontology (naming heterogeneity), converts vendor
+// units to the canonical units the ontology prescribes (cognitive
+// heterogeneity), and annotates raw readings into SSN observation
+// records ready for the ontology segment layer. The middleware's ingest
+// pipeline mediates each fetched batch in one AnnotateBatch call, so
+// per-reading failures are counted without aborting the batch.
+package mediator

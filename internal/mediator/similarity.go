@@ -1,9 +1,3 @@
-// Package mediator implements the middleware's heterogeneity-elimination
-// stage (§4 of the paper): it resolves vendor-specific property names
-// against the unified ontology (naming heterogeneity), converts vendor
-// units to the canonical units the ontology prescribes (cognitive
-// heterogeneity), and annotates raw readings into SSN observation records
-// ready for the ontology segment layer.
 package mediator
 
 import (
