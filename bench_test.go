@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dews"
 	"repro/internal/dissemination"
+	"repro/internal/eventlog"
 	"repro/internal/forecast"
 	"repro/internal/ik"
 	"repro/internal/mediator"
@@ -693,3 +694,40 @@ func BenchmarkIngestParallel(b *testing.B) {
 	}
 	b.ReportMetric(float64(perSource*len(districts)), "readings/op")
 }
+
+// --- EXP-S2: durable broker (write-through event log) ---
+
+// benchBrokerPublishDurable is benchBrokerPublishSubs with an event log
+// attached: every publish additionally frames, CRCs and buffer-writes
+// the message (fsync is batched in the background), which is the cost
+// of crash-recoverable delivery and SSE resume.
+func benchBrokerPublishDurable(b *testing.B, nSubs int) {
+	l, err := eventlog.Open(eventlog.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	broker := core.NewBroker()
+	if _, err := broker.AttachLog(l); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nSubs; i++ {
+		if _, err := broker.Subscribe(fmt.Sprintf("obs/district%d/Rainfall", i), 16, core.DropOldest); err != nil {
+			b.Fatal(err)
+		}
+	}
+	msg := core.Message{Topic: "obs/district0/Rainfall", Payload: 1.0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := broker.Publish(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != 1 {
+			b.Fatalf("matched %d subscriptions, want 1", n)
+		}
+	}
+}
+
+func BenchmarkBrokerPublishDurableSubs10(b *testing.B)   { benchBrokerPublishDurable(b, 10) }
+func BenchmarkBrokerPublishDurableSubs1000(b *testing.B) { benchBrokerPublishDurable(b, 1000) }

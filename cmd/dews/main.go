@@ -11,6 +11,12 @@
 //
 //	dews [-seed N] [-years N] [-train N] [-lead N] [-districts a,b,c]
 //	     [-nodes N] [-fetch-parallel N] [-gateway-buffer N] [-serve :8080]
+//	     [-log-dir DIR] [-log-segment-bytes N] [-log-retain 720h]
+//
+// With -log-dir the broker writes every published message through a
+// durable segmented event log: restarts recover retained topics and the
+// offset sequence, and SSE subscribers resume by offset (Last-Event-ID
+// or ?from=).
 package main
 
 import (
@@ -45,6 +51,9 @@ func run(args []string) error {
 		nodes     = fs.Int("nodes", 4, "sensor nodes per district")
 		fetchPar  = fs.Int("fetch-parallel", 0, "concurrent cloud-source downloads per ingest (0 = layer default, 1 = serial)")
 		gwBuffer  = fs.Int("gateway-buffer", 0, "default per-client SSE buffer of the subscription gateway (0 = gateway default)")
+		logDir    = fs.String("log-dir", "", "durable event log directory (empty = in-memory broker only)")
+		logSeg    = fs.Int64("log-segment-bytes", 0, "event log segment rotation size in bytes (0 = default 8MiB)")
+		logRetain = fs.Duration("log-retain", 0, "drop sealed log segments older than this (0 = keep forever)")
 		serve     = fs.String("serve", "", "serve the subscription gateway and semantic-web channel on this address after the run")
 		ablation  = fs.Bool("ablation", false, "run the fusion ablation study instead of the standard table")
 	)
@@ -60,6 +69,9 @@ func run(args []string) error {
 		NodesPerDistrict: *nodes,
 		FetchParallelism: *fetchPar,
 		GatewayBuffer:    *gwBuffer,
+		LogDir:           *logDir,
+		LogSegmentBytes:  *logSeg,
+		LogRetain:        *logRetain,
 	}
 	if *districts != "" {
 		cfg.Districts = strings.Split(*districts, ",")
@@ -80,8 +92,13 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer system.Close()
 	fmt.Printf("DEWS simulation: seed=%d years=%d train=%d lead=%dd districts=%v\n",
 		*seed, *years, *train, *lead, cfg.Districts)
+	if *logDir != "" {
+		fmt.Printf("event log: %s (recovered %d records from previous runs)\n",
+			*logDir, system.Recovered())
+	}
 	result, err := system.Run()
 	if err != nil {
 		return err

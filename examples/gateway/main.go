@@ -1,10 +1,12 @@
 // Gateway: the streaming subscription gateway over the middleware
 // broker.
 //
-// Runs a short DEWS simulation, serves the gateway on a loopback port,
-// and then acts as its own remote client: replays retained bulletins
-// over SSE, publishes an external envelope, and drains an
-// at-least-once ack queue — the flows API.md documents with curl.
+// Runs a short DEWS simulation over a durable event log, serves the
+// gateway on a loopback port, and then acts as its own remote client:
+// replays retained bulletins over SSE, publishes an external envelope,
+// drops the stream and resumes it with Last-Event-ID (the missed event
+// arrives exactly once from the log), and drains an at-least-once ack
+// queue — the flows API.md documents with curl.
 //
 // Run: go run ./examples/gateway
 package main
@@ -19,6 +21,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"os"
 	"strings"
 	"time"
 
@@ -26,16 +29,26 @@ import (
 )
 
 func main() {
+	logDir, err := os.MkdirTemp("", "dews-eventlog-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(logDir)
+
 	// A short two-district run so there are retained bulletins to serve.
+	// The broker writes through to a segmented event log, so every
+	// envelope below also gets a durable, resumable offset.
 	system, err := dews.NewSystem(dews.Config{
 		Seed:       2015,
 		Years:      2,
 		TrainYears: 1,
 		Districts:  []string{"mangaung", "xhariep"},
+		LogDir:     logDir,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer system.Close()
 	result, err := system.Run()
 	if err != nil {
 		log.Fatal(err)
@@ -78,9 +91,32 @@ func main() {
 	pub.Body.Close()
 	fmt.Printf("\n— POST /publish → %s —\n%s", pub.Status, body)
 	fmt.Println("— SSE live delivery —")
-	printEvents(events, 1)
+	lastID := printEvents(events, 1)
 
-	// 3. At-least-once consumption: create an ack queue, fetch, ack.
+	// 3. Resume: drop the stream, publish while disconnected, reconnect
+	// with Last-Event-ID — the gap comes back from the event log,
+	// exactly once.
+	resp.Body.Close()
+	pub2, err := http.Post(base+"/publish", "application/json", strings.NewReader(
+		`{"topic": "bulletin/demo", "payload": {"district": "demo", "probability": 0.77}}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pub2.Body.Close()
+	req, err := http.NewRequest("GET", base+"/subscribe?pattern="+url.QueryEscape("bulletin/#"), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", lastID)
+	resumed, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resumed.Body.Close()
+	fmt.Printf("\n— SSE resume after disconnect (Last-Event-ID: %s) —\n", lastID)
+	printEvents(bufio.NewScanner(resumed.Body), 1)
+
+	// 4. At-least-once consumption: create an ack queue, fetch, ack.
 	q := postJSON(base + "/v1/queue?pattern=" + url.QueryEscape("bulletin/#"))
 	qid := q["queue"].(string)
 	fetched := getJSON(base + "/v1/queue/" + qid + "/fetch")
@@ -95,7 +131,8 @@ func main() {
 	after := getJSON(base + "/v1/queue/" + qid)
 	fmt.Printf("  acked=%v queued=%v inflight=%v\n", after["acked"], after["queued"], after["inflight"])
 
-	// 4. Operator view.
+	// 5. Operator view (includes the eventlog section: segments, bytes,
+	// offsets, fsync latency).
 	stats := getJSON(base + "/stats")
 	pretty, _ := json.MarshalIndent(stats, "", "  ")
 	fmt.Printf("\n— GET /stats —\n%s\n", pretty)
@@ -112,23 +149,31 @@ func main() {
 	fmt.Println("\ngateway shut down cleanly")
 }
 
-// printEvents copies n SSE "message" events to stdout, topic only.
-func printEvents(sc *bufio.Scanner, n int) {
+// printEvents copies n SSE "message" events to stdout (offset + topic)
+// and returns the last id: seen — the resume cursor.
+func printEvents(sc *bufio.Scanner, n int) string {
 	seen := 0
+	lastID := ""
 	for seen < n && sc.Scan() {
 		line := sc.Text()
+		if id, ok := strings.CutPrefix(line, "id: "); ok {
+			lastID = id
+			continue
+		}
 		if !strings.HasPrefix(line, "data: ") {
 			continue
 		}
 		var env struct {
-			Topic string `json:"topic"`
+			Offset uint64 `json:"offset"`
+			Topic  string `json:"topic"`
 		}
 		if err := json.Unmarshal([]byte(line[len("data: "):]), &env); err != nil {
 			continue
 		}
 		seen++
-		fmt.Printf("  event %d  topic %s\n", seen, env.Topic)
+		fmt.Printf("  event %d  offset %d  topic %s\n", seen, env.Offset, env.Topic)
 	}
+	return lastID
 }
 
 func getJSON(u string) map[string]any {

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/eventlog"
 )
 
 // DropPolicy says what a full subscriber queue does with a new message.
@@ -148,6 +151,13 @@ type Broker struct {
 	nextID     int
 	published  int
 	deliveries int
+	// nextOffset is the sequence number the next publish receives. It is
+	// monotonic within a process; with a log attached it continues the
+	// durable sequence across restarts (AttachLog advances it).
+	nextOffset uint64
+	// log, when set, receives a durable copy of every published message
+	// before fan-out (write-through).
+	log *eventlog.Log
 	// retained keeps the last message per concrete topic so late
 	// subscribers can catch up (MQTT-style retained messages).
 	retained map[string]Message
@@ -164,9 +174,10 @@ type Broker struct {
 // NewBroker returns an empty broker.
 func NewBroker() *Broker {
 	return &Broker{
-		index:    newTopicTree(),
-		entries:  make(map[int]*subEntry),
-		retained: make(map[string]Message),
+		index:      newTopicTree(),
+		entries:    make(map[int]*subEntry),
+		retained:   make(map[string]Message),
+		nextOffset: 1,
 	}
 }
 
@@ -263,12 +274,19 @@ func (b *Broker) retain(m Message) {
 }
 
 // Publish fans a message out to every matching subscription, retains it,
-// and returns the number of subscriptions it reached.
+// and returns the number of subscriptions it reached. The message is
+// stamped with the next offset and, when a log is attached, written
+// through to it first — a message that cannot be made durable is not
+// delivered.
 func (b *Broker) Publish(m Message) (int, error) {
 	if err := m.Validate(); err != nil {
 		return 0, err
 	}
 	b.mu.Lock()
+	if err := b.stamp(&m); err != nil {
+		b.mu.Unlock()
+		return 0, err
+	}
 	b.published++
 	b.retain(m)
 	matched := b.index.match(m.Topic, nil)
@@ -279,6 +297,23 @@ func (b *Broker) Publish(m Message) (int, error) {
 		e.sub.offer(m)
 	}
 	return len(matched), nil
+}
+
+// stamp assigns the next offset and writes the message through to the
+// log when one is attached. Caller holds b.mu.
+func (b *Broker) stamp(m *Message) error {
+	m.Offset = b.nextOffset
+	if b.log != nil {
+		off, err := b.log.Append(recordOf(*m))
+		if err != nil {
+			return err
+		}
+		if off != m.Offset {
+			return fmt.Errorf("core: log assigned offset %d, broker expected %d", off, m.Offset)
+		}
+	}
+	b.nextOffset++
+	return nil
 }
 
 // PublishBatch publishes a batch of messages under a single index-lock
@@ -298,10 +333,18 @@ func (b *Broker) PublishBatch(msgs []Message) (int, error) {
 	matched := make([][]*subEntry, len(msgs))
 	b.mu.Lock()
 	total := 0
-	for i, m := range msgs {
+	for i := range msgs {
+		// A write-through failure mid-batch aborts the batch: earlier
+		// messages are already durable and retained (a restart replays
+		// them) but nothing is fanned out — under a failing disk,
+		// losing deliveries beats delivering what was never logged.
+		if err := b.stamp(&msgs[i]); err != nil {
+			b.mu.Unlock()
+			return 0, err
+		}
 		b.published++
-		b.retain(m)
-		matched[i] = b.index.match(m.Topic, nil)
+		b.retain(msgs[i])
+		matched[i] = b.index.match(msgs[i].Topic, nil)
 		total += len(matched[i])
 	}
 	b.deliveries += total

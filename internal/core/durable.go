@@ -1,0 +1,136 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/eventlog"
+)
+
+// ErrNoLog is returned by replay APIs when the broker has no event log
+// attached.
+var ErrNoLog = errors.New("core: broker has no event log")
+
+// AttachLog makes the broker durable: every subsequent publish is
+// written through to l before fan-out, and the broker's state is first
+// recovered from the log — the retained map is rebuilt from history (the
+// last record per topic wins, exactly the in-memory retention rule) and
+// the offset sequence continues where the log ends. Attach before any
+// traffic, typically right after NewBroker over a directory that may
+// hold a previous run's log; the number of replayed records is returned.
+func (b *Broker) AttachLog(l *eventlog.Log) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.log != nil {
+		return 0, errors.New("core: broker already has an event log")
+	}
+	// A broker that already published in-memory has offsets the log never
+	// saw; attaching now would collide the two sequences (the next stamp
+	// would disagree with the log's append offset and every publish would
+	// fail while still writing orphan records). Refuse instead.
+	if b.nextOffset != 1 {
+		return 0, errors.New("core: AttachLog requires a fresh broker (attach before any publish)")
+	}
+	replayed := 0
+	next, err := l.Scan(0, func(rec eventlog.Record) error {
+		b.retain(messageOf(rec))
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return replayed, err
+	}
+	b.log = l
+	b.nextOffset = next
+	return replayed, nil
+}
+
+// Log returns the attached event log, nil when the broker is in-memory
+// only.
+func (b *Broker) Log() *eventlog.Log {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.log
+}
+
+// NextOffset returns the offset the next publish will receive.
+func (b *Broker) NextOffset() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nextOffset
+}
+
+// ReplayFrom streams every logged message with offset >= from whose
+// topic matches pattern to fn, in offset order, up to the log's end at
+// call time; it returns the next offset to replay from (pass it back in
+// to continue after new publishes). History older than the retention
+// horizon is gone — callers start at the oldest surviving record. fn
+// errors abort the replay. Requires an attached log.
+func (b *Broker) ReplayFrom(from uint64, pattern string, fn func(Message) error) (uint64, error) {
+	if err := ValidatePattern(pattern); err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	l := b.log
+	b.mu.Unlock()
+	if l == nil {
+		return 0, ErrNoLog
+	}
+	return l.Scan(from, func(rec eventlog.Record) error {
+		if !TopicMatch(pattern, rec.Topic) {
+			return nil
+		}
+		return fn(messageOf(rec))
+	})
+}
+
+// SubscribeLive is Subscribe without the retained-topic replay: the
+// subscription sees only messages published after the call. Resuming
+// consumers (the gateway's Last-Event-ID path) use it so history comes
+// solely from ReplayFrom, in offset order, without retained duplicates.
+func (b *Broker) SubscribeLive(pattern string, capacity int, policy DropPolicy) (*Subscription, error) {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	if err := ValidatePattern(pattern); err != nil {
+		return nil, err
+	}
+	sub := &Subscription{Pattern: pattern, cap: capacity, policy: policy}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	e := &subEntry{id: b.nextID, pattern: pattern, sub: sub}
+	b.entries[e.id] = e
+	b.index.insert(pattern, e)
+	sub.ID = e.id
+	return sub, nil
+}
+
+// recordOf converts a message to its durable form. Payloads that do not
+// marshal (channels, funcs — nothing the system publishes) degrade to
+// their string rendering, mirroring the gateway's wire conversion.
+func recordOf(m Message) eventlog.Record {
+	payload, err := json.Marshal(m.Payload)
+	if err != nil {
+		payload, _ = json.Marshal(fmt.Sprint(m.Payload))
+	}
+	return eventlog.Record{Topic: m.Topic, Time: m.Time, Payload: payload, Headers: m.Headers}
+}
+
+// messageOf converts a durable record back to a message. Payloads decode
+// to generic JSON values (maps, slices, numbers) — replayed history
+// interoperates structurally, not by Go type, exactly like messages
+// published through the gateway.
+func messageOf(rec eventlog.Record) Message {
+	m := Message{Offset: rec.Offset, Topic: rec.Topic, Time: rec.Time, Headers: rec.Headers}
+	if len(rec.Payload) > 0 {
+		var v any
+		if err := json.Unmarshal(rec.Payload, &v); err == nil {
+			m.Payload = v
+		} else {
+			m.Payload = string(rec.Payload)
+		}
+	}
+	return m
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/eventlog"
+)
+
+func openLogT(t *testing.T, dir string) *eventlog.Log {
+	t.Helper()
+	l, err := eventlog.Open(eventlog.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("eventlog.Open: %v", err)
+	}
+	return l
+}
+
+func durableBroker(t *testing.T, dir string) (*Broker, *eventlog.Log, int) {
+	t.Helper()
+	l := openLogT(t, dir)
+	b := NewBroker()
+	n, err := b.AttachLog(l)
+	if err != nil {
+		t.Fatalf("AttachLog: %v", err)
+	}
+	return b, l, n
+}
+
+func publishSeq(t *testing.T, b *Broker, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		_, err := b.Publish(Message{
+			Topic:   fmt.Sprintf("obs/d%d/Rainfall", i%4),
+			Time:    time.Date(2015, 3, 1, 0, 0, i, 0, time.UTC),
+			Payload: map[string]any{"value": float64(i)},
+		})
+		if err != nil {
+			t.Fatalf("Publish %d: %v", i, err)
+		}
+	}
+}
+
+func TestPublishAssignsMonotonicOffsets(t *testing.T) {
+	b := NewBroker()
+	sub, err := b.Subscribe("obs/#", 64, DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishSeq(t, b, 5)
+	msgs := sub.Poll(0)
+	if len(msgs) != 5 {
+		t.Fatalf("delivered %d, want 5", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Offset != uint64(i+1) {
+			t.Fatalf("message %d: offset %d, want %d", i, m.Offset, i+1)
+		}
+	}
+	if b.NextOffset() != 6 {
+		t.Fatalf("NextOffset %d, want 6", b.NextOffset())
+	}
+}
+
+func TestWriteThroughAndRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	b, l, recovered := durableBroker(t, dir)
+	if recovered != 0 {
+		t.Fatalf("fresh log recovered %d records", recovered)
+	}
+	publishSeq(t, b, 12)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, l2, recovered := durableBroker(t, dir)
+	defer l2.Close()
+	if recovered != 12 {
+		t.Fatalf("recovered %d records, want 12", recovered)
+	}
+	if b2.NextOffset() != 13 {
+		t.Fatalf("recovered NextOffset %d, want 13", b2.NextOffset())
+	}
+	// Retained state matches: the latest message per topic survives the
+	// restart (payloads come back as generic JSON values).
+	for d := 0; d < 4; d++ {
+		topic := fmt.Sprintf("obs/d%d/Rainfall", d)
+		m, ok := b2.Retained(topic)
+		if !ok {
+			t.Fatalf("topic %s lost across restart", topic)
+		}
+		orig, _ := b.Retained(topic)
+		if m.Offset != orig.Offset {
+			t.Fatalf("topic %s: recovered offset %d, want %d", topic, m.Offset, orig.Offset)
+		}
+		got, _ := json.Marshal(m.Payload)
+		want, _ := json.Marshal(orig.Payload)
+		if string(got) != string(want) {
+			t.Fatalf("topic %s: recovered payload %s, want %s", topic, got, want)
+		}
+	}
+	// The offset sequence continues across the restart.
+	if _, err := b2.Publish(Message{Topic: "obs/d0/Rainfall", Time: time.Now(), Payload: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := b2.Retained("obs/d0/Rainfall"); m.Offset != 13 {
+		t.Fatalf("post-restart publish got offset %d, want 13", m.Offset)
+	}
+}
+
+// TestCrashRecoveryMatchesNeverCrashedRun is the torn-write acceptance
+// test at the broker level: a crash that tears the last record mid-write
+// must recover to exactly the state of a run that only ever saw the
+// complete records.
+func TestCrashRecoveryMatchesNeverCrashedRun(t *testing.T) {
+	const total = 15 // record `total` is torn; 14 survive
+	dir := t.TempDir()
+	b, l, _ := durableBroker(t, dir)
+	publishSeq(t, b, total)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record.
+	segs, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, info.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reference: a broker that never crashed, fed the surviving
+	// prefix through its own log.
+	refDir := t.TempDir()
+	ref, refLog, _ := durableBroker(t, refDir)
+	defer refLog.Close()
+	publishSeq(t, ref, total-1)
+
+	crashed, l2, recovered := durableBroker(t, dir)
+	defer l2.Close()
+	if recovered != total-1 {
+		t.Fatalf("recovered %d records, want %d", recovered, total-1)
+	}
+	if crashed.NextOffset() != ref.NextOffset() {
+		t.Fatalf("NextOffset %d, want %d", crashed.NextOffset(), ref.NextOffset())
+	}
+	// Retained state must be identical.
+	for d := 0; d < 4; d++ {
+		topic := fmt.Sprintf("obs/d%d/Rainfall", d)
+		got, gotOK := crashed.Retained(topic)
+		want, wantOK := ref.Retained(topic)
+		if gotOK != wantOK {
+			t.Fatalf("topic %s: retained presence %v, want %v", topic, gotOK, wantOK)
+		}
+		if !wantOK {
+			continue
+		}
+		if got.Offset != want.Offset || got.Topic != want.Topic || !got.Time.Equal(want.Time) {
+			t.Fatalf("topic %s: recovered %+v, want %+v", topic, got, want)
+		}
+	}
+	// Replayed history must be identical too (offsets, topics, payloads).
+	collect := func(b *Broker) []Message {
+		var out []Message
+		if _, err := b.ReplayFrom(0, "#", func(m Message) error {
+			out = append(out, m)
+			return nil
+		}); err != nil {
+			t.Fatalf("ReplayFrom: %v", err)
+		}
+		return out
+	}
+	gotHist, wantHist := collect(crashed), collect(ref)
+	if len(gotHist) != len(wantHist) {
+		t.Fatalf("history length %d, want %d", len(gotHist), len(wantHist))
+	}
+	for i := range gotHist {
+		g, w := gotHist[i], wantHist[i]
+		if g.Offset != w.Offset || g.Topic != w.Topic || !g.Time.Equal(w.Time) ||
+			!reflect.DeepEqual(g.Payload, w.Payload) {
+			t.Fatalf("history[%d]: %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestReplayFromPatternAndCursor(t *testing.T) {
+	dir := t.TempDir()
+	b, l, _ := durableBroker(t, dir)
+	defer l.Close()
+	publishSeq(t, b, 8) // topics obs/d0..d3, offsets 1..8
+
+	var got []uint64
+	next, err := b.ReplayFrom(3, "obs/d1/#", func(m Message) error {
+		got = append(got, m.Offset)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReplayFrom: %v", err)
+	}
+	// d1 messages are offsets 2 and 6; only 6 is >= 3.
+	if len(got) != 1 || got[0] != 6 {
+		t.Fatalf("replayed offsets %v, want [6]", got)
+	}
+	if next != b.NextOffset() {
+		t.Fatalf("next cursor %d, want %d", next, b.NextOffset())
+	}
+
+	if _, err := b.ReplayFrom(0, "not//valid", func(Message) error { return nil }); err == nil {
+		t.Fatal("bad pattern accepted")
+	}
+	memOnly := NewBroker()
+	if _, err := memOnly.ReplayFrom(0, "#", func(Message) error { return nil }); err != ErrNoLog {
+		t.Fatalf("in-memory ReplayFrom error %v, want ErrNoLog", err)
+	}
+}
+
+func TestSubscribeLiveSkipsRetained(t *testing.T) {
+	b := NewBroker()
+	publishSeq(t, b, 4)
+	live, err := b.SubscribeLive("obs/#", 16, DropOldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := live.Poll(0); len(got) != 0 {
+		t.Fatalf("SubscribeLive replayed %d retained messages", len(got))
+	}
+	publishSeq(t, b, 1)
+	if got := live.Poll(0); len(got) != 1 || got[0].Offset != 5 {
+		t.Fatalf("live delivery %v", got)
+	}
+	// And it participates in stats/unsubscribe like any subscription.
+	if st := b.Stats(); st.Subscriptions != 1 {
+		t.Fatalf("subscriptions %d, want 1", st.Subscriptions)
+	}
+	b.Unsubscribe(live)
+	if st := b.Stats(); st.Subscriptions != 0 {
+		t.Fatalf("subscriptions %d after unsubscribe", st.Subscriptions)
+	}
+}
+
+func TestPublishBatchWriteThrough(t *testing.T) {
+	dir := t.TempDir()
+	b, l, _ := durableBroker(t, dir)
+	msgs := make([]Message, 6)
+	for i := range msgs {
+		msgs[i] = Message{Topic: fmt.Sprintf("obs/d%d/NDVI", i%2), Time: time.Now(), Payload: i}
+	}
+	if _, err := b.PublishBatch(msgs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		if msgs[i].Offset != uint64(i+1) {
+			t.Fatalf("batch message %d: offset %d", i, msgs[i].Offset)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, l2, recovered := durableBroker(t, dir)
+	defer l2.Close()
+	if recovered != 6 {
+		t.Fatalf("recovered %d batch records, want 6", recovered)
+	}
+}
+
+// TestAttachLogRequiresFreshBroker: attaching after in-memory publishes
+// would collide the broker's offset sequence with the log's — the
+// broker must refuse instead of bricking every later publish.
+func TestAttachLogRequiresFreshBroker(t *testing.T) {
+	l := openLogT(t, t.TempDir())
+	defer l.Close()
+	b := NewBroker()
+	publishSeq(t, b, 3)
+	if _, err := b.AttachLog(l); err == nil {
+		t.Fatal("AttachLog accepted a broker that already published")
+	}
+	// The broker keeps working in-memory, and the log stays clean for a
+	// fresh broker.
+	if _, err := b.Publish(Message{Topic: "obs/d0/Rainfall", Payload: 1}); err != nil {
+		t.Fatalf("publish after refused attach: %v", err)
+	}
+	fresh := NewBroker()
+	if _, err := fresh.AttachLog(l); err != nil {
+		t.Fatalf("fresh broker attach: %v", err)
+	}
+	if fresh.NextOffset() != 1 {
+		t.Fatalf("log gained records from the refused attach: next %d", fresh.NextOffset())
+	}
+}

@@ -9,6 +9,12 @@ import (
 // Message is the envelope circulating on the application abstraction
 // layer.
 type Message struct {
+	// Offset is the broker-assigned monotonic sequence number (1-based,
+	// assigned on Publish; 0 means the message never passed through a
+	// broker). With an event log attached the offset is durable across
+	// restarts and doubles as the replay/resume cursor — the gateway's
+	// SSE id: field carries it.
+	Offset uint64
 	// Topic is a '/'-separated hierarchical subject, e.g.
 	// "obs/mangaung/Rainfall" or "event/xhariep/DroughtWarning".
 	Topic string

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// segmentAlphabet deliberately includes colliding prefixes, single
+// characters and longer words so random patterns and topics overlap
+// often enough to exercise every trie branch.
+var segmentAlphabet = []string{"a", "b", "c", "ab", "obs", "event", "d1", "x"}
+
+// randPattern generates a valid subscription pattern: each level is an
+// exact segment or '+', and with some probability the pattern terminates
+// in '#'. The result always passes ValidatePattern.
+func randPattern(rng *rand.Rand) string {
+	depth := 1 + rng.Intn(5)
+	segs := make([]string, 0, depth)
+	for i := 0; i < depth; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.15:
+			segs = append(segs, "#")
+			return joinSegs(segs)
+		case r < 0.40:
+			segs = append(segs, "+")
+		default:
+			segs = append(segs, segmentAlphabet[rng.Intn(len(segmentAlphabet))])
+		}
+	}
+	return joinSegs(segs)
+}
+
+// randTopic generates a valid concrete topic (no wildcards).
+func randTopic(rng *rand.Rand) string {
+	depth := 1 + rng.Intn(6)
+	segs := make([]string, depth)
+	for i := range segs {
+		segs[i] = segmentAlphabet[rng.Intn(len(segmentAlphabet))]
+	}
+	return joinSegs(segs)
+}
+
+func joinSegs(segs []string) string {
+	out := segs[0]
+	for _, s := range segs[1:] {
+		out += "/" + s
+	}
+	return out
+}
+
+// TestPublishFanOutMatchesLinearOracle cross-checks the broker's
+// topic-trie fan-out against a naive oracle: for every randomized
+// (pattern set, topic) pair, the set of subscriptions that receive a
+// publish must equal the set whose pattern TopicMatch-es the topic by
+// linear scan. Runs many trials with unsubscription churn in between so
+// trie insertion, matching and pruning all get exercised.
+func TestPublishFanOutMatchesLinearOracle(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		b := NewBroker()
+
+		type regSub struct {
+			pattern string
+			sub     *Subscription
+		}
+		var regs []regSub
+		for i := 0; i < 2+rng.Intn(30); i++ {
+			pattern := randPattern(rng)
+			if err := ValidatePattern(pattern); err != nil {
+				t.Fatalf("generator produced invalid pattern %q: %v", pattern, err)
+			}
+			sub, err := b.Subscribe(pattern, 4096, DropOldest)
+			if err != nil {
+				t.Fatalf("Subscribe(%q): %v", pattern, err)
+			}
+			regs = append(regs, regSub{pattern, sub})
+		}
+		// Unsubscribe a random subset: matching must respect pruning.
+		kept := regs[:0]
+		for _, r := range regs {
+			if rng.Float64() < 0.25 {
+				b.Unsubscribe(r.sub)
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		regs = kept
+
+		topics := make(map[string]bool)
+		for i := 0; i < 3+rng.Intn(20); i++ {
+			topics[randTopic(rng)] = true
+		}
+		for topic := range topics {
+			reached, err := b.Publish(Message{Topic: topic, Payload: topic})
+			if err != nil {
+				t.Fatalf("Publish(%q): %v", topic, err)
+			}
+			oracle := 0
+			for _, r := range regs {
+				if TopicMatch(r.pattern, topic) {
+					oracle++
+				}
+			}
+			if reached != oracle {
+				t.Fatalf("trial %d: Publish(%q) reached %d subscriptions, linear oracle says %d",
+					trial, topic, reached, oracle)
+			}
+		}
+
+		// Per-subscription check: each must have received exactly the
+		// topics its pattern matches (order-insensitive).
+		for _, r := range regs {
+			var want []string
+			for topic := range topics {
+				if TopicMatch(r.pattern, topic) {
+					want = append(want, topic)
+				}
+			}
+			var got []string
+			for _, m := range r.sub.Poll(0) {
+				got = append(got, m.Topic)
+			}
+			sort.Strings(want)
+			sort.Strings(got)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("trial %d: pattern %q received %v, oracle wants %v", trial, r.pattern, got, want)
+			}
+		}
+	}
+}
+
+// TestTrieEdgeSegments pins the wildcard edge cases the fuzz-style
+// random trials may hit rarely: '#' matching zero remaining levels, '+'
+// refusing to match across levels, and root-level patterns.
+func TestTrieEdgeSegments(t *testing.T) {
+	cases := []struct {
+		pattern, topic string
+		want           bool
+	}{
+		{"#", "a", true},
+		{"#", "a/b/c", true},
+		{"a/#", "a", true}, // '#' covers the parent level itself
+		{"a/#", "a/b/c", true},
+		{"a/#", "b", false},
+		{"+", "a", true},
+		{"+", "a/b", false},
+		{"+/+", "a/b", true},
+		{"+/#", "a", true},
+		{"+/#", "a/b/c", true},
+		{"a/+/c", "a/b/c", true},
+		{"a/+/c", "a/b/d", false},
+		{"a/+/c", "a/c", false},
+		{"ab/c", "a/c", false}, // prefix segments must not merge
+		{"a/b", "ab", false},
+	}
+	for _, tc := range cases {
+		b := NewBroker()
+		sub, err := b.Subscribe(tc.pattern, 8, DropOldest)
+		if err != nil {
+			t.Fatalf("Subscribe(%q): %v", tc.pattern, err)
+		}
+		if got := TopicMatch(tc.pattern, tc.topic); got != tc.want {
+			t.Errorf("oracle TopicMatch(%q, %q) = %v, want %v", tc.pattern, tc.topic, got, tc.want)
+		}
+		reached, err := b.Publish(Message{Topic: tc.topic, Payload: 1})
+		if err != nil {
+			t.Fatalf("Publish(%q): %v", tc.topic, err)
+		}
+		if (reached == 1) != tc.want {
+			t.Errorf("trie fan-out for (%q, %q) = %d deliveries, want match=%v", tc.pattern, tc.topic, reached, tc.want)
+		}
+		_ = sub
+	}
+}

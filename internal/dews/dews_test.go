@@ -255,3 +255,57 @@ func TestSensorRulesParse(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDurableLogAcrossSystems wires Config.LogDir end to end: a run's
+// published messages survive into a second system built over the same
+// directory, which recovers retained topics and continues the offset
+// sequence.
+func TestDurableLogAcrossSystems(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig(7)
+	cfg.Years = 2
+	cfg.TrainYears = 1
+	cfg.LogDir = dir
+
+	first, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Recovered() != 0 {
+		t.Fatalf("fresh system recovered %d records", first.Recovered())
+	}
+	if _, err := first.Run(); err != nil {
+		t.Fatal(err)
+	}
+	published := first.Middleware().Broker().Stats().Published
+	if published == 0 {
+		t.Fatal("run published nothing")
+	}
+	nextOffset := first.Middleware().Broker().NextOffset()
+	bulletin, ok := first.Middleware().Broker().Retained("bulletin/mangaung")
+	if !ok {
+		t.Fatal("no retained bulletin after run")
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if got := second.Recovered(); got != published {
+		t.Fatalf("second system recovered %d records, want %d", got, published)
+	}
+	if got := second.Middleware().Broker().NextOffset(); got != nextOffset {
+		t.Fatalf("offset sequence broke across restart: %d, want %d", got, nextOffset)
+	}
+	got, ok := second.Middleware().Broker().Retained("bulletin/mangaung")
+	if !ok {
+		t.Fatal("retained bulletin lost across restart")
+	}
+	if got.Offset != bulletin.Offset || !got.Time.Equal(bulletin.Time) {
+		t.Fatalf("recovered bulletin %+v, want offset %d time %v", got, bulletin.Offset, bulletin.Time)
+	}
+}

@@ -5,11 +5,13 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/cep"
 	"repro/internal/climate"
 	"repro/internal/core"
 	"repro/internal/dissemination"
+	"repro/internal/eventlog"
 	"repro/internal/forecast"
 	"repro/internal/gateway"
 	"repro/internal/ik"
@@ -80,6 +82,17 @@ type Config struct {
 	// GatewayBuffer is the default per-client SSE queue capacity of the
 	// subscription gateway (0 keeps the gateway's default).
 	GatewayBuffer int
+	// LogDir, when set, makes the broker durable: every published
+	// message is written through to a segmented event log in this
+	// directory, retained topics and the offset sequence are recovered
+	// from it on startup, and SSE clients can resume by offset.
+	LogDir string
+	// LogSegmentBytes rotates log segments at this size (0 = eventlog
+	// default, 8MiB).
+	LogSegmentBytes int64
+	// LogRetain drops sealed log segments once their newest write is
+	// older than this (0 = keep forever).
+	LogRetain time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -196,6 +209,11 @@ type System struct {
 	web        *dissemination.SemanticWeb
 	dviMap     *forecast.VulnerabilityMap
 	districts  []*districtState
+	// log is the durable event log under the broker (nil without
+	// Config.LogDir); recovered counts the records replayed from a
+	// previous run at startup.
+	log       *eventlog.Log
+	recovered int
 
 	// totalsMu guards the running ingest totals, which the gateway's
 	// /stats endpoint reads while Run is (or was) accumulating them.
@@ -214,7 +232,7 @@ type IngestTotals struct {
 }
 
 // NewSystem builds the full stack.
-func NewSystem(cfg Config) (*System, error) {
+func NewSystem(cfg Config) (sys *System, err error) {
 	cfg.applyDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -253,9 +271,37 @@ func NewSystem(cfg Config) (*System, error) {
 	// cap this bounds worst-case retained bytes.
 	mw.Broker().SetRetainedLimit(8192)
 
+	var elog *eventlog.Log
+	recovered := 0
+	if cfg.LogDir != "" {
+		elog, err = eventlog.Open(eventlog.Config{
+			Dir:          cfg.LogDir,
+			SegmentBytes: cfg.LogSegmentBytes,
+			RetainAge:    cfg.LogRetain,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Any later constructor failure must release the log — its sync
+		// and compaction goroutines would otherwise tick for the life of
+		// the process.
+		defer func() {
+			if err != nil {
+				elog.Close()
+			}
+		}()
+		// The retained limit is already set, so recovery honors it.
+		recovered, err = mw.Broker().AttachLog(elog)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	s := &System{
 		cfg:        cfg,
 		middleware: mw,
+		log:        elog,
+		recovered:  recovered,
 		hub:        dissemination.NewHub(),
 		billboard:  dissemination.NewSmartBillboard(),
 		sms:        dissemination.NewSMSBroadcast(),
@@ -309,6 +355,20 @@ func NewSystem(cfg Config) (*System, error) {
 
 // Middleware exposes the semantic middleware (for examples and tests).
 func (s *System) Middleware() *core.Middleware { return s.middleware }
+
+// Recovered returns how many durable records were replayed from a
+// previous run's event log when the system was built (0 without LogDir).
+func (s *System) Recovered() int { return s.recovered }
+
+// Close releases the system's durable resources: it fsyncs and closes
+// the event log (a no-op for in-memory systems). Call it once the run —
+// and any -serve period — is over.
+func (s *System) Close() error {
+	if s.log != nil {
+		return s.log.Close()
+	}
+	return nil
+}
 
 // Web exposes the semantic-web channel (examples mount it over HTTP).
 func (s *System) Web() *dissemination.SemanticWeb { return s.web }

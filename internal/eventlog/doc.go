@@ -1,0 +1,11 @@
+// Package eventlog is an append-only, segment-file event log: the
+// durability substrate under the application abstraction layer's broker.
+// Every record is framed with a length and a CRC so a torn tail (crash
+// mid-write) is detected and truncated on reopen; records are grouped
+// into size-rotated segment files named by their base offset; fsyncs are
+// batched on a timer so appends never wait on the disk; and a compaction
+// goroutine drops whole expired segments (by age or total bytes) without
+// blocking appends. Offsets are assigned densely from 1 and never reused,
+// so they double as resume cursors for streaming consumers (the gateway's
+// SSE Last-Event-ID rides on them).
+package eventlog

@@ -1,0 +1,334 @@
+package eventlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, dir string, cfg Config) *Log {
+	t.Helper()
+	cfg.Dir = dir
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func appendN(t *testing.T, l *Log, n int, start int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		k := start + i
+		off, err := l.Append(Record{
+			Topic:   fmt.Sprintf("obs/d%d/Rainfall", k%3),
+			Time:    time.Date(2015, 1, 1, 0, 0, k, 0, time.UTC),
+			Payload: json.RawMessage(fmt.Sprintf(`{"value": %d}`, k)),
+			Headers: map[string]string{"k": fmt.Sprint(k)},
+		})
+		if err != nil {
+			t.Fatalf("Append %d: %v", k, err)
+		}
+		if want := uint64(k + 1); off != want {
+			t.Fatalf("Append %d: offset %d, want %d", k, off, want)
+		}
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	l := openT(t, t.TempDir(), Config{})
+	defer l.Close()
+	appendN(t, l, 10, 0)
+
+	recs, next, err := l.Read(0, 0)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(recs) != 10 || next != 11 {
+		t.Fatalf("Read: %d records next %d, want 10 next 11", len(recs), next)
+	}
+	for i, rec := range recs {
+		if rec.Offset != uint64(i+1) {
+			t.Errorf("record %d: offset %d", i, rec.Offset)
+		}
+		if want := fmt.Sprintf("obs/d%d/Rainfall", i%3); rec.Topic != want {
+			t.Errorf("record %d: topic %q, want %q", i, rec.Topic, want)
+		}
+		if rec.Headers["k"] != fmt.Sprint(i) {
+			t.Errorf("record %d: headers %v", i, rec.Headers)
+		}
+		var body struct{ Value int }
+		if err := json.Unmarshal(rec.Payload, &body); err != nil || body.Value != i {
+			t.Errorf("record %d: payload %s", i, rec.Payload)
+		}
+	}
+
+	// Partial reads: from an interior offset, and with a max.
+	recs, next, err = l.Read(7, 0)
+	if err != nil || len(recs) != 4 || recs[0].Offset != 7 {
+		t.Fatalf("Read(7): %d records first %v err %v", len(recs), recs, err)
+	}
+	recs, next, err = l.Read(2, 3)
+	if err != nil || len(recs) != 3 || recs[0].Offset != 2 || next != 5 {
+		t.Fatalf("Read(2,3): %d records next %d err %v", len(recs), next, err)
+	}
+}
+
+func TestRotationAndReopenContinuity(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Config{SegmentBytes: 512})
+	appendN(t, l, 40, 0)
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation into >= 3 segments, got %d", st.Segments)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l = openT(t, dir, Config{SegmentBytes: 512})
+	defer l.Close()
+	if got := l.NextOffset(); got != 41 {
+		t.Fatalf("NextOffset after reopen: %d, want 41", got)
+	}
+	appendN(t, l, 5, 40)
+	recs, _, err := l.Read(0, 0)
+	if err != nil || len(recs) != 45 {
+		t.Fatalf("Read after reopen: %d records, err %v", len(recs), err)
+	}
+	for i, rec := range recs {
+		if rec.Offset != uint64(i+1) {
+			t.Fatalf("record %d: offset %d — sequence broken across reopen", i, rec.Offset)
+		}
+	}
+}
+
+// lastSegment returns the path of the highest-offset segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*"+segSuffix))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments in %s (err %v)", dir, err)
+	}
+	sort.Strings(names)
+	return names[len(names)-1]
+}
+
+// TestTornWriteRecovery is the crash-recovery case: a record torn
+// mid-write (power loss) must be truncated away on reopen, keeping every
+// complete record and the offset sequence.
+func TestTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Config{})
+	appendN(t, l, 20, 0)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Tear the tail: chop a few bytes off the last record's body.
+	seg := lastSegment(t, dir)
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	l = openT(t, dir, Config{})
+	defer l.Close()
+	if got := l.NextOffset(); got != 20 {
+		t.Fatalf("NextOffset after torn-write recovery: %d, want 20 (record 20 torn)", got)
+	}
+	recs, _, err := l.Read(0, 0)
+	if err != nil {
+		t.Fatalf("Read after recovery: %v", err)
+	}
+	if len(recs) != 19 {
+		t.Fatalf("recovered %d records, want 19", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Offset != uint64(i+1) || rec.Headers["k"] != fmt.Sprint(i) {
+			t.Fatalf("recovered record %d corrupt: %+v", i, rec)
+		}
+	}
+	// The log must accept appends again, reusing the torn record's offset.
+	off, err := l.Append(Record{Topic: "obs/x/Rainfall", Time: time.Now()})
+	if err != nil || off != 20 {
+		t.Fatalf("Append after recovery: offset %d err %v, want 20", off, err)
+	}
+}
+
+// TestCorruptTailRecovery flips a byte inside the last record: the CRC
+// must reject it and recovery truncates to the previous record.
+func TestCorruptTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Config{})
+	appendN(t, l, 5, 0)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l = openT(t, dir, Config{})
+	defer l.Close()
+	recs, _, err := l.Read(0, 0)
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("after bit-flip: %d records err %v, want 4", len(recs), err)
+	}
+	if got := l.NextOffset(); got != 5 {
+		t.Fatalf("NextOffset: %d, want 5", got)
+	}
+}
+
+func TestRetentionByBytes(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Config{SegmentBytes: 512, RetainBytes: 1024})
+	defer l.Close()
+	appendN(t, l, 60, 0)
+	dropped, err := l.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if dropped == 0 {
+		t.Fatal("Compact dropped nothing despite RetainBytes pressure")
+	}
+	st := l.Stats()
+	if st.OldestOffset == 1 {
+		t.Fatal("oldest offset did not advance after compaction")
+	}
+	if st.NextOffset != 61 {
+		t.Fatalf("NextOffset: %d, want 61", st.NextOffset)
+	}
+	// Reads start at the retention horizon, not the requested offset.
+	recs, _, err := l.Read(0, 0)
+	if err != nil || len(recs) == 0 {
+		t.Fatalf("Read after compact: %d records err %v", len(recs), err)
+	}
+	if recs[0].Offset != st.OldestOffset {
+		t.Fatalf("first readable offset %d, want oldest %d", recs[0].Offset, st.OldestOffset)
+	}
+	if last := recs[len(recs)-1].Offset; last != 60 {
+		t.Fatalf("last readable offset %d, want 60", last)
+	}
+	// The active segment is never dropped: appends continue seamlessly.
+	appendN(t, l, 1, 60)
+}
+
+func TestRetentionByAge(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Config{SegmentBytes: 256, RetainAge: time.Nanosecond})
+	defer l.Close()
+	appendN(t, l, 30, 0)
+	time.Sleep(10 * time.Millisecond)
+	dropped, err := l.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if dropped == 0 {
+		t.Fatal("age-based compaction dropped nothing")
+	}
+	if st := l.Stats(); st.Segments != 1 {
+		t.Fatalf("expected only the active segment to survive, have %d", st.Segments)
+	}
+}
+
+// TestConcurrentAppendScanCompact exercises the locking story under the
+// race detector: appends, tailing scans, and compaction sweeps at once.
+func TestConcurrentAppendScanCompact(t *testing.T) {
+	l := openT(t, t.TempDir(), Config{SegmentBytes: 2048, RetainBytes: 64 << 10, FsyncInterval: time.Millisecond})
+	defer l.Close()
+	var wg sync.WaitGroup
+	const writers, perWriter = 4, 200
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := l.Append(Record{
+					Topic:   fmt.Sprintf("obs/w%d/Rainfall", w),
+					Time:    time.Now(),
+					Payload: json.RawMessage(`{"v":1}`),
+				}); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cursor := uint64(1)
+		for i := 0; i < 50; i++ {
+			prev := uint64(0)
+			next, err := l.Scan(cursor, func(rec Record) error {
+				if prev != 0 && rec.Offset <= prev {
+					return fmt.Errorf("offsets not increasing: %d after %d", rec.Offset, prev)
+				}
+				prev = rec.Offset
+				return nil
+			})
+			if err != nil {
+				t.Errorf("Scan: %v", err)
+				return
+			}
+			if next > cursor {
+				cursor = next
+			}
+			if _, err := l.Compact(); err != nil {
+				t.Errorf("Compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := l.NextOffset(); got != writers*perWriter+1 {
+		t.Fatalf("NextOffset: %d, want %d", got, writers*perWriter+1)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	l := openT(t, t.TempDir(), Config{FsyncInterval: time.Millisecond})
+	defer l.Close()
+	appendN(t, l, 3, 0)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	st := l.Stats()
+	if st.Appended != 3 || st.NextOffset != 4 || st.OldestOffset != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Fsyncs == 0 {
+		t.Fatal("explicit Sync not counted")
+	}
+	if st.Bytes == 0 || st.Segments != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	l := openT(t, t.TempDir(), Config{})
+	defer l.Close()
+	if l.NextOffset() != 1 || l.OldestOffset() != 1 {
+		t.Fatalf("empty log offsets: next %d oldest %d", l.NextOffset(), l.OldestOffset())
+	}
+	recs, next, err := l.Read(0, 0)
+	if err != nil || len(recs) != 0 || next != 1 {
+		t.Fatalf("empty Read: %d records next %d err %v", len(recs), next, err)
+	}
+}

@@ -191,6 +191,9 @@ func (g *Gateway) Close() error { return g.Shutdown(context.Background()) }
 
 // Envelope is the JSON wire form of a core.Message.
 type Envelope struct {
+	// Offset is the broker-assigned sequence number (durable when an
+	// event log is attached); 0 on publish — the broker assigns it.
+	Offset uint64 `json:"offset,omitempty"`
 	// Topic is the '/'-separated subject (wildcards are for
 	// subscriptions only).
 	Topic string `json:"topic"`
@@ -210,7 +213,7 @@ func envelopeOf(m core.Message) Envelope {
 	if err != nil {
 		payload, _ = json.Marshal(fmt.Sprint(m.Payload))
 	}
-	return Envelope{Topic: m.Topic, Time: m.Time, Payload: payload, Headers: m.Headers}
+	return Envelope{Offset: m.Offset, Topic: m.Topic, Time: m.Time, Payload: payload, Headers: m.Headers}
 }
 
 // message converts a wire envelope to a core.Message. JSON payloads
@@ -296,6 +299,9 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			"published":         g.published.Load(),
 			"queues":            queues,
 		},
+	}
+	if l := g.cfg.Broker.Log(); l != nil {
+		out["eventlog"] = l.Stats()
 	}
 	if g.cfg.Extra != nil {
 		out["extra"] = g.cfg.Extra()

@@ -1,0 +1,333 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eventlog"
+)
+
+func newSSEScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	return sc
+}
+
+// durableGateway is testGateway over a broker with an event log attached
+// (the durable configuration the resume path needs).
+func durableGateway(t *testing.T, dir string, mut func(*Config)) (*core.Broker, *httptest.Server) {
+	t.Helper()
+	l, err := eventlog.Open(eventlog.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	b := core.NewBroker()
+	if _, err := b.AttachLog(l); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Broker: b, FlushInterval: 2 * time.Millisecond}
+	if mut != nil {
+		mut(&cfg)
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { _ = g.Close() })
+	return b, srv
+}
+
+// resumeSSE opens an SSE stream with a Last-Event-ID header and/or extra
+// query params.
+func resumeSSE(t *testing.T, srv *httptest.Server, pattern, lastEventID string, params map[string]string) *sseStream {
+	t.Helper()
+	q := url.Values{"pattern": {pattern}}
+	for k, v := range params {
+		q.Set(k, v)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/subscribe?"+q.Encode(), nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("subscribe status %d: %s", resp.StatusCode, body)
+	}
+	s := &sseStream{resp: resp, sc: newSSEScanner(resp.Body), cancel: cancel}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func publishTicks(t *testing.T, b *core.Broker, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := b.Publish(core.Message{
+			Topic:   "evt/stream/tick",
+			Time:    time.Now(),
+			Payload: map[string]any{"seq": i},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// nextMessage reads events until a "message" arrives, failing on goodbye.
+func nextMessage(t *testing.T, s *sseStream) (uint64, Envelope) {
+	t.Helper()
+	for {
+		ev, err := s.Next()
+		if err != nil {
+			t.Fatalf("stream ended: %v", err)
+		}
+		if ev.Event == "goodbye" {
+			t.Fatalf("unexpected goodbye: %s", ev.Data)
+		}
+		if ev.Event != "message" {
+			continue
+		}
+		id, err := strconv.ParseUint(ev.ID, 10, 64)
+		if err != nil {
+			t.Fatalf("message without numeric id: %q", ev.ID)
+		}
+		var env Envelope
+		if err := json.Unmarshal([]byte(ev.Data), &env); err != nil {
+			t.Fatalf("bad envelope %q: %v", ev.Data, err)
+		}
+		if env.Offset != id {
+			t.Fatalf("id %d != envelope offset %d", id, env.Offset)
+		}
+		return id, env
+	}
+}
+
+// TestResumeExactlyOnce is the acceptance regression: a client killed
+// mid-stream and reconnected with Last-Event-ID sees every missed event
+// exactly once — zero missed, zero duplicated.
+func TestResumeExactlyOnce(t *testing.T) {
+	b, srv := durableGateway(t, t.TempDir(), nil)
+	publishTicks(t, b, 10) // offsets 1..10
+
+	// First connection: replay from the beginning, read 6 events, die.
+	first := resumeSSE(t, srv, "evt/#", "", map[string]string{"from": "1"})
+	var lastSeen uint64
+	for i := 0; i < 6; i++ {
+		id, env := nextMessage(t, first)
+		if id != uint64(i+1) {
+			t.Fatalf("first connection event %d: offset %d", i, id)
+		}
+		var p struct{ Seq int }
+		if err := json.Unmarshal(env.Payload, &p); err != nil || p.Seq != i {
+			t.Fatalf("first connection event %d: payload %s", i, env.Payload)
+		}
+		lastSeen = id
+	}
+	first.Close() // killed mid-stream: events 7..10 unread
+
+	// The world moves on while the client is gone.
+	publishTicks(t, b, 5) // offsets 11..15
+
+	// Reconnect exactly as EventSource would: Last-Event-ID header.
+	second := resumeSSE(t, srv, "evt/#", fmt.Sprint(lastSeen), nil)
+	for want := lastSeen + 1; want <= 15; want++ {
+		id, _ := nextMessage(t, second)
+		if id != want {
+			t.Fatalf("resumed stream delivered offset %d, want %d (missed or duplicated)", id, want)
+		}
+	}
+	// And the stream is live again: a new publish arrives next.
+	publishTicks(t, b, 1) // offset 16
+	if id, _ := nextMessage(t, second); id != 16 {
+		t.Fatalf("post-resume live event offset %d, want 16", id)
+	}
+}
+
+// TestResumeAcrossRestart proves the cursor survives a full process
+// restart: a new broker recovered from the same log directory serves the
+// client the events it missed while everything was down.
+func TestResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	lastSeen := uint64(0)
+	{
+		l, err := eventlog.Open(eventlog.Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := core.NewBroker()
+		if _, err := b.AttachLog(l); err != nil {
+			t.Fatal(err)
+		}
+		g, err := New(Config{Broker: b, FlushInterval: 2 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(g)
+		publishTicks(t, b, 4)
+		s := resumeSSE(t, srv, "evt/#", "", map[string]string{"from": "1"})
+		for i := 0; i < 3; i++ {
+			lastSeen, _ = nextMessage(t, s)
+		}
+		s.Close()
+		publishTicks(t, b, 2) // offsets 5, 6: published before the "crash"
+		srv.Close()
+		_ = g.Close()
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Restart: fresh broker + gateway over the same directory.
+	b2, srv2 := durableGateway(t, dir, nil)
+	if got := b2.NextOffset(); got != 7 {
+		t.Fatalf("restarted broker NextOffset %d, want 7", got)
+	}
+	s := resumeSSE(t, srv2, "evt/#", fmt.Sprint(lastSeen), nil)
+	for want := lastSeen + 1; want <= 6; want++ {
+		id, _ := nextMessage(t, s)
+		if id != want {
+			t.Fatalf("post-restart resume delivered %d, want %d", id, want)
+		}
+	}
+	publishTicks(t, b2, 1) // offset 7, live after restart
+	if id, _ := nextMessage(t, s); id != 7 {
+		t.Fatalf("post-restart live event %d, want 7", id)
+	}
+}
+
+// TestResumeOutpacedClientLosesNothing floods a resumed stream far
+// faster than any buffer would absorb: delivery comes straight from the
+// log, so under the *default* config (no raised DropLimit) the client
+// is neither evicted as a slow consumer nor missing a single event —
+// each arrives exactly once, in offset order.
+func TestResumeOutpacedClientLosesNothing(t *testing.T) {
+	const total = 400
+	b, srv := durableGateway(t, t.TempDir(), nil)
+	s := resumeSSE(t, srv, "evt/#", "", map[string]string{"from": "1", "buffer": "2"})
+	publishTicks(t, b, total)
+	for want := uint64(1); want <= total; want++ {
+		id, _ := nextMessage(t, s)
+		if id != want {
+			t.Fatalf("log-tailed stream delivered %d, want %d", id, want)
+		}
+	}
+}
+
+// TestResumeWithoutLogBestEffort: on an in-memory broker a resume
+// request must not fail — the client gets the live stream, deduplicated
+// against what it already saw, just no history.
+func TestResumeWithoutLogBestEffort(t *testing.T) {
+	b, _, srv := testGateway(t, nil)
+	publishTicks(t, b, 3)
+	s := resumeSSE(t, srv, "evt/#", "2", nil)
+	// Retained replay holds the latest tick (offset 3, > 2): delivered.
+	if id, _ := nextMessage(t, s); id != 3 {
+		t.Fatalf("retained catch-up delivered %d, want 3", id)
+	}
+	publishTicks(t, b, 1)
+	if id, _ := nextMessage(t, s); id != 4 {
+		t.Fatalf("live event %d, want 4", id)
+	}
+}
+
+// TestSSEIDCarriesDurableOffset: the id: field is the broker offset, not
+// a per-connection counter — two clients see the same id for the same
+// event, and ids keep counting across connections.
+func TestSSEIDCarriesDurableOffset(t *testing.T) {
+	b, srv := durableGateway(t, t.TempDir(), nil)
+	a := resumeSSE(t, srv, "evt/#", "", nil)
+	c := resumeSSE(t, srv, "evt/#", "", nil)
+	publishTicks(t, b, 2)
+	idA1, _ := nextMessage(t, a)
+	idC1, _ := nextMessage(t, c)
+	idA2, _ := nextMessage(t, a)
+	if idA1 != idC1 {
+		t.Fatalf("same event, different ids: %d vs %d", idA1, idC1)
+	}
+	if idA2 != idA1+1 {
+		t.Fatalf("ids not the offset sequence: %d then %d", idA1, idA2)
+	}
+	// A later, separate connection continues the global sequence — the
+	// old per-connection counter would have restarted at 1.
+	d := resumeSSE(t, srv, "evt/#", "", nil)
+	publishTicks(t, b, 1)
+	// Skip d's retained replay (offset 2), then the live event.
+	id, _ := nextMessage(t, d)
+	if id == 1 {
+		t.Fatal("id restarted at 1: per-connection counter is back")
+	}
+}
+
+// TestResumeCursorPastTailClamps: a Last-Event-ID from a previous log
+// generation (directory wiped, offsets restarted) must not suppress the
+// live feed — the gateway clamps the cursor to the current tail.
+func TestResumeCursorPastTailClamps(t *testing.T) {
+	b, srv := durableGateway(t, t.TempDir(), nil)
+	publishTicks(t, b, 2) // offsets 1, 2 — far below the stale cursor
+	s := resumeSSE(t, srv, "evt/#", "29000", nil)
+	publishTicks(t, b, 1) // offset 3
+	if id, _ := nextMessage(t, s); id != 3 {
+		t.Fatalf("clamped resume delivered %d, want live offset 3", id)
+	}
+}
+
+// TestShutdownDuringCatchUp: Shutdown must not hang behind a resumed
+// client that is stuck mid-catch-up over a large log (the stream checks
+// the gateway context per record and write deadlines bound the rest).
+func TestShutdownDuringCatchUp(t *testing.T) {
+	l, err := eventlog.Open(eventlog.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	b := core.NewBroker()
+	if _, err := b.AttachLog(l); err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{Broker: b, FlushInterval: 2 * time.Millisecond, WriteTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+	publishTicks(t, b, 60000) // ~8MB of history, larger than socket buffers
+
+	// Open a resuming stream and never read it: the catch-up stalls on
+	// TCP backpressure.
+	resp, err := http.Get(srv.URL + "/subscribe?pattern=evt/%23&from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := g.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown did not drain the catching-up stream: %v (after %v)", err, time.Since(start))
+	}
+}

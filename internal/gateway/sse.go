@@ -2,31 +2,62 @@ package gateway
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
 )
 
+// Sentinels distinguishing why a log catch-up stopped: the client's
+// write failed (stream is dead, say nothing) vs. the stream or gateway
+// context ended vs. a persistent replay failure (tell the client).
+var (
+	errClientGone   = errors.New("gateway: client write failed")
+	errStreamClosed = errors.New("gateway: stream context ended")
+)
+
 // handleSubscribe streams matching messages to the client as
-// Server-Sent Events. The stream is backed by a bounded broker
-// subscription, so retained replay, wildcard matching and QoS drop
-// accounting are exactly the in-process semantics. A client whose
-// subscription drops more than the configured limit is disconnected
-// with a terminal "goodbye" event (slow-consumer eviction).
+// Server-Sent Events. Each message event's id: field carries the
+// broker-assigned offset — durable when an event log is attached — so a
+// client that drops mid-stream resumes exactly where it left off by
+// reconnecting with the standard Last-Event-ID header (browsers'
+// EventSource sends it automatically) or an explicit ?from=<offset>
+// (inclusive).
 //
-//	GET /subscribe?pattern=obs/%2B/Rainfall&buffer=64&policy=oldest
+// Two delivery modes share the endpoint:
+//
+//   - A fresh subscription is backed by a bounded broker queue, so
+//     wildcard matching, retained replay and QoS drop accounting are
+//     exactly the in-process semantics. A client whose subscription
+//     drops more than the configured limit is disconnected with a
+//     terminal "goodbye" event (slow-consumer eviction).
+//
+//   - A resuming client on a durable broker is served straight from the
+//     event log (tailLog): history first, then the advancing tail, in
+//     strict offset order, each event exactly once. There is no queue
+//     to overflow, so backlog lives on disk and slow consumers are
+//     never evicted — only a transport-stalled client is cut, by the
+//     per-write deadline. Without a log, resume is best-effort:
+//     retained replay plus offset filtering on the live queue.
+//
+//     GET /subscribe?pattern=obs/%2B/Rainfall&buffer=64&policy=oldest&from=1042
 //
 // Events:
 //
-//	event: message   data: Envelope JSON        (one per delivery)
-//	event: goodbye   data: {"reason", "dropped"} (terminal)
+//	event: message   data: Envelope JSON        (id: = durable offset)
+//	event: goodbye   data: {"reason", "dropped"} (terminal, no id)
 //	: keep-alive                                 (comment heartbeat)
 func (g *Gateway) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	pattern := r.URL.Query().Get("pattern")
 	if pattern == "" {
 		httpError(w, http.StatusBadRequest, "missing ?pattern=")
+		return
+	}
+	if err := core.ValidatePattern(pattern); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	buffer, err := queryInt(r, "buffer", g.cfg.DefaultBuffer)
@@ -49,6 +80,29 @@ func (g *Gateway) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad policy (want oldest|newest)")
 		return
 	}
+	// Resume cursor: ?from= is the first offset to deliver (inclusive)
+	// and wins over Last-Event-ID, which is the last offset the client
+	// saw (exclusive). Internally both become "deliver offsets > after".
+	resume := false
+	var after uint64
+	if s := r.Header.Get("Last-Event-ID"); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+			after, resume = v, true
+		}
+	}
+	if s := r.URL.Query().Get("from"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad from=%q", s)
+			return
+		}
+		resume = true
+		if v > 0 {
+			after = v - 1
+		} else {
+			after = 0
+		}
+	}
 	dropLimit := g.cfg.DropLimit
 	if dropLimit <= 0 {
 		dropLimit = buffer
@@ -64,6 +118,30 @@ func (g *Gateway) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 	defer g.wg.Done()
 
+	// A cursor from a different log generation (the directory was wiped
+	// or replaced, offsets restarted) can point past the tail; left
+	// alone it would suppress every delivery until the new sequence
+	// climbed past it. Clamp to the tail: such a client gets the live
+	// feed from now on.
+	if resume {
+		if next := g.cfg.Broker.NextOffset(); after >= next {
+			after = next - 1
+		}
+	}
+
+	// Per-write deadlines: a transport-stalled client (dead laptop, NAT
+	// half-open) must fail its write and unwind the pump rather than
+	// block it forever — a global server WriteTimeout can't be used on
+	// an endless stream. SetWriteDeadline errors (unsupported writer)
+	// are ignored; writes then simply have no deadline, as before.
+	rc := http.NewResponseController(w)
+	deadline := func() { _ = rc.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout)) }
+
+	if resume && g.cfg.Broker.Log() != nil {
+		g.tailLog(w, r, fl, deadline, pattern, after)
+		return
+	}
+
 	sub, err := g.cfg.Broker.Subscribe(pattern, buffer, policy)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -75,14 +153,6 @@ func (g *Gateway) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	// to read. Those drops are the replay's, not the consumer's — only
 	// drops beyond this baseline count toward eviction.
 	replayDropped := sub.Dropped()
-
-	// Per-write deadlines: a transport-stalled client (dead laptop, NAT
-	// half-open) must fail its write and unwind the pump rather than
-	// block it forever — a global server WriteTimeout can't be used on
-	// an endless stream. SetWriteDeadline errors (unsupported writer)
-	// are ignored; writes then simply have no deadline, as before.
-	rc := http.NewResponseController(w)
-	deadline := func() { _ = rc.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout)) }
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -100,14 +170,13 @@ func (g *Gateway) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	keepAlive := time.NewTicker(g.cfg.KeepAlive)
 	defer keepAlive.Stop()
 
-	eventID := 0
 	for {
 		select {
 		case <-r.Context().Done():
 			return
 		case <-g.ctx.Done():
 			deadline()
-			g.writeGoodbye(w, fl, &eventID, "shutdown", sub.Dropped())
+			g.writeGoodbye(w, fl, "shutdown", sub.Dropped())
 			return
 		case <-keepAlive.C:
 			deadline()
@@ -120,46 +189,196 @@ func (g *Gateway) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			// dropLimit messages is not keeping up, and the backlog we
 			// would write next is exactly what it failed to absorb.
 			// The goodbye reports live-stream losses only, consistent
-			// with the threshold.
+			// with the threshold. (On a durable broker the evicted
+			// client recovers the gap by reconnecting with
+			// Last-Event-ID — resumed streams are log-backed and never
+			// evicted.)
 			if dropped := sub.Dropped() - replayDropped; dropped >= dropLimit {
 				g.slowDisconnects.Add(1)
 				deadline()
-				g.writeGoodbye(w, fl, &eventID, "slow-consumer", dropped)
+				g.writeGoodbye(w, fl, "slow-consumer", dropped)
 				return
 			}
 			msgs := sub.Poll(0)
-			if len(msgs) == 0 {
-				continue
-			}
-			deadline()
+			wrote := 0
 			for _, m := range msgs {
-				if err := writeEvent(w, &eventID, "message", envelopeOf(m)); err != nil {
+				// Best-effort resume without a log: suppress events the
+				// client already saw; history itself is gone.
+				if resume && m.Offset <= after {
+					continue
+				}
+				deadline()
+				if err := writeEvent(w, "message", envelopeOf(m), m.Offset); err != nil {
 					return
 				}
+				wrote++
 			}
-			g.sseEvents.Add(int64(len(msgs)))
+			if wrote == 0 {
+				continue
+			}
+			g.sseEvents.Add(int64(wrote))
 			fl.Flush()
 		}
 	}
 }
 
+// tailLog serves a resuming client directly from the event log: no
+// broker queue at all. The log totally orders delivery by offset, so
+// the stream cannot miss, duplicate, or reorder events — not even when
+// racing publishers offer queue messages out of offset order, or when
+// the client reads slower than the world publishes (the backlog lives
+// on disk, not in a bounded buffer). Each flush tick extends the scan
+// from the cursor; an idle tick costs one offset comparison.
+func (g *Gateway) tailLog(w http.ResponseWriter, r *http.Request, fl http.Flusher, deadline func(), pattern string, after uint64) {
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	deadline()
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	g.sseStreams.Add(1)
+	g.sseActive.Add(1)
+	defer g.sseActive.Add(-1)
+
+	scanCursor, lastSent := after+1, after
+	var err error
+	scanCursor, lastSent, err = g.catchUp(w, r, fl, deadline, pattern, scanCursor, lastSent)
+	if err != nil {
+		g.endTail(w, fl, deadline, err)
+		return
+	}
+
+	flush := time.NewTicker(g.cfg.FlushInterval)
+	defer flush.Stop()
+	keepAlive := time.NewTicker(g.cfg.KeepAlive)
+	defer keepAlive.Stop()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-g.ctx.Done():
+			deadline()
+			g.writeGoodbye(w, fl, "shutdown", 0)
+			return
+		case <-keepAlive.C:
+			deadline()
+			if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-flush.C:
+			if g.cfg.Broker.NextOffset() <= scanCursor {
+				continue
+			}
+			scanCursor, lastSent, err = g.catchUp(w, r, fl, deadline, pattern, scanCursor, lastSent)
+			if err != nil {
+				g.endTail(w, fl, deadline, err)
+				return
+			}
+		}
+	}
+}
+
+// endTail closes a log-tail stream according to why it stopped: silence
+// for a dead client or a cancelled request, a shutdown goodbye when the
+// gateway is draining, and a replay-failed goodbye when the log itself
+// could not be read — the client knows to reconnect rather than wait.
+func (g *Gateway) endTail(w http.ResponseWriter, fl http.Flusher, deadline func(), err error) {
+	switch {
+	case errors.Is(err, errClientGone):
+	case errors.Is(err, errStreamClosed):
+		if g.ctx.Err() != nil {
+			deadline()
+			g.writeGoodbye(w, fl, "shutdown", 0)
+		}
+	default:
+		deadline()
+		g.writeGoodbye(w, fl, "replay-failed", 0)
+	}
+}
+
+// catchUp streams logged history to the client: records with offset >
+// lastSent matching pattern, scanning from scanCursor, looping until
+// the replay reaches the (possibly still advancing) end of the log. It
+// returns the new scan cursor and dedupe cursor. A transient replay
+// error — compaction can remove a segment file between the scan's
+// snapshot and its open — retries with a fresh snapshot; only repeated
+// failure without progress is surfaced, so a recoverable race never
+// silently skips history. Client writes and both contexts are checked
+// per record, so shutdown cannot hang behind a long catch-up.
+func (g *Gateway) catchUp(w http.ResponseWriter, r *http.Request, fl http.Flusher, deadline func(), pattern string, scanCursor, lastSent uint64) (uint64, uint64, error) {
+	retries := 0
+	for {
+		if r.Context().Err() != nil || g.ctx.Err() != nil {
+			return scanCursor, lastSent, errStreamClosed
+		}
+		wrote := 0
+		next, err := g.cfg.Broker.ReplayFrom(scanCursor, pattern, func(m core.Message) error {
+			if r.Context().Err() != nil || g.ctx.Err() != nil {
+				return errStreamClosed
+			}
+			// A retried scan re-reads delivered records; skip them.
+			if m.Offset <= lastSent {
+				return nil
+			}
+			deadline()
+			if werr := writeEvent(w, "message", envelopeOf(m), m.Offset); werr != nil {
+				return errClientGone
+			}
+			lastSent = m.Offset
+			wrote++
+			if wrote%64 == 0 {
+				fl.Flush()
+			}
+			return nil
+		})
+		if wrote > 0 {
+			g.sseEvents.Add(int64(wrote))
+			fl.Flush()
+			retries = 0
+		}
+		if err != nil {
+			if errors.Is(err, errClientGone) || errors.Is(err, errStreamClosed) {
+				return scanCursor, lastSent, err
+			}
+			retries++
+			if retries >= 3 {
+				return scanCursor, lastSent, err
+			}
+			continue
+		}
+		if next <= scanCursor {
+			return next, lastSent, nil
+		}
+		scanCursor = next
+	}
+}
+
 // writeGoodbye emits the terminal event; errors are moot, the stream is
-// ending either way.
-func (g *Gateway) writeGoodbye(w http.ResponseWriter, fl http.Flusher, eventID *int, reason string, dropped int) {
-	_ = writeEvent(w, eventID, "goodbye", map[string]any{
+// ending either way. Goodbyes carry no id: the SSE id is the resume
+// cursor, and a terminal notice must not disturb it.
+func (g *Gateway) writeGoodbye(w http.ResponseWriter, fl http.Flusher, reason string, dropped int) {
+	_ = writeEvent(w, "goodbye", map[string]any{
 		"reason":  reason,
 		"dropped": dropped,
-	})
+	}, 0)
 	fl.Flush()
 }
 
-// writeEvent writes one SSE frame with an incrementing id.
-func writeEvent(w http.ResponseWriter, eventID *int, event string, data any) error {
+// writeEvent writes one SSE frame. id 0 (a message that never passed
+// through a broker, or a goodbye) omits the id: line so the client's
+// Last-Event-ID keeps pointing at real history.
+func writeEvent(w http.ResponseWriter, event string, data any, id uint64) error {
 	body, err := json.Marshal(data)
 	if err != nil {
 		return err
 	}
-	*eventID++
-	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", *eventID, event, body)
+	if id > 0 {
+		_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, event, body)
+	} else {
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, body)
+	}
 	return err
 }
