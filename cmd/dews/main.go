@@ -11,7 +11,7 @@
 //
 //	dews [-seed N] [-years N] [-train N] [-lead N] [-districts a,b,c]
 //	     [-nodes N] [-fetch-parallel N] [-gateway-buffer N] [-serve :8080]
-//	     [-log-dir DIR] [-log-segment-bytes N] [-log-retain 720h]
+//	     [-log-dir DIR] [-log-segment-bytes N] [-log-retain 720h] [-pprof]
 //
 // With -log-dir the broker writes every published message through a
 // durable segmented event log: restarts recover retained topics and the
@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -55,6 +56,7 @@ func run(args []string) error {
 		logSeg    = fs.Int64("log-segment-bytes", 0, "event log segment rotation size in bytes (0 = default 8MiB)")
 		logRetain = fs.Duration("log-retain", 0, "drop sealed log segments older than this (0 = keep forever)")
 		serve     = fs.String("serve", "", "serve the subscription gateway and semantic-web channel on this address after the run")
+		pprofOn   = fs.Bool("pprof", false, "with -serve, also mount net/http/pprof profiling under /debug/pprof/")
 		ablation  = fs.Bool("ablation", false, "run the fusion ablation study instead of the standard table")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -136,6 +138,16 @@ func run(args []string) error {
 		mux, gw, err := system.ServeMux()
 		if err != nil {
 			return err
+		}
+		if *pprofOn {
+			// Off by default: profiling endpoints expose goroutine stacks
+			// and heap contents, so an operator opts in per process.
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			fmt.Printf("\npprof profiling mounted at /debug/pprof/\n")
 		}
 		fmt.Printf("\nserving on %s — gateway: /subscribe /publish /v1/queue /stats /healthz; semantic web: /semweb/* (also /bulletins /sparql /health)\n", *serve)
 		server := &http.Server{

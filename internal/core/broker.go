@@ -273,6 +273,23 @@ func (b *Broker) retain(m Message) {
 	b.retained[m.Topic] = m
 }
 
+// matchPool recycles the scratch slices Publish matches into, so a
+// publish allocates no per-call match slice. Slices are returned to the
+// pool emptied of entry pointers (a pooled slice must not pin departed
+// subscribers).
+var matchPool = sync.Pool{
+	New: func() any { s := make([]*subEntry, 0, 16); return &s },
+}
+
+func putMatched(mp *[]*subEntry) {
+	matched := *mp
+	for i := range matched {
+		matched[i] = nil
+	}
+	*mp = matched[:0]
+	matchPool.Put(mp)
+}
+
 // Publish fans a message out to every matching subscription, retains it,
 // and returns the number of subscriptions it reached. The message is
 // stamped with the next offset and, when a log is attached, written
@@ -282,29 +299,38 @@ func (b *Broker) Publish(m Message) (int, error) {
 	if err := m.Validate(); err != nil {
 		return 0, err
 	}
+	mp := matchPool.Get().(*[]*subEntry)
 	b.mu.Lock()
 	if err := b.stamp(&m); err != nil {
 		b.mu.Unlock()
+		matchPool.Put(mp)
 		return 0, err
 	}
 	b.published++
 	b.retain(m)
-	matched := b.index.match(m.Topic, nil)
+	matched := b.index.match(m.Topic, *mp)
 	b.deliveries += len(matched)
 	b.mu.Unlock()
 
 	for _, e := range matched {
 		e.sub.offer(m)
 	}
-	return len(matched), nil
+	n := len(matched)
+	*mp = matched
+	putMatched(mp)
+	return n, nil
 }
 
 // stamp assigns the next offset and writes the message through to the
-// log when one is attached. Caller holds b.mu.
+// log when one is attached. A durable publish also gets the shared
+// encode cache: the payload JSON marshaled for the log is the same
+// bytes every wire-facing subscriber (the gateway) will reuse, and the
+// cache travels inside every fanned-out copy. Caller holds b.mu.
 func (b *Broker) stamp(m *Message) error {
 	m.Offset = b.nextOffset
 	if b.log != nil {
-		off, err := b.log.Append(recordOf(*m))
+		m.cache = &msgCache{}
+		off, err := b.log.Append(recordOf(m))
 		if err != nil {
 			return err
 		}
@@ -330,9 +356,13 @@ func (b *Broker) PublishBatch(msgs []Message) (int, error) {
 	if len(msgs) == 0 {
 		return 0, nil
 	}
-	matched := make([][]*subEntry, len(msgs))
+	// Matches for the whole batch land in one pooled flat slice with
+	// per-message end offsets — two bookkeeping slices per batch instead
+	// of one match slice per message.
+	mp := matchPool.Get().(*[]*subEntry)
+	ends := make([]int, len(msgs))
+	flat := *mp
 	b.mu.Lock()
-	total := 0
 	for i := range msgs {
 		// A write-through failure mid-batch aborts the batch: earlier
 		// messages are already durable and retained (a restart replays
@@ -340,21 +370,28 @@ func (b *Broker) PublishBatch(msgs []Message) (int, error) {
 		// losing deliveries beats delivering what was never logged.
 		if err := b.stamp(&msgs[i]); err != nil {
 			b.mu.Unlock()
+			*mp = flat
+			putMatched(mp)
 			return 0, err
 		}
 		b.published++
 		b.retain(msgs[i])
-		matched[i] = b.index.match(msgs[i].Topic, nil)
-		total += len(matched[i])
+		flat = b.index.match(msgs[i].Topic, flat)
+		ends[i] = len(flat)
 	}
+	total := len(flat)
 	b.deliveries += total
 	b.mu.Unlock()
 
-	for i, ms := range matched {
-		for _, e := range ms {
+	start := 0
+	for i, end := range ends {
+		for _, e := range flat[start:end] {
 			e.sub.offer(msgs[i])
 		}
+		start = end
 	}
+	*mp = flat
+	putMatched(mp)
 	return total, nil
 }
 

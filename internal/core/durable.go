@@ -3,7 +3,6 @@ package core
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 
 	"repro/internal/eventlog"
 )
@@ -107,21 +106,23 @@ func (b *Broker) SubscribeLive(pattern string, capacity int, policy DropPolicy) 
 	return sub, nil
 }
 
-// recordOf converts a message to its durable form. Payloads that do not
-// marshal (channels, funcs — nothing the system publishes) degrade to
-// their string rendering, mirroring the gateway's wire conversion.
-func recordOf(m Message) eventlog.Record {
-	payload, err := json.Marshal(m.Payload)
-	if err != nil {
-		payload, _ = json.Marshal(fmt.Sprint(m.Payload))
-	}
-	return eventlog.Record{Topic: m.Topic, Time: m.Time, Payload: payload, Headers: m.Headers}
+// recordOf converts a message to its durable form. The payload is
+// marshaled through the message's shared encode cache, so the same
+// bytes written to the log are later reused by wire-facing subscribers
+// (the gateway's SSE frames) without re-marshaling. Payloads that do
+// not marshal (channels, funcs — nothing the system publishes) degrade
+// to their string rendering, mirroring the gateway's wire conversion.
+func recordOf(m *Message) eventlog.Record {
+	return eventlog.Record{Topic: m.Topic, Time: m.Time, Payload: m.PayloadJSON(), Headers: m.Headers}
 }
 
 // messageOf converts a durable record back to a message. Payloads decode
 // to generic JSON values (maps, slices, numbers) — replayed history
 // interoperates structurally, not by Go type, exactly like messages
-// published through the gateway.
+// published through the gateway. The record's raw payload bytes are
+// stashed in the message's encode cache, so a gateway replaying history
+// to SSE clients renders frames from the stored JSON without a decode →
+// re-encode round trip.
 func messageOf(rec eventlog.Record) Message {
 	m := Message{Offset: rec.Offset, Topic: rec.Topic, Time: rec.Time, Headers: rec.Headers}
 	if len(rec.Payload) > 0 {
@@ -131,6 +132,7 @@ func messageOf(rec eventlog.Record) Message {
 		} else {
 			m.Payload = string(rec.Payload)
 		}
+		m.cache = &msgCache{payload: rec.Payload}
 	}
 	return m
 }

@@ -1,10 +1,20 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 )
+
+// cutSeg splits off the next '/'-separated segment of s without
+// allocating: seg is the leading segment, rest is everything after the
+// first '/', and more reports whether rest holds further segments.
+// Iterating cutSeg until !more yields exactly strings.Split(s, "/").
+func cutSeg(s string) (seg, rest string, more bool) {
+	return strings.Cut(s, "/")
+}
 
 // Message is the envelope circulating on the application abstraction
 // layer.
@@ -24,14 +34,87 @@ type Message struct {
 	Payload any
 	// Headers carries string metadata.
 	Headers map[string]string
+
+	// cache, when non-nil, carries lazily built wire encodings shared by
+	// every copy of this message: the broker allocates one cache per
+	// durable publish before fan-out, so the payload JSON is marshaled
+	// once for the event log and reused by every subscriber that needs
+	// wire bytes (the gateway's SSE frames), instead of once per
+	// subscriber.
+	cache *msgCache
 }
 
-// Validate checks envelope well-formedness.
+// msgCache holds the lazily built wire encodings of one published
+// message. All copies of the message share the pointer; the mutex makes
+// concurrent renders (many SSE pumps draining the same publish) build
+// each encoding exactly once.
+type msgCache struct {
+	mu sync.Mutex
+	// payload is the payload marshaled as JSON.
+	payload []byte
+	// frame is an opaque caller-rendered frame (the gateway stores the
+	// complete SSE event bytes here).
+	frame []byte
+}
+
+// marshalPayload renders a payload as JSON. Payloads that do not marshal
+// (channels, funcs — nothing the system publishes) degrade to their
+// string rendering rather than failing the caller.
+func marshalPayload(payload any) []byte {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(payload))
+	}
+	return b
+}
+
+// PayloadJSON returns the message payload marshaled as JSON, building it
+// at most once per published message (copies share the encoding). The
+// returned slice is shared — callers must not modify it.
+func (m Message) PayloadJSON() []byte {
+	if m.cache == nil {
+		return marshalPayload(m.Payload)
+	}
+	m.cache.mu.Lock()
+	defer m.cache.mu.Unlock()
+	if m.cache.payload == nil {
+		m.cache.payload = marshalPayload(m.Payload)
+	}
+	return m.cache.payload
+}
+
+// SharedFrame returns the message's cached wire frame, rendering it with
+// render (which receives the payload JSON) at most once per published
+// message — every subscriber after the first gets the prebuilt bytes.
+// Messages without a cache (in-memory publishes, hand-built messages)
+// render per call. The returned slice is shared — callers must not
+// modify it.
+func (m Message) SharedFrame(render func(payloadJSON []byte) []byte) []byte {
+	if m.cache == nil {
+		return render(marshalPayload(m.Payload))
+	}
+	c := m.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.frame == nil {
+		if c.payload == nil {
+			c.payload = marshalPayload(m.Payload)
+		}
+		c.frame = render(c.payload)
+	}
+	return c.frame
+}
+
+// Validate checks envelope well-formedness. It iterates topic segments
+// in place (no strings.Split) so validating on the publish hot path
+// allocates nothing.
 func (m Message) Validate() error {
 	if m.Topic == "" {
 		return fmt.Errorf("core: message without topic")
 	}
-	for _, seg := range strings.Split(m.Topic, "/") {
+	for rest, more := m.Topic, true; more; {
+		var seg string
+		seg, rest, more = cutSeg(rest)
 		if seg == "" {
 			return fmt.Errorf("core: topic %q has empty segment", m.Topic)
 		}
@@ -45,22 +128,27 @@ func (m Message) Validate() error {
 // TopicMatch reports whether a concrete topic matches a subscription
 // pattern. Patterns use MQTT-style wildcards: '+' matches exactly one
 // segment, '#' (only as the final segment) matches any remainder
-// including none.
+// including none. Both strings are walked segment-by-segment in place —
+// matching allocates nothing.
 func TopicMatch(pattern, topic string) bool {
-	ps := strings.Split(pattern, "/")
-	ts := strings.Split(topic, "/")
-	for i, p := range ps {
+	pRest, tRest := pattern, topic
+	pMore, tMore := true, true
+	for pMore {
+		var p string
+		p, pRest, pMore = cutSeg(pRest)
 		if p == "#" {
-			return i == len(ps)-1
+			return !pMore // '#' matches any remainder, but only as the final segment
 		}
-		if i >= len(ts) {
-			return false
+		if !tMore {
+			return false // topic exhausted with pattern segments left
 		}
-		if p != "+" && p != ts[i] {
+		var t string
+		t, tRest, tMore = cutSeg(tRest)
+		if p != "+" && p != t {
 			return false
 		}
 	}
-	return len(ps) == len(ts)
+	return !tMore // both exhausted together
 }
 
 // ValidatePattern checks a subscription pattern.
@@ -68,14 +156,15 @@ func ValidatePattern(pattern string) error {
 	if pattern == "" {
 		return fmt.Errorf("core: empty subscription pattern")
 	}
-	segs := strings.Split(pattern, "/")
-	for i, s := range segs {
+	for rest, more := pattern, true; more; {
+		var seg string
+		seg, rest, more = cutSeg(rest)
 		switch {
-		case s == "":
+		case seg == "":
 			return fmt.Errorf("core: pattern %q has empty segment", pattern)
-		case s == "#" && i != len(segs)-1:
+		case seg == "#" && more:
 			return fmt.Errorf("core: pattern %q: '#' only allowed at the end", pattern)
-		case strings.ContainsAny(s, "+#") && len(s) > 1:
+		case strings.ContainsAny(seg, "+#") && len(seg) > 1:
 			return fmt.Errorf("core: pattern %q: wildcard must be a whole segment", pattern)
 		}
 	}

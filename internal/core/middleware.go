@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -53,6 +54,49 @@ type Middleware struct {
 	ikTracker   *ik.InformantTracker
 	// ikOutOfOrder totals IK events skipped as stale by the CEP shards.
 	ikOutOfOrder atomic.Int64
+	// scratch recycles the per-cycle ingest batch buffers (message and
+	// district slices, the per-district CEP grouping) across cycles.
+	// Overlapping cycles each check out their own scratch, so reuse is
+	// safe under the same concurrency the CEP shard locks permit.
+	scratch sync.Pool
+	// unitHeaders interns the one-entry {"unit": u} header map per unit:
+	// every observation on the same unit shares one immutable map
+	// instead of allocating its own.
+	unitHeaders sync.Map // string -> map[string]string
+}
+
+// ingestScratch is one cycle's reusable batch state.
+type ingestScratch struct {
+	msgs       []Message
+	districts  []string
+	byDistrict map[string][]cep.Event
+}
+
+func (m *Middleware) getScratch() *ingestScratch {
+	if s, ok := m.scratch.Get().(*ingestScratch); ok {
+		// Truncate, keeping capacity. Message values are copied into
+		// subscriber queues during PublishBatch and CEP events are
+		// consumed synchronously by the shards, so nothing aliases the
+		// backing arrays after the previous cycle returned.
+		s.msgs = s.msgs[:0]
+		s.districts = s.districts[:0]
+		for d, evs := range s.byDistrict {
+			s.byDistrict[d] = evs[:0]
+		}
+		return s
+	}
+	return &ingestScratch{byDistrict: make(map[string][]cep.Event)}
+}
+
+// unitHeader returns the shared header map for a unit. The maps are
+// never mutated after creation (everything downstream treats message
+// headers as read-only).
+func (m *Middleware) unitHeader(unit string) map[string]string {
+	if h, ok := m.unitHeaders.Load(unit); ok {
+		return h.(map[string]string)
+	}
+	h, _ := m.unitHeaders.LoadOrStore(unit, map[string]string{"unit": unit})
+	return h.(map[string]string)
 }
 
 // New assembles the middleware.
@@ -111,18 +155,24 @@ func (m *Middleware) Ingest(limit int) (IngestReport, error) {
 	rep.Failed = failed
 
 	// Stage 2: publish the unified observations in one batch (a single
-	// broker lock acquisition instead of one per record).
-	msgs := make([]Message, len(records))
-	districts := make([]string, len(records))
-	for i, rec := range records {
-		districts[i] = districtSlug(rec.Feature)
-		msgs[i] = Message{
-			Topic:   TopicObservation(districts[i], rec.Property.LocalName()),
+	// broker lock acquisition instead of one per record). Batch slices
+	// and the per-district grouping come from the cycle scratch pool and
+	// are reused across cycles instead of reallocated.
+	scratch := m.getScratch()
+	defer m.scratch.Put(scratch)
+	msgs := scratch.msgs
+	districts := scratch.districts
+	for _, rec := range records {
+		d := districtSlug(rec.Feature)
+		districts = append(districts, d)
+		msgs = append(msgs, Message{
+			Topic:   TopicObservation(d, rec.Property.LocalName()),
 			Time:    rec.Time,
 			Payload: rec,
-			Headers: map[string]string{"unit": rec.Unit.LocalName()},
-		}
+			Headers: m.unitHeader(rec.Unit.LocalName()),
+		})
 	}
+	scratch.msgs, scratch.districts = msgs, districts
 	if _, err := m.broker.PublishBatch(msgs); err != nil {
 		return rep, err
 	}
@@ -138,8 +188,9 @@ func (m *Middleware) Ingest(limit int) (IngestReport, error) {
 	}
 
 	// Stage 4: CEP, fanned out to per-district shards. Arrival order is
-	// preserved within each district.
-	byDistrict := make(map[string][]cep.Event)
+	// preserved within each district. The grouping map and its event
+	// slices are scratch — emptied, not freed, between cycles.
+	byDistrict := scratch.byDistrict
 	for i, rec := range records {
 		byDistrict[districts[i]] = append(byDistrict[districts[i]], cep.Event{
 			Type:       rec.Property.LocalName(),
@@ -169,8 +220,16 @@ func (m *Middleware) runCEPShards(byDistrict map[string][]cep.Event) (inferences
 		return 0, 0, nil
 	}
 	order := make([]string, 0, len(byDistrict))
-	for d := range byDistrict {
-		order = append(order, d)
+	for d, evs := range byDistrict {
+		// Scratch maps keep keys from earlier cycles with emptied
+		// slices; a district with no events this cycle has no shard
+		// work.
+		if len(evs) > 0 {
+			order = append(order, d)
+		}
+	}
+	if len(order) == 0 {
+		return 0, 0, nil
 	}
 	sort.Strings(order)
 

@@ -1,7 +1,5 @@
 package core
 
-import "strings"
-
 // topicTree is a segment-based subscription index. Each pattern is
 // inserted once, at the node its segments lead to; '+' descends into a
 // dedicated single-level child, '#' terminates at the node covering its
@@ -9,7 +7,9 @@ import "strings"
 // a concrete topic walks the exact child and the '+' child at every
 // level, so cost is O(depth × branching of wildcards + matches) and —
 // unlike a linear scan over all subscriptions — independent of the
-// total subscription count.
+// total subscription count. Topics and patterns are walked with cutSeg
+// (substrings of the original string), so no tree operation allocates a
+// segment slice.
 type topicTree struct {
 	root *trieNode
 }
@@ -40,7 +40,9 @@ func (n *trieNode) empty() bool {
 // insert registers an entry under its (already validated) pattern.
 func (t *topicTree) insert(pattern string, e *subEntry) {
 	node := t.root
-	for _, seg := range strings.Split(pattern, "/") {
+	for rest, more := pattern, true; more; {
+		var seg string
+		seg, rest, more = cutSeg(rest)
 		if seg == "#" { // validated: always the final segment
 			if node.hashSubs == nil {
 				node.hashSubs = make(map[int]*subEntry)
@@ -61,6 +63,10 @@ func (t *topicTree) insert(pattern string, e *subEntry) {
 			next = node.children[seg]
 			if next == nil {
 				next = newTrieNode()
+				// The map key must not alias a caller-held string's
+				// backing array beyond the pattern itself; seg is a
+				// substring of pattern, which the tree already retains
+				// via subEntry, so storing it directly is fine.
 				node.children[seg] = next
 			}
 		}
@@ -74,24 +80,26 @@ func (t *topicTree) insert(pattern string, e *subEntry) {
 
 // remove deletes an entry by pattern and id, pruning empty branches.
 func (t *topicTree) remove(pattern string, id int) {
-	t.removeFrom(t.root, strings.Split(pattern, "/"), id)
+	t.removeFrom(t.root, pattern, true, id)
 }
 
-func (t *topicTree) removeFrom(node *trieNode, segs []string, id int) bool {
-	if len(segs) == 0 {
+// removeFrom recurses along the pattern's segments; rest is the
+// unconsumed remainder and has reports whether any segments remain.
+func (t *topicTree) removeFrom(node *trieNode, rest string, has bool, id int) bool {
+	if !has {
 		delete(node.subs, id)
 		return node.empty()
 	}
-	seg := segs[0]
+	seg, next, more := cutSeg(rest)
 	switch seg {
 	case "#":
 		delete(node.hashSubs, id)
 	case "+":
-		if node.plus != nil && t.removeFrom(node.plus, segs[1:], id) {
+		if node.plus != nil && t.removeFrom(node.plus, next, more, id) {
 			node.plus = nil
 		}
 	default:
-		if child := node.children[seg]; child != nil && t.removeFrom(child, segs[1:], id) {
+		if child := node.children[seg]; child != nil && t.removeFrom(child, next, more, id) {
 			delete(node.children, seg)
 		}
 	}
@@ -103,25 +111,28 @@ func (t *topicTree) removeFrom(node *trieNode, segs []string, id int) bool {
 // exactly once: patterns live at a single node, and the walk reaches
 // each node along at most one path.
 func (t *topicTree) match(topic string, dst []*subEntry) []*subEntry {
-	return t.matchFrom(t.root, strings.Split(topic, "/"), dst)
+	return t.matchFrom(t.root, topic, true, dst)
 }
 
-func (t *topicTree) matchFrom(node *trieNode, segs []string, dst []*subEntry) []*subEntry {
+// matchFrom recurses along the topic's segments; rest is the unconsumed
+// remainder and has reports whether any segments remain.
+func (t *topicTree) matchFrom(node *trieNode, rest string, has bool, dst []*subEntry) []*subEntry {
 	// '#' at this level covers any remainder, including none.
 	for _, e := range node.hashSubs {
 		dst = append(dst, e)
 	}
-	if len(segs) == 0 {
+	if !has {
 		for _, e := range node.subs {
 			dst = append(dst, e)
 		}
 		return dst
 	}
-	if child, ok := node.children[segs[0]]; ok {
-		dst = t.matchFrom(child, segs[1:], dst)
+	seg, next, more := cutSeg(rest)
+	if child, ok := node.children[seg]; ok {
+		dst = t.matchFrom(child, next, more, dst)
 	}
 	if node.plus != nil {
-		dst = t.matchFrom(node.plus, segs[1:], dst)
+		dst = t.matchFrom(node.plus, next, more, dst)
 	}
 	return dst
 }

@@ -8,4 +8,10 @@
 // blocking appends. Offsets are assigned densely from 1 and never reused,
 // so they double as resume cursors for streaming consumers (the gateway's
 // SSE Last-Event-ID rides on them).
+//
+// The record body format is versioned per segment (see codec.go): new
+// segments use the compact binary v2 codec — encoded into a pooled
+// buffer, decoded without reflection — while headerless v1 (JSON-era)
+// segments remain fully readable, so a log directory written by an
+// older release opens, replays and compacts unchanged.
 package eventlog

@@ -2,6 +2,7 @@ package eventlog
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -30,6 +31,13 @@ const (
 	// uint32 CRC of the body.
 	frameHeader = 8
 	segSuffix   = ".seg"
+	// writeBufBytes sizes the append buffer in front of the active
+	// segment: appends cost a memcpy, and the buffer drains to the OS on
+	// the fsync tick or whenever a reader snapshots the log.
+	writeBufBytes = 64 << 10
+	// encBufMax caps the retained encode buffer; a one-off huge record
+	// must not pin its footprint forever.
+	encBufMax = 1 << 20
 )
 
 // castagnoli is the CRC polynomial used for record framing (same choice
@@ -39,7 +47,9 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Record is one durable event. Payload is raw JSON — the log stores the
 // wire form, not Go types, so a replayed payload decodes to generic
-// values exactly like a message published through the gateway.
+// values exactly like a message published through the gateway. The JSON
+// tags are the v1 on-disk body format; v2 segments store the same fields
+// in the compact binary layout described in codec.go.
 type Record struct {
 	// Offset is the log-assigned dense sequence number (first record is
 	// offset 1). On Append the field is ignored and assigned.
@@ -105,11 +115,15 @@ type Stats struct {
 	// the last one and an exponential moving average. FsyncFailures is
 	// non-zero when the disk refused a flush — the affected appends stay
 	// buffer-only until a retry succeeds.
-	Fsyncs           uint64  `json:"fsyncs"`
-	FsyncFailures    uint64  `json:"fsync_failures"`
-	LastFsyncMicros  int64   `json:"last_fsync_micros"`
-	FsyncEWMAMicros  float64 `json:"fsync_ewma_micros"`
-	CompactedDropped uint64  `json:"compacted_segments"`
+	Fsyncs          uint64  `json:"fsyncs"`
+	FsyncFailures   uint64  `json:"fsync_failures"`
+	LastFsyncMicros int64   `json:"last_fsync_micros"`
+	FsyncEWMAMicros float64 `json:"fsync_ewma_micros"`
+	// SealFailures counts segment rotations that failed and were left
+	// for a later append to retry (the active segment keeps growing in
+	// the meantime; no data is lost).
+	SealFailures     uint64 `json:"seal_failures"`
+	CompactedDropped uint64 `json:"compacted_segments"`
 }
 
 // segment is one on-disk file holding records [base, base+count).
@@ -118,6 +132,9 @@ type segment struct {
 	path  string
 	bytes int64
 	count int
+	// version is the record body format (segVersionV1 JSON, segVersionV2
+	// binary); new segments are always v2.
+	version uint8
 	// sealedAt is when the segment stopped being active (zero while
 	// active); retention-by-age measures from it.
 	sealedAt time.Time
@@ -134,8 +151,15 @@ type Log struct {
 	mu       sync.Mutex
 	segments []*segment
 	active   *os.File
-	dirty    bool
-	closed   bool
+	// w buffers appends to the active segment; it is flushed before any
+	// reader snapshot and before every fsync, so readers and durability
+	// always see a complete-frame prefix.
+	w *bufio.Writer
+	// encBuf is the reused v2 frame-encode buffer: appends build
+	// [header][body] here in place, so the hot path allocates nothing.
+	encBuf []byte
+	dirty  bool
+	closed bool
 	// compactMu serializes retention sweeps so two concurrent Compacts
 	// cannot pick overlapping drop sets.
 	compactMu sync.Mutex
@@ -143,6 +167,7 @@ type Log struct {
 	appended      uint64
 	fsyncs        uint64
 	fsyncFailures uint64
+	sealFailures  uint64
 	lastFsync     time.Duration
 	fsyncEWMA     float64
 	compacted     uint64
@@ -173,7 +198,11 @@ func Open(cfg Config) (*Log, error) {
 }
 
 // load scans the directory, validates every segment, truncates a torn
-// tail on the last one, and opens the active segment for append.
+// tail on the last one, and opens the active segment for append. A log
+// written by a v1 (JSON codec) release migrates transparently: its
+// sealed segments stay v1 and readable, and its tail is either sealed
+// (when it holds records) or rewritten in place (when empty) so appends
+// always land in a v2 segment.
 func (l *Log) load() error {
 	names, err := filepath.Glob(filepath.Join(l.cfg.Dir, "*"+segSuffix))
 	if err != nil {
@@ -193,10 +222,11 @@ func (l *Log) load() error {
 	}
 	for i, seg := range l.segments {
 		last := i == len(l.segments)-1
-		count, good, err := scanSegment(seg.path, last)
+		version, count, good, err := scanSegment(seg.path, last)
 		if err != nil {
 			return err
 		}
+		seg.version = version
 		seg.count = count
 		seg.bytes = good
 		if info, err := os.Stat(seg.path); err == nil {
@@ -212,43 +242,82 @@ func (l *Log) load() error {
 	if err != nil {
 		return fmt.Errorf("eventlog: %w", err)
 	}
-	// Truncate the torn tail (no-op when the segment is clean) and seek
-	// to the append position.
+	// Truncate the torn tail (no-op when the segment is clean).
 	if err := f.Truncate(tail.bytes); err != nil {
 		f.Close()
 		return fmt.Errorf("eventlog: truncating torn tail of %s: %w", tail.path, err)
 	}
-	if _, err := f.Seek(tail.bytes, io.SeekStart); err != nil {
+	if tail.version != segVersionV2 {
+		if tail.count > 0 {
+			// A v1 tail with records: leave it sealed as-is and start a
+			// fresh v2 segment for new appends — formats never mix
+			// within one file.
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("eventlog: %w", err)
+			}
+			return l.startSegment(tail.end())
+		}
+		// An empty (or headerless torn) tail holds nothing to preserve:
+		// rewrite it in place as a v2 segment.
+		if _, err := f.Write(segMagicV2[:]); err != nil {
+			f.Close()
+			return fmt.Errorf("eventlog: writing v2 header to %s: %w", tail.path, err)
+		}
+		tail.version = segVersionV2
+		tail.bytes = segHeaderLen
+		l.dirty = true
+	} else if _, err := f.Seek(tail.bytes, io.SeekStart); err != nil {
 		f.Close()
 		return fmt.Errorf("eventlog: %w", err)
 	}
 	tail.sealedAt = time.Time{}
 	l.active = f
+	l.w = bufio.NewWriterSize(f, writeBufBytes)
 	return nil
 }
 
-// scanSegment walks a segment's frames and returns the record count and
-// the byte length of the valid prefix. A corrupt or incomplete frame is
-// a truncation point when tail is set (crash recovery keeps every
-// complete record) and a hard error otherwise: torn writes only ever
-// happen at the end of the last segment.
-func scanSegment(path string, tail bool) (int, int64, error) {
+// scanSegment sniffs a segment's format version and walks its frames,
+// returning the version, record count and byte length of the valid
+// prefix. A corrupt or incomplete frame is a truncation point when tail
+// is set (crash recovery keeps every complete record) and a hard error
+// otherwise: torn writes only ever happen at the end of the last
+// segment. Only frame integrity (length + CRC) is checked here — record
+// bodies are not decoded, so recovery cost is a sequential read.
+func scanSegment(path string, tail bool) (uint8, int, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, fmt.Errorf("eventlog: %w", err)
+		return 0, 0, 0, fmt.Errorf("eventlog: %w", err)
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 64<<10)
 	var (
-		count  int
-		good   int64
-		header [frameHeader]byte
-		body   []byte
+		version = uint8(segVersionV1)
+		count   int
+		good    int64
+		header  [frameHeader]byte
+		body    []byte
 	)
+	if head, err := r.Peek(segHeaderLen); err != nil {
+		// Fewer than 8 bytes total: an empty file is a valid (v1-era or
+		// just-created) empty segment; a 1..7-byte file is torn.
+		if len(head) == 0 {
+			return segVersionV1, 0, 0, nil
+		}
+		if !tail {
+			return 0, 0, 0, fmt.Errorf("eventlog: segment %s corrupt at byte 0", path)
+		}
+		return segVersionV1, 0, 0, nil
+	} else if bytes.Equal(head, segMagicV2[:]) {
+		version = segVersionV2
+		if _, err := r.Discard(segHeaderLen); err != nil {
+			return 0, 0, 0, fmt.Errorf("eventlog: %w", err)
+		}
+		good = segHeaderLen
+	}
 	for {
 		if _, err := io.ReadFull(r, header[:]); err != nil {
 			if err == io.EOF {
-				return count, good, nil
+				return version, count, good, nil
 			}
 			break // torn header
 		}
@@ -271,43 +340,95 @@ func scanSegment(path string, tail bool) (int, int64, error) {
 		good += frameHeader + int64(n)
 	}
 	if !tail {
-		return 0, 0, fmt.Errorf("eventlog: segment %s corrupt at byte %d", path, good)
+		return 0, 0, 0, fmt.Errorf("eventlog: segment %s corrupt at byte %d", path, good)
 	}
-	return count, good, nil
+	return version, count, good, nil
 }
 
-// startSegment creates and activates an empty segment whose first record
-// will be base. Caller holds l.mu (or is single-threaded in load).
+// startSegment creates and activates an empty v2 segment whose first
+// record will be base, writing the format header through the append
+// buffer. Caller holds l.mu (or is single-threaded in load).
 func (l *Log) startSegment(base uint64) error {
 	path := filepath.Join(l.cfg.Dir, fmt.Sprintf("%020d%s", base, segSuffix))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("eventlog: %w", err)
 	}
-	l.segments = append(l.segments, &segment{base: base, path: path})
+	l.segments = append(l.segments, &segment{base: base, path: path, version: segVersionV2, bytes: segHeaderLen})
 	l.active = f
+	if l.w == nil {
+		l.w = bufio.NewWriterSize(f, writeBufBytes)
+	} else {
+		l.w.Reset(f)
+	}
+	if _, err := l.w.Write(segMagicV2[:]); err != nil {
+		return fmt.Errorf("eventlog: %w", err)
+	}
+	l.dirty = true
 	return nil
 }
 
-// sealActive fsyncs and closes the active segment and opens a fresh one.
-// Caller holds l.mu.
-func (l *Log) sealActive() error {
-	tail := l.segments[len(l.segments)-1]
-	if err := l.active.Sync(); err != nil {
-		return fmt.Errorf("eventlog: %w", err)
+// flushLocked drains the append buffer to the OS. Caller holds l.mu. A
+// failed flush re-marks the log dirty so the sync loop retries.
+func (l *Log) flushLocked() error {
+	if l.w == nil {
+		return nil
 	}
-	if err := l.active.Close(); err != nil {
-		return fmt.Errorf("eventlog: %w", err)
+	if err := l.w.Flush(); err != nil {
+		l.dirty = true
+		return fmt.Errorf("eventlog: flushing append buffer: %w", err)
 	}
-	tail.sealedAt = time.Now()
-	l.dirty = false
-	return l.startSegment(tail.end())
+	return nil
 }
 
-// Append assigns the next offset, frames and writes the record to the
+// sealActive flushes, fsyncs and closes the active segment and swaps in
+// a fresh one. The replacement file is created *first*: any failure
+// before the swap leaves the current segment active and untouched (it
+// simply keeps growing past SegmentBytes and rotation retries on the
+// next append), so a transient disk error can never wedge the log or
+// lose an already-written record. Caller holds l.mu.
+func (l *Log) sealActive() error {
+	tail := l.segments[len(l.segments)-1]
+	path := filepath.Join(l.cfg.Dir, fmt.Sprintf("%020d%s", tail.end(), segSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("eventlog: %w", err)
+	}
+	abort := func(err error) error {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := l.flushLocked(); err != nil {
+		return abort(err)
+	}
+	if err := l.active.Sync(); err != nil {
+		return abort(fmt.Errorf("eventlog: %w", err))
+	}
+	// A Close failure after a successful sync cannot lose data; swap to
+	// the new segment regardless so appends continue.
+	closeErr := l.active.Close()
+	tail.sealedAt = time.Now()
+	l.dirty = false
+	l.segments = append(l.segments, &segment{base: tail.end(), path: path, version: segVersionV2, bytes: segHeaderLen})
+	l.active = f
+	l.w.Reset(f)
+	if _, err := l.w.Write(segMagicV2[:]); err != nil {
+		return fmt.Errorf("eventlog: %w", err)
+	}
+	l.dirty = true
+	if closeErr != nil {
+		return fmt.Errorf("eventlog: closing sealed segment: %w", closeErr)
+	}
+	return nil
+}
+
+// Append assigns the next offset, encodes the record with the v2 binary
+// codec into the log's reused frame buffer, writes it to the buffered
 // active segment, and rotates the segment when it exceeds SegmentBytes.
-// The write is buffered by the OS; durability arrives with the next
-// batched fsync (or Sync/Close).
+// The hot path does no per-record heap allocation beyond growing the
+// reused buffer; durability arrives with the next batched fsync (or
+// Sync/Close).
 func (l *Log) Append(rec Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -316,18 +437,25 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	}
 	tail := l.segments[len(l.segments)-1]
 	rec.Offset = tail.end()
-	body, err := json.Marshal(rec)
-	if err != nil {
-		return 0, fmt.Errorf("eventlog: encoding record: %w", err)
+	if cap(l.encBuf) < frameHeader {
+		l.encBuf = make([]byte, frameHeader, 4<<10)
 	}
+	frame := appendRecordV2(l.encBuf[:frameHeader], &rec)
+	// Keep the buffer for the next append unless this record blew it up
+	// past the retention cap (including on the oversize error path — a
+	// rejected 20 MiB record must not pin 20 MiB forever).
+	if cap(frame) <= encBufMax {
+		l.encBuf = frame[:0]
+	} else {
+		l.encBuf = nil
+	}
+	body := frame[frameHeader:]
 	if len(body) > maxRecordBytes {
 		return 0, fmt.Errorf("eventlog: record of %d bytes exceeds limit %d", len(body), maxRecordBytes)
 	}
-	frame := make([]byte, frameHeader+len(body))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, castagnoli))
-	copy(frame[frameHeader:], body)
-	if _, err := l.active.Write(frame); err != nil {
+	if _, err := l.w.Write(frame); err != nil {
 		return 0, fmt.Errorf("eventlog: %w", err)
 	}
 	tail.count++
@@ -335,8 +463,15 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	l.appended++
 	l.dirty = true
 	if tail.bytes >= l.cfg.SegmentBytes {
+		// The record is already written and counted, so a rotation
+		// failure must not fail the append — a caller (the broker)
+		// treats an Append error as "record did not happen" and would
+		// desync its offset sequence from the log. sealActive leaves the
+		// current segment active and consistent on failure; rotation
+		// retries on the next append, and the failure is visible in
+		// Stats.
 		if err := l.sealActive(); err != nil {
-			return 0, err
+			l.sealFailures++
 		}
 	}
 	return rec.Offset, nil
@@ -368,10 +503,11 @@ func (l *Log) oldestLocked() uint64 {
 
 // segView is an immutable snapshot of one segment's readable extent.
 type segView struct {
-	base  uint64
-	path  string
-	bytes int64
-	count int
+	base    uint64
+	path    string
+	bytes   int64
+	count   int
+	version uint8
 }
 
 // Scan streams records with offset >= from to fn, in offset order, up to
@@ -388,37 +524,51 @@ func (l *Log) Scan(from uint64, fn func(Record) error) (uint64, error) {
 		l.mu.Unlock()
 		return 0, errors.New("eventlog: log is closed")
 	}
+	// Readers see what the snapshot claims, so the append buffer must be
+	// on disk (well, in the page cache) before the views are taken.
+	if err := l.flushLocked(); err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
 	views := make([]segView, 0, len(l.segments))
 	for _, seg := range l.segments {
-		views = append(views, segView{base: seg.base, path: seg.path, bytes: seg.bytes, count: seg.count})
+		views = append(views, segView{base: seg.base, path: seg.path, bytes: seg.bytes, count: seg.count, version: seg.version})
 	}
 	l.mu.Unlock()
 
 	next := views[len(views)-1].base + uint64(views[len(views)-1].count)
+	var dec decoder
 	for _, v := range views {
 		if v.count == 0 || v.base+uint64(v.count) <= from {
 			continue
 		}
-		if err := scanView(v, from, fn); err != nil {
+		if err := scanView(&dec, v, from, fn); err != nil {
 			return next, err
 		}
 	}
 	return next, nil
 }
 
-// scanView reads one segment snapshot, calling fn for records >= from.
-// Reads are buffered, and bodies below the cursor are skipped with
-// Discard instead of copied/checksummed — a tail catch-up pays for the
-// gap, not for re-decoding the whole segment.
-func scanView(v segView, from uint64, fn func(Record) error) error {
+// scanView reads one segment snapshot, calling fn for records >= from,
+// decoding bodies with the segment's format version. Reads are buffered,
+// and bodies below the cursor are skipped with Discard instead of
+// copied/checksummed — a tail catch-up pays for the gap, not for
+// re-decoding the whole segment.
+func scanView(dec *decoder, v segView, from uint64, fn func(Record) error) error {
 	f, err := os.Open(v.path)
 	if err != nil {
 		return fmt.Errorf("eventlog: %w", err)
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(io.LimitReader(f, v.bytes), 64<<10)
+	if v.version == segVersionV2 {
+		if _, err := r.Discard(segHeaderLen); err != nil {
+			return fmt.Errorf("eventlog: segment %s missing v2 header: %w", v.path, err)
+		}
+	}
 	var header [frameHeader]byte
 	var body []byte
+	var rec Record
 	for off := v.base; off < v.base+uint64(v.count); off++ {
 		if _, err := io.ReadFull(r, header[:]); err != nil {
 			return fmt.Errorf("eventlog: segment %s short at offset %d: %w", v.path, off, err)
@@ -444,9 +594,8 @@ func scanView(v segView, from uint64, fn func(Record) error) error {
 		if crc32.Checksum(body, castagnoli) != crc {
 			return fmt.Errorf("eventlog: segment %s CRC mismatch at offset %d", v.path, off)
 		}
-		var rec Record
-		if err := json.Unmarshal(body, &rec); err != nil {
-			return fmt.Errorf("eventlog: segment %s undecodable record at offset %d: %w", v.path, off, err)
+		if err := dec.decodeRecord(v.version, body, &rec); err != nil {
+			return fmt.Errorf("eventlog: segment %s record at offset %d: %w", v.path, off, err)
 		}
 		if rec.Offset != off {
 			return fmt.Errorf("eventlog: segment %s offset mismatch: frame %d carries %d", v.path, off, rec.Offset)
@@ -479,12 +628,17 @@ func (l *Log) Read(from uint64, max int) ([]Record, uint64, error) {
 	return out, next, nil
 }
 
-// Sync forces an immediate fsync of the active segment.
+// Sync flushes the append buffer and forces an immediate fsync of the
+// active segment.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return errors.New("eventlog: log is closed")
+	}
+	if err := l.flushLocked(); err != nil {
+		l.mu.Unlock()
+		return err
 	}
 	f := l.active
 	l.dirty = false
@@ -536,6 +690,11 @@ func (l *Log) syncLoop() {
 		case <-tick.C:
 			l.mu.Lock()
 			if l.closed || !l.dirty {
+				l.mu.Unlock()
+				continue
+			}
+			if err := l.flushLocked(); err != nil {
+				l.fsyncFailures++
 				l.mu.Unlock()
 				continue
 			}
@@ -629,6 +788,7 @@ func (l *Log) Stats() Stats {
 		FsyncFailures:    l.fsyncFailures,
 		LastFsyncMicros:  l.lastFsync.Microseconds(),
 		FsyncEWMAMicros:  l.fsyncEWMA,
+		SealFailures:     l.sealFailures,
 		CompactedDropped: l.compacted,
 	}
 }
@@ -643,6 +803,12 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	close(l.stop)
+	if err := l.flushLocked(); err != nil {
+		l.mu.Unlock()
+		l.wg.Wait()
+		l.active.Close()
+		return err
+	}
 	l.mu.Unlock()
 	l.wg.Wait()
 	if err := l.active.Sync(); err != nil {

@@ -302,6 +302,51 @@ func TestConcurrentAppendScanCompact(t *testing.T) {
 	}
 }
 
+// TestRotationFailureDoesNotFailAppend: a segment rotation that cannot
+// create its replacement file must not fail the append (the record is
+// already written and counted — an error here would desync the broker's
+// offset sequence from the log) and must leave the active segment
+// consistent so a later rotation retries. The failure is forced with an
+// O_EXCL collision: a file pre-planted at the next segment's path.
+func TestRotationFailureDoesNotFailAppend(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Config{SegmentBytes: 1}) // every append wants to rotate
+	blocker := filepath.Join(dir, fmt.Sprintf("%020d%s", 2, segSuffix))
+	if err := os.WriteFile(blocker, []byte("in the way"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	off, err := l.Append(Record{Topic: "obs/x/Rainfall", Time: time.Now()})
+	if err != nil || off != 1 {
+		t.Fatalf("append during blocked rotation: offset %d err %v, want 1 <nil>", off, err)
+	}
+	if st := l.Stats(); st.SealFailures != 1 {
+		t.Fatalf("SealFailures = %d, want 1", st.SealFailures)
+	}
+	// The next append lands in the still-active segment and its rotation
+	// (to base 3, unblocked) succeeds.
+	off, err = l.Append(Record{Topic: "obs/x/Rainfall", Time: time.Now()})
+	if err != nil || off != 2 {
+		t.Fatalf("append after blocked rotation: offset %d err %v, want 2 <nil>", off, err)
+	}
+	if st := l.Stats(); st.Segments != 2 || st.NextOffset != 3 {
+		t.Fatalf("stats after recovery: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the planted junk (it is not a log segment) and verify a
+	// clean reopen sees both records.
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	l = openT(t, dir, Config{})
+	defer l.Close()
+	recs, _, err := l.Read(0, 0)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("reopen after rotation failure: %d records err %v", len(recs), err)
+	}
+}
+
 func TestStatsShape(t *testing.T) {
 	l := openT(t, t.TempDir(), Config{FsyncInterval: time.Millisecond})
 	defer l.Close()

@@ -205,15 +205,13 @@ type Envelope struct {
 	Headers map[string]string `json:"headers,omitempty"`
 }
 
-// envelopeOf converts an in-process message to its wire form. Payloads
-// that do not marshal (channels, funcs — nothing the system publishes)
-// degrade to their string rendering rather than failing the stream.
+// envelopeOf converts an in-process message to its wire form, reusing
+// the payload JSON already marshaled for the event log when the message
+// carries one. Payloads that do not marshal (channels, funcs — nothing
+// the system publishes) degrade to their string rendering rather than
+// failing the stream.
 func envelopeOf(m core.Message) Envelope {
-	payload, err := json.Marshal(m.Payload)
-	if err != nil {
-		payload, _ = json.Marshal(fmt.Sprint(m.Payload))
-	}
-	return Envelope{Offset: m.Offset, Topic: m.Topic, Time: m.Time, Payload: payload, Headers: m.Headers}
+	return Envelope{Offset: m.Offset, Topic: m.Topic, Time: m.Time, Payload: m.PayloadJSON(), Headers: m.Headers}
 }
 
 // message converts a wire envelope to a core.Message. JSON payloads

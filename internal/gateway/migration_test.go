@@ -1,0 +1,93 @@
+package gateway
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// writeV1LogDir lays a v1-era (JSON codec, headerless segment) event log
+// on disk, as the PR 3 release wrote it: n tick records on
+// "evt/stream/tick" with seq payloads 0..n-1, offsets 1..n, one segment.
+// The gateway must serve SSE resume over such a directory unchanged
+// after the v2 codec upgrade.
+func writeV1LogDir(t *testing.T, dir string, n int) {
+	t.Helper()
+	castagnoli := crc32.MakeTable(crc32.Castagnoli)
+	var buf []byte
+	for i := 0; i < n; i++ {
+		body, err := json.Marshal(map[string]any{
+			"offset":  i + 1,
+			"topic":   "evt/stream/tick",
+			"time":    time.Date(2015, 1, 1, 0, 0, i, 0, time.UTC),
+			"payload": map[string]any{"seq": i},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var head [8]byte
+		binary.LittleEndian.PutUint32(head[0:4], uint32(len(body)))
+		binary.LittleEndian.PutUint32(head[4:8], crc32.Checksum(body, castagnoli))
+		buf = append(buf, head[:]...)
+		buf = append(buf, body...)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%020d.seg", 1))
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSSEResumeAcrossCodecMigration: a client resumes against a broker
+// recovered from a v1-era log that has since accepted v2 appends — the
+// stream must deliver the full mixed-version history in offset order,
+// exactly once, straight across the format boundary.
+func TestSSEResumeAcrossCodecMigration(t *testing.T) {
+	dir := t.TempDir()
+	writeV1LogDir(t, dir, 6)
+
+	b, srv := durableGateway(t, dir, nil)
+	if next := b.NextOffset(); next != 7 {
+		t.Fatalf("broker recovered NextOffset %d from v1 log, want 7", next)
+	}
+	// New publishes append v2 records behind the v1 history.
+	publishTicks(t, b, 4)
+
+	s := resumeSSE(t, srv, "evt/#", "", map[string]string{"from": "1"})
+	for want := uint64(1); want <= 10; want++ {
+		id, env := nextMessage(t, s)
+		if id != want {
+			t.Fatalf("resumed stream delivered offset %d, want %d", id, want)
+		}
+		var payload struct{ Seq int }
+		if err := json.Unmarshal(env.Payload, &payload); err != nil {
+			t.Fatalf("offset %d payload %s: %v", id, env.Payload, err)
+		}
+		// v1 records carry seq 0..5 (offsets 1..6), the v2 ticks 0..3
+		// (offsets 7..10).
+		wantSeq := int(want) - 1
+		if want > 6 {
+			wantSeq = int(want) - 7
+		}
+		if payload.Seq != wantSeq {
+			t.Fatalf("offset %d carries seq %d, want %d", id, payload.Seq, wantSeq)
+		}
+	}
+	s.Close()
+
+	// And a live (non-resumed) subscriber over the migrated broker still
+	// gets retained replay + live messages.
+	if _, err := b.Publish(core.Message{
+		Topic:   "evt/stream/tick",
+		Time:    time.Now(),
+		Payload: map[string]any{"seq": 99},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

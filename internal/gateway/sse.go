@@ -208,7 +208,7 @@ func (g *Gateway) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 					continue
 				}
 				deadline()
-				if err := writeEvent(w, "message", envelopeOf(m), m.Offset); err != nil {
+				if err := writeMessage(w, m); err != nil {
 					return
 				}
 				wrote++
@@ -324,7 +324,7 @@ func (g *Gateway) catchUp(w http.ResponseWriter, r *http.Request, fl http.Flushe
 				return nil
 			}
 			deadline()
-			if werr := writeEvent(w, "message", envelopeOf(m), m.Offset); werr != nil {
+			if werr := writeMessage(w, m); werr != nil {
 				return errClientGone
 			}
 			lastSent = m.Offset
@@ -367,9 +367,52 @@ func (g *Gateway) writeGoodbye(w http.ResponseWriter, fl http.Flusher, reason st
 	fl.Flush()
 }
 
-// writeEvent writes one SSE frame. id 0 (a message that never passed
-// through a broker, or a goodbye) omits the id: line so the client's
-// Last-Event-ID keeps pointing at real history.
+// writeMessage writes one message event as a prebuilt SSE frame. The
+// frame bytes — envelope JSON plus the id/event/data framing — are
+// rendered once per published message and shared across every
+// subscriber via the message's encode cache (see Message.SharedFrame),
+// so fan-out encoding cost is O(1) per message, not O(subscribers).
+func writeMessage(w http.ResponseWriter, m core.Message) error {
+	_, err := w.Write(messageFrame(m))
+	return err
+}
+
+// messageFrame renders (or fetches the cached) complete SSE frame for a
+// message: "id: <offset>\nevent: message\ndata: <envelope JSON>\n\n".
+// The id: line is omitted for offset 0 (a message that never passed
+// through a broker) so the client's Last-Event-ID keeps pointing at
+// real history.
+func messageFrame(m core.Message) []byte {
+	return m.SharedFrame(func(payloadJSON []byte) []byte {
+		body, err := json.Marshal(Envelope{
+			Offset:  m.Offset,
+			Topic:   m.Topic,
+			Time:    m.Time,
+			Payload: payloadJSON,
+			Headers: m.Headers,
+		})
+		if err != nil {
+			// Only a non-marshalable time (year outside [0,9999]) can
+			// land here; degrade to a minimal envelope rather than
+			// killing the stream.
+			body, _ = json.Marshal(Envelope{Offset: m.Offset, Topic: m.Topic, Payload: payloadJSON, Headers: m.Headers})
+		}
+		buf := make([]byte, 0, len(body)+48)
+		if m.Offset > 0 {
+			buf = append(buf, "id: "...)
+			buf = strconv.AppendUint(buf, m.Offset, 10)
+			buf = append(buf, '\n')
+		}
+		buf = append(buf, "event: message\ndata: "...)
+		buf = append(buf, body...)
+		buf = append(buf, "\n\n"...)
+		return buf
+	})
+}
+
+// writeEvent writes one non-message SSE frame (goodbye). id 0 omits the
+// id: line so the client's Last-Event-ID keeps pointing at real
+// history.
 func writeEvent(w http.ResponseWriter, event string, data any, id uint64) error {
 	body, err := json.Marshal(data)
 	if err != nil {

@@ -1,0 +1,129 @@
+// Command benchguard compares `go test -bench` output against a
+// committed BENCH_pr*.json baseline and exits non-zero when any shared
+// benchmark's ns/op regressed beyond the allowed percentage. CI runs it
+// after the hot-path benchmark smoke so a codec or broker change cannot
+// silently give back the performance this repo's perf PRs bought.
+//
+// Usage:
+//
+//	go test -run xxx -bench ... -benchmem ./... > bench.out
+//	go run ./tools/benchguard -baseline BENCH_pr4.json -max-regress 25 bench.out
+//
+// Only benchmarks present in both the baseline and the output are
+// compared (the baseline also records experiment benchmarks the smoke
+// does not rerun); an empty intersection is an error so a mistyped
+// -bench pattern cannot pass vacuously.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+type baseline struct {
+	PR         int    `json:"pr"`
+	Note       string `json:"note"`
+	Benchmarks []struct {
+		Pkg      string  `json:"pkg"`
+		Name     string  `json:"name"`
+		NsPerOp  float64 `json:"ns_per_op"`
+		BytesPer int64   `json:"bytes_per_op"`
+		Allocs   int64   `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkAppend-8   1697505   627.7 ns/op   16 B/op   1 allocs/op
+//
+// The -<procs> suffix is optional (absent when GOMAXPROCS is 1).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline BENCH_pr*.json (required)")
+	maxRegress := flag.Float64("max-regress", 25, "fail when ns/op regresses more than this percentage")
+	flag.Parse()
+	if *baselinePath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchguard -baseline BENCH_prN.json [-max-regress pct] bench.out...")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *baselinePath, err))
+	}
+	want := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		want[b.Name] = b.NsPerOp
+	}
+
+	got := make(map[string]float64)
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			m := benchLine.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			// Keep the fastest observation when a benchmark appears more
+			// than once (CI runs each with -count=3): shared runners are
+			// noisy in one direction only — a machine can be slowed by a
+			// noisy neighbor but not sped up — so min-of-N is the least
+			// noisy estimate of what the code can do, and the 25%
+			// headroom absorbs residual hardware differences from the
+			// committed baseline.
+			if prev, ok := got[m[1]]; !ok || ns < prev {
+				got[m[1]] = ns
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			fatal(err)
+		}
+	}
+
+	compared, failed := 0, 0
+	for name, baseNs := range want {
+		ns, ok := got[name]
+		if !ok {
+			continue
+		}
+		compared++
+		delta := 100 * (ns - baseNs) / baseNs
+		status := "ok"
+		if delta > *maxRegress {
+			status = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("%-44s baseline %10.1f ns/op  now %10.1f ns/op  %+6.1f%%  %s\n",
+			name, baseNs, ns, delta, status)
+	}
+	if compared == 0 {
+		fatal(fmt.Errorf("no benchmark in %v matched the baseline — check the -bench pattern", flag.Args()))
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d of %d benchmarks regressed more than %.0f%%", failed, compared, *maxRegress))
+	}
+	fmt.Printf("benchguard: %d benchmarks within %.0f%% of %s\n", compared, *maxRegress, *baselinePath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}
