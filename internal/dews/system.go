@@ -398,6 +398,9 @@ func (s *System) NewGateway() (*gateway.Gateway, error) {
 				"ingest":          s.IngestTotals(),
 				"ik_out_of_order": s.middleware.IKOutOfOrder(),
 				"dissemination":   s.hub.Stats(),
+				"semweb": map[string]any{
+					"bulletin_triples": s.web.TripleCount(),
+				},
 			}
 		},
 	})

@@ -21,7 +21,9 @@ import (
 // It implements both Channel (for the hub) and http.Handler (for
 // serving).
 type SemanticWeb struct {
-	mu    sync.RWMutex
+	// mu guards seq only; the graph is internally synchronized and
+	// queries run on lock-free snapshots of it.
+	mu    sync.Mutex
 	graph *rdf.Graph
 	seq   int
 }
@@ -49,32 +51,36 @@ var (
 	issuedProp    = rdf.NSDEWS.IRI("issued")
 )
 
-// Deliver implements Channel: the bulletin becomes RDF.
+// Deliver implements Channel: the bulletin becomes RDF. The six triples
+// go in as one atomic batch, so a concurrent query snapshot sees either
+// the whole bulletin or none of it.
 func (s *SemanticWeb) Deliver(b forecast.Bulletin) error {
 	if err := b.Validate(); err != nil {
 		return err
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.seq++
 	node := rdf.NSOBS.IRI(fmt.Sprintf("bulletin/%s/%d", b.District, s.seq))
-	g := s.graph
-	g.MustAdd(rdf.T(node, rdf.RDFType, bulletinClass))
-	g.MustAdd(rdf.T(node, regionProp, rdf.NSGEO.IRI(b.District)))
-	g.MustAdd(rdf.T(node, probProp, rdf.NewFloat(b.Probability)))
-	g.MustAdd(rdf.T(node, bandProp, rdf.NewLiteral(b.Band.String())))
-	g.MustAdd(rdf.T(node, leadProp, rdf.NewInt(int64(b.LeadDays))))
-	g.MustAdd(rdf.T(node, issuedProp,
-		rdf.NewTypedLiteral(b.Issued.UTC().Format(time.RFC3339), rdf.XSDDateTime)))
-	return nil
+	s.mu.Unlock()
+	return s.graph.AddAll(
+		rdf.T(node, rdf.RDFType, bulletinClass),
+		rdf.T(node, regionProp, rdf.NSGEO.IRI(b.District)),
+		rdf.T(node, probProp, rdf.NewFloat(b.Probability)),
+		rdf.T(node, bandProp, rdf.NewLiteral(b.Band.String())),
+		rdf.T(node, leadProp, rdf.NewInt(int64(b.LeadDays))),
+		rdf.T(node, issuedProp,
+			rdf.NewTypedLiteral(b.Issued.UTC().Format(time.RFC3339), rdf.XSDDateTime)),
+	)
 }
 
 // Graph returns a snapshot of the bulletin graph.
 func (s *SemanticWeb) Graph() *rdf.Graph {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.graph.Clone()
 }
+
+// TripleCount returns the current size of the bulletin graph (cheap:
+// no clone, no scan).
+func (s *SemanticWeb) TripleCount() int { return s.graph.Len() }
 
 // ServeHTTP implements http.Handler.
 func (s *SemanticWeb) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -83,10 +89,11 @@ func (s *SemanticWeb) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	case "/bulletins":
-		s.mu.RLock()
-		defer s.mu.RUnlock()
 		w.Header().Set("Content-Type", "text/turtle; charset=utf-8")
-		if err := rdf.WriteTurtle(w, s.graph, nil); err != nil {
+		// Serialize a stable clone: WriteTurtle reads the graph twice
+		// (prefix scan, then triples), and a Deliver landing in between
+		// could otherwise introduce prefixes the header never declared.
+		if err := rdf.WriteTurtle(w, s.graph.Clone(), nil); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	case "/sparql":
@@ -95,10 +102,11 @@ func (s *SemanticWeb) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "missing ?query=", http.StatusBadRequest)
 			return
 		}
-		s.mu.RLock()
-		engine := sparql.NewEngine(s.graph)
+		// Evaluate against an immutable snapshot: a slow query holds no
+		// lock, so concurrent Deliver calls from the dissemination hub
+		// are never stalled behind it.
+		engine := sparql.NewSnapshotEngine(s.graph.Snapshot())
 		res, err := engine.Query(query)
-		s.mu.RUnlock()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return

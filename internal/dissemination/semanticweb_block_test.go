@@ -1,0 +1,82 @@
+package dissemination
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+)
+
+// TestSlowQueryDoesNotBlockDeliver: /sparql evaluates against an
+// immutable snapshot, so even a long-running quadratic query must not
+// stall Deliver. The old handler evaluated the whole query under the
+// channel's read lock, so every Deliver blocked for the query's full
+// duration. (Regression: fails on the pre-snapshot handler.)
+func TestSlowQueryDoesNotBlockDeliver(t *testing.T) {
+	s := NewSemanticWeb()
+	n := 0
+	addBulletins := func(k int) {
+		t.Helper()
+		for i := 0; i < k; i++ {
+			if err := s.Deliver(bulletin(fmt.Sprintf("d%02d", n%25), float64(n%97)/100)); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		}
+	}
+
+	// A cross join over all bulletin probabilities: quadratic in the
+	// bulletin count, so its duration is tunable by data volume.
+	query := fmt.Sprintf(
+		`SELECT ?a ?b WHERE { ?a %s ?x . ?b %s ?y . FILTER(?x < ?y) }`,
+		probProp.String(), probProp.String())
+	runQuery := func() (time.Duration, int) {
+		t0 := time.Now()
+		rr := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", "/sparql?query="+url.QueryEscape(query), nil)
+		s.ServeHTTP(rr, req)
+		return time.Since(t0), rr.Code
+	}
+
+	// Calibrate: grow the graph until the query runs long enough to
+	// measure blocking reliably.
+	addBulletins(256)
+	dur, code := runQuery()
+	if code != 200 {
+		t.Fatalf("query status %d", code)
+	}
+	for dur < 300*time.Millisecond && n < 16384 {
+		addBulletins(n) // double
+		dur, code = runQuery()
+		if code != 200 {
+			t.Fatalf("query status %d", code)
+		}
+	}
+	if dur < 100*time.Millisecond {
+		t.Skipf("could not make the query slow enough to measure (%v)", dur)
+	}
+
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		close(started)
+		if d, c := runQuery(); c != 200 {
+			t.Errorf("concurrent query status %d after %v", c, d)
+		}
+	}()
+	<-started
+	time.Sleep(dur / 10) // let evaluation get well underway
+
+	t0 := time.Now()
+	if err := s.Deliver(bulletin("concurrent", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	blocked := time.Since(t0)
+	<-done
+
+	if blocked > dur/4 {
+		t.Fatalf("Deliver blocked %v behind a %v query; want snapshot-isolated delivery", blocked, dur)
+	}
+}

@@ -120,13 +120,22 @@ func (a *Annotator) AnnotateBatch(rs []wsn.RawReading) ([]ssn.Record, int) {
 }
 
 // ToGraph annotates a batch directly into an RDF graph, returning the
-// records too.
+// records too. The whole batch goes in as one atomic AddAll: a
+// concurrent query snapshot never observes half an ingest cycle, and a
+// large batch takes the graph's bulk sort-and-merge path instead of
+// paying per-triple insertion.
 func (a *Annotator) ToGraph(rs []wsn.RawReading, g *rdf.Graph) ([]ssn.Record, error) {
 	recs, _ := a.AnnotateBatch(rs)
+	var batch []rdf.Triple
 	for _, rec := range recs {
-		if err := rec.ToGraph(g); err != nil {
+		ts, err := rec.Triples()
+		if err != nil {
 			return nil, err
 		}
+		batch = append(batch, ts...)
+	}
+	if err := g.AddAll(batch...); err != nil {
+		return nil, err
 	}
 	return recs, nil
 }

@@ -65,26 +65,30 @@ func (r Reasoner) Materialize(o *Ontology) (Result, error) {
 }
 
 // round applies every rule once and returns the number of new triples.
+// All rules read from one immutable snapshot — candidate checks and the
+// nested pattern scans are lock-free and cannot observe the writes the
+// round itself buffers.
 func (r Reasoner) round(g *rdf.Graph) int {
+	snap := g.Snapshot()
 	var pending []rdf.Triple
 	add := func(t rdf.Triple) {
-		if t.Validate() == nil && !g.Has(t) {
+		if t.Validate() == nil && !snap.Has(t) {
 			pending = append(pending, t)
 		}
 	}
 
-	r.ruleSubClassTransitivity(g, add)
-	r.ruleEquivalentClass(g, add)
-	r.ruleSubPropertyTransitivity(g, add)
-	r.ruleTypeInheritance(g, add)
-	r.rulePropertyInheritance(g, add)
-	r.ruleDomain(g, add)
-	r.ruleRange(g, add)
-	r.ruleInverse(g, add)
-	r.ruleSymmetric(g, add)
-	r.ruleTransitiveProps(g, add)
-	r.ruleDisjointSymmetry(g, add)
-	r.ruleSameAs(g, add)
+	r.ruleSubClassTransitivity(snap, add)
+	r.ruleEquivalentClass(snap, add)
+	r.ruleSubPropertyTransitivity(snap, add)
+	r.ruleTypeInheritance(snap, add)
+	r.rulePropertyInheritance(snap, add)
+	r.ruleDomain(snap, add)
+	r.ruleRange(snap, add)
+	r.ruleInverse(snap, add)
+	r.ruleSymmetric(snap, add)
+	r.ruleTransitiveProps(snap, add)
+	r.ruleDisjointSymmetry(snap, add)
+	r.ruleSameAs(snap, add)
 
 	n := 0
 	for _, t := range pending {
@@ -97,7 +101,7 @@ func (r Reasoner) round(g *rdf.Graph) int {
 }
 
 // rdfs11: (a subClassOf b), (b subClassOf c) ⇒ (a subClassOf c).
-func (Reasoner) ruleSubClassTransitivity(g *rdf.Graph, add func(rdf.Triple)) {
+func (Reasoner) ruleSubClassTransitivity(g *rdf.Snapshot, add func(rdf.Triple)) {
 	g.ForEachMatch(nil, rdf.RDFSSubClassOf, nil, func(t1 rdf.Triple) bool {
 		g.ForEachMatch(t1.O, rdf.RDFSSubClassOf, nil, func(t2 rdf.Triple) bool {
 			if !rdf.Equal(t1.S, t2.O) {
@@ -111,7 +115,7 @@ func (Reasoner) ruleSubClassTransitivity(g *rdf.Graph, add func(rdf.Triple)) {
 
 // owl:equivalentClass ⇒ subClassOf both ways (and symmetry of the
 // equivalence itself).
-func (Reasoner) ruleEquivalentClass(g *rdf.Graph, add func(rdf.Triple)) {
+func (Reasoner) ruleEquivalentClass(g *rdf.Snapshot, add func(rdf.Triple)) {
 	g.ForEachMatch(nil, rdf.OWLEquivalentClass, nil, func(t rdf.Triple) bool {
 		add(rdf.T(t.S, rdf.RDFSSubClassOf, t.O))
 		if o, ok := t.O.(rdf.IRI); ok {
@@ -123,7 +127,7 @@ func (Reasoner) ruleEquivalentClass(g *rdf.Graph, add func(rdf.Triple)) {
 }
 
 // rdfs5: subPropertyOf transitivity.
-func (Reasoner) ruleSubPropertyTransitivity(g *rdf.Graph, add func(rdf.Triple)) {
+func (Reasoner) ruleSubPropertyTransitivity(g *rdf.Snapshot, add func(rdf.Triple)) {
 	g.ForEachMatch(nil, rdf.RDFSSubPropertyOf, nil, func(t1 rdf.Triple) bool {
 		g.ForEachMatch(t1.O, rdf.RDFSSubPropertyOf, nil, func(t2 rdf.Triple) bool {
 			if !rdf.Equal(t1.S, t2.O) {
@@ -136,7 +140,7 @@ func (Reasoner) ruleSubPropertyTransitivity(g *rdf.Graph, add func(rdf.Triple)) 
 }
 
 // rdfs9: (x type c), (c subClassOf d) ⇒ (x type d).
-func (Reasoner) ruleTypeInheritance(g *rdf.Graph, add func(rdf.Triple)) {
+func (Reasoner) ruleTypeInheritance(g *rdf.Snapshot, add func(rdf.Triple)) {
 	g.ForEachMatch(nil, rdf.RDFType, nil, func(t1 rdf.Triple) bool {
 		g.ForEachMatch(t1.O, rdf.RDFSSubClassOf, nil, func(t2 rdf.Triple) bool {
 			add(rdf.T(t1.S, rdf.RDFType, t2.O))
@@ -147,7 +151,7 @@ func (Reasoner) ruleTypeInheritance(g *rdf.Graph, add func(rdf.Triple)) {
 }
 
 // rdfs7: (x p y), (p subPropertyOf q) ⇒ (x q y).
-func (Reasoner) rulePropertyInheritance(g *rdf.Graph, add func(rdf.Triple)) {
+func (Reasoner) rulePropertyInheritance(g *rdf.Snapshot, add func(rdf.Triple)) {
 	g.ForEachMatch(nil, rdf.RDFSSubPropertyOf, nil, func(sp rdf.Triple) bool {
 		p, ok1 := sp.S.(rdf.IRI)
 		q, ok2 := sp.O.(rdf.IRI)
@@ -163,7 +167,7 @@ func (Reasoner) rulePropertyInheritance(g *rdf.Graph, add func(rdf.Triple)) {
 }
 
 // rdfs2: (p domain c), (x p y) ⇒ (x type c).
-func (Reasoner) ruleDomain(g *rdf.Graph, add func(rdf.Triple)) {
+func (Reasoner) ruleDomain(g *rdf.Snapshot, add func(rdf.Triple)) {
 	g.ForEachMatch(nil, rdf.RDFSDomain, nil, func(d rdf.Triple) bool {
 		p, ok := d.S.(rdf.IRI)
 		if !ok {
@@ -178,7 +182,7 @@ func (Reasoner) ruleDomain(g *rdf.Graph, add func(rdf.Triple)) {
 }
 
 // rdfs3: (p range c), (x p y) ⇒ (y type c) — only when y is not a literal.
-func (Reasoner) ruleRange(g *rdf.Graph, add func(rdf.Triple)) {
+func (Reasoner) ruleRange(g *rdf.Snapshot, add func(rdf.Triple)) {
 	g.ForEachMatch(nil, rdf.RDFSRange, nil, func(rg rdf.Triple) bool {
 		p, ok := rg.S.(rdf.IRI)
 		if !ok {
@@ -195,7 +199,7 @@ func (Reasoner) ruleRange(g *rdf.Graph, add func(rdf.Triple)) {
 }
 
 // owl:inverseOf: (p inverseOf q), (x p y) ⇒ (y q x), and vice versa.
-func (Reasoner) ruleInverse(g *rdf.Graph, add func(rdf.Triple)) {
+func (Reasoner) ruleInverse(g *rdf.Snapshot, add func(rdf.Triple)) {
 	g.ForEachMatch(nil, rdf.OWLInverseOf, nil, func(iv rdf.Triple) bool {
 		p, ok1 := iv.S.(rdf.IRI)
 		q, ok2 := iv.O.(rdf.IRI)
@@ -217,7 +221,7 @@ func (Reasoner) ruleInverse(g *rdf.Graph, add func(rdf.Triple)) {
 }
 
 // owl:SymmetricProperty: (p type Symmetric), (x p y) ⇒ (y p x).
-func (Reasoner) ruleSymmetric(g *rdf.Graph, add func(rdf.Triple)) {
+func (Reasoner) ruleSymmetric(g *rdf.Snapshot, add func(rdf.Triple)) {
 	g.ForEachMatch(nil, rdf.RDFType, rdf.OWLSymmetricProperty, func(d rdf.Triple) bool {
 		p, ok := d.S.(rdf.IRI)
 		if !ok {
@@ -234,7 +238,7 @@ func (Reasoner) ruleSymmetric(g *rdf.Graph, add func(rdf.Triple)) {
 }
 
 // owl:TransitiveProperty: (x p y), (y p z) ⇒ (x p z).
-func (Reasoner) ruleTransitiveProps(g *rdf.Graph, add func(rdf.Triple)) {
+func (Reasoner) ruleTransitiveProps(g *rdf.Snapshot, add func(rdf.Triple)) {
 	g.ForEachMatch(nil, rdf.RDFType, rdf.OWLTransitiveProperty, func(d rdf.Triple) bool {
 		p, ok := d.S.(rdf.IRI)
 		if !ok {
@@ -254,7 +258,7 @@ func (Reasoner) ruleTransitiveProps(g *rdf.Graph, add func(rdf.Triple)) {
 }
 
 // owl:disjointWith symmetry.
-func (Reasoner) ruleDisjointSymmetry(g *rdf.Graph, add func(rdf.Triple)) {
+func (Reasoner) ruleDisjointSymmetry(g *rdf.Snapshot, add func(rdf.Triple)) {
 	g.ForEachMatch(nil, rdf.OWLDisjointWith, nil, func(t rdf.Triple) bool {
 		if o, ok := t.O.(rdf.IRI); ok {
 			add(rdf.T(o, rdf.OWLDisjointWith, t.S))
@@ -266,7 +270,7 @@ func (Reasoner) ruleDisjointSymmetry(g *rdf.Graph, add func(rdf.Triple)) {
 // owl:sameAs symmetry and transitivity. Full individual substitution is
 // deliberately out of scope (documented in DESIGN.md); type propagation
 // across sameAs is included since classification depends on it.
-func (Reasoner) ruleSameAs(g *rdf.Graph, add func(rdf.Triple)) {
+func (Reasoner) ruleSameAs(g *rdf.Snapshot, add func(rdf.Triple)) {
 	g.ForEachMatch(nil, rdf.OWLSameAs, nil, func(t1 rdf.Triple) bool {
 		if o, ok := t1.O.(rdf.IRI); ok {
 			add(rdf.T(o, rdf.OWLSameAs, t1.S))

@@ -230,10 +230,10 @@ func (r Record) Validate() error {
 	return nil
 }
 
-// ToGraph writes the record as SSN triples into g.
-func (r Record) ToGraph(g *rdf.Graph) error {
+// Triples returns the record's SSN triples after validating it.
+func (r Record) Triples() ([]rdf.Triple, error) {
 	if err := r.Validate(); err != nil {
-		return err
+		return nil, err
 	}
 	ts := []rdf.Triple{
 		rdf.T(r.ID, rdf.RDFType, Observation),
@@ -250,6 +250,15 @@ func (r Record) ToGraph(g *rdf.Graph) error {
 	}
 	if r.Unit != "" {
 		ts = append(ts, rdf.T(r.ID, HasUnit, r.Unit))
+	}
+	return ts, nil
+}
+
+// ToGraph writes the record as SSN triples into g.
+func (r Record) ToGraph(g *rdf.Graph) error {
+	ts, err := r.Triples()
+	if err != nil {
+		return err
 	}
 	return g.AddAll(ts...)
 }

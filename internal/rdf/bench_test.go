@@ -1,0 +1,70 @@
+package rdf
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchTriplePool pre-generates distinct sensor-flavoured triples so the
+// Add benchmark measures graph insertion, not term construction.
+func benchTriplePool(n int) []Triple {
+	ns := Namespace("http://bench.example/")
+	props := make([]IRI, 8)
+	for i := range props {
+		props[i] = ns.IRI(fmt.Sprintf("p%d", i))
+	}
+	out := make([]Triple, n)
+	for i := range out {
+		out[i] = T(
+			ns.IRI(fmt.Sprintf("s%d", i/len(props))),
+			props[i%len(props)],
+			NewInt(int64(i)),
+		)
+	}
+	return out
+}
+
+// BenchmarkGraphAdd measures triple insertion. The graph is reset every
+// poolSize iterations so the steady state is "insert a fresh triple into
+// a graph of up to poolSize triples".
+func BenchmarkGraphAdd(b *testing.B) {
+	const poolSize = 1 << 17
+	pool := benchTriplePool(poolSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var g *Graph
+	for i := 0; i < b.N; i++ {
+		if i%poolSize == 0 {
+			g = NewGraph()
+		}
+		if err := g.Add(pool[i%poolSize]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphMatchSP measures a bound (s, p, -) lookup on a populated
+// graph — the access pattern the reasoner and the query engine hit most.
+func BenchmarkGraphMatchSP(b *testing.B) {
+	const poolSize = 1 << 16
+	pool := benchTriplePool(poolSize)
+	g := NewGraph()
+	for _, t := range pool {
+		if err := g.Add(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		t := pool[i%poolSize]
+		g.ForEachMatch(t.S, t.P, nil, func(Triple) bool {
+			n++
+			return true
+		})
+	}
+	if n == 0 {
+		b.Fatal("no matches")
+	}
+}

@@ -6,42 +6,59 @@ import (
 	"sync"
 )
 
-// Graph is an in-memory set of triples with three complete indexes
-// (SPO, POS, OSP) so that every triple pattern with at least one bound
-// component is answered by index lookup rather than a scan.
+// deltaCap bounds the unsealed write buffer. Keeping it small keeps both
+// the per-Add insertion memmove and the per-snapshot delta copy cheap;
+// batch ingestion (AddAll, Merge, the parsers' output) goes through the
+// sort-and-merge path instead and is not bound by it.
+const deltaCap = 256
+
+// Graph is an in-memory set of triples, dictionary-encoded: terms are
+// interned to dense uint32 IDs and triples are stored as ID-triples in
+// three sorted index permutations (SPO, POS, OSP), so every triple
+// pattern with at least one bound component is answered by binary
+// search over a contiguous range rather than hash lookups on serialized
+// term strings.
 //
-// A Graph is safe for concurrent use: reads take a shared lock, writes an
-// exclusive one. The zero value is not usable; call NewGraph.
+// Writes go to a small sorted delta that is merged into the sealed base
+// arrays when it fills up; Snapshot freezes the current state in O(delta)
+// so reads (ForEachMatch, SPARQL evaluation) run lock-free on immutable
+// data and never block writers.
+//
+// A Graph is safe for concurrent use. The zero value is not usable;
+// call NewGraph.
 type Graph struct {
 	mu sync.RWMutex
-	// spo maps subject key → predicate key → object key → triple.
-	spo map[string]map[string]map[string]Triple
-	// pos maps predicate key → object key → subject key → triple.
-	pos map[string]map[string]map[string]Triple
-	// osp maps object key → subject key → predicate key → triple.
-	osp map[string]map[string]map[string]Triple
-	n   int
+	d  *dict
+	// base holds the sealed, sorted bulk of the data. The arrays are
+	// immutable once published (snapshots alias them); mutation replaces
+	// them wholesale.
+	base [nIndexes][]key3
+	// mid is a sealed intermediate level between delta and base. It
+	// absorbs delta compactions so the O(n) base merge is paid only once
+	// per midCap(n) triples rather than once per deltaCap. Like base,
+	// its arrays are immutable once published.
+	mid [nIndexes][]key3
+	// delta holds recent writes, sorted, mutated in place. Snapshots
+	// copy it, so in-place mutation never invalidates a snapshot.
+	delta [nIndexes][]key3
+	n     int
+	// snap caches the latest snapshot; nil after any mutation.
+	snap *Snapshot
 	// bnodeSeq numbers graph-allocated blank nodes.
 	bnodeSeq int
 }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
-	return &Graph{
-		spo: make(map[string]map[string]map[string]Triple),
-		pos: make(map[string]map[string]map[string]Triple),
-		osp: make(map[string]map[string]map[string]Triple),
-	}
+	return &Graph{d: newDict()}
 }
 
 // NewGraphFrom returns a graph initialized with the given triples.
 // Invalid triples are rejected with an error.
 func NewGraphFrom(ts ...Triple) (*Graph, error) {
 	g := NewGraph()
-	for _, t := range ts {
-		if err := g.Add(t); err != nil {
-			return nil, err
-		}
+	if err := g.AddAll(ts...); err != nil {
+		return nil, err
 	}
 	return g, nil
 }
@@ -63,26 +80,163 @@ func (g *Graph) NewBlankNode() BlankNode {
 	return b
 }
 
+// Snapshot returns an immutable point-in-time view of the graph. It is
+// O(len(delta)) when the graph changed since the last call and O(1)
+// otherwise, so per-query snapshotting is cheap.
+func (g *Graph) Snapshot() *Snapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.snapshotLocked()
+}
+
+func (g *Graph) snapshotLocked() *Snapshot {
+	if g.snap != nil {
+		return g.snap
+	}
+	s := &Snapshot{d: g.d, terms: g.d.snapshotTerms(), base: g.base, mid: g.mid, n: g.n}
+	for i := range g.delta {
+		if len(g.delta[i]) > 0 {
+			s.delta[i] = append([]key3(nil), g.delta[i]...)
+		}
+	}
+	g.snap = s
+	return s
+}
+
+// midCap bounds the intermediate level relative to the sealed bulk, so
+// the amortized per-add merge cost stays constant as the graph grows.
+func (g *Graph) midCap() int {
+	if c := g.n / 8; c > 4096 {
+		return c
+	}
+	return 4096
+}
+
 // Add inserts a triple. Adding an existing triple is a no-op. It returns
 // an error when the triple is not well-formed.
 func (g *Graph) Add(t Triple) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
+	it := IDTriple{S: g.d.intern(t.S), P: g.d.intern(t.P), O: g.d.intern(t.O)}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	g.addLocked(t)
+	g.addLocked(it)
 	return nil
 }
 
-// AddAll inserts every triple, stopping at the first invalid one.
-func (g *Graph) AddAll(ts ...Triple) error {
-	for _, t := range ts {
-		if err := g.Add(t); err != nil {
-			return err
+func (g *Graph) addLocked(it IDTriple) {
+	k := key3{it.S, it.P, it.O}
+	if g.containsLocked(k) {
+		return
+	}
+	for ix := 0; ix < nIndexes; ix++ {
+		g.delta[ix] = insertSorted(g.delta[ix], toKey(ix, it))
+	}
+	g.n++
+	g.snap = nil
+	if len(g.delta[ixSPO]) >= deltaCap {
+		g.compactLocked()
+	}
+}
+
+func (g *Graph) containsLocked(k key3) bool {
+	return contains3(g.base[ixSPO], k) || contains3(g.mid[ixSPO], k) ||
+		contains3(g.delta[ixSPO], k)
+}
+
+// compactLocked merges the delta into a fresh mid level, and the mid
+// level into fresh base arrays once it outgrows midCap. The old arrays
+// are left untouched for any snapshot still aliasing them.
+func (g *Graph) compactLocked() {
+	for ix := 0; ix < nIndexes; ix++ {
+		if len(g.delta[ix]) == 0 {
+			continue
+		}
+		g.mid[ix] = mergeSorted(g.mid[ix], g.delta[ix])
+		g.delta[ix] = nil
+	}
+	if len(g.mid[ixSPO]) >= g.midCap() {
+		for ix := 0; ix < nIndexes; ix++ {
+			g.base[ix] = mergeSorted(g.base[ix], g.mid[ix])
+			g.mid[ix] = nil
 		}
 	}
-	return nil
+}
+
+// AddAll inserts every triple as one atomic batch: concurrent snapshots
+// see either none or all of the batch. It stops at the first invalid
+// triple; the valid prefix is still applied (documented fail-fast
+// semantics).
+func (g *Graph) AddAll(ts ...Triple) error {
+	var ferr error
+	for i, t := range ts {
+		if err := t.Validate(); err != nil {
+			ferr, ts = err, ts[:i]
+			break
+		}
+	}
+	if len(ts) == 0 {
+		return ferr
+	}
+	its := make([]IDTriple, 0, len(ts))
+	for _, t := range ts {
+		its = append(its, IDTriple{S: g.d.intern(t.S), P: g.d.intern(t.P), O: g.d.intern(t.O)})
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(its) <= deltaCap {
+		for _, it := range its {
+			g.addLocked(it)
+		}
+		return ferr
+	}
+	// Bulk path: sort the batch once per index and merge, instead of
+	// paying one insertion memmove (and potential compaction) per triple.
+	fresh := make([]key3, 0, len(its))
+	for _, it := range its {
+		k := key3{it.S, it.P, it.O}
+		if g.containsLocked(k) {
+			continue
+		}
+		fresh = append(fresh, k)
+	}
+	if len(fresh) == 0 {
+		return ferr
+	}
+	sort.Slice(fresh, func(i, j int) bool { return key3Less(fresh[i], fresh[j]) })
+	// Batch-internal duplicates survive the membership filter; drop them.
+	dedup := fresh[:1]
+	for _, k := range fresh[1:] {
+		if k != dedup[len(dedup)-1] {
+			dedup = append(dedup, k)
+		}
+	}
+	for ix := 0; ix < nIndexes; ix++ {
+		batch := make([]key3, len(dedup))
+		if ix == ixSPO {
+			copy(batch, dedup)
+		} else {
+			for i, k := range dedup {
+				batch[i] = toKey(ix, fromKey(ixSPO, k))
+			}
+			sort.Slice(batch, func(i, j int) bool { return key3Less(batch[i], batch[j]) })
+		}
+		// Merge into mid, not base: sustained batch ingest then costs
+		// O(mid+batch) per batch, with the O(n) base fold amortized by
+		// the midCap schedule exactly like the per-triple path.
+		g.mid[ix] = mergeSorted(mergeSorted(g.mid[ix], g.delta[ix]), batch)
+		g.delta[ix] = nil
+	}
+	g.n += len(dedup)
+	if len(g.mid[ixSPO]) >= g.midCap() {
+		for ix := 0; ix < nIndexes; ix++ {
+			g.base[ix] = mergeSorted(g.base[ix], g.mid[ix])
+			g.mid[ix] = nil
+		}
+	}
+	g.snap = nil
+	return ferr
 }
 
 // MustAdd inserts a triple and panics on malformed input. It is intended
@@ -94,59 +248,42 @@ func (g *Graph) MustAdd(t Triple) {
 	}
 }
 
-func (g *Graph) addLocked(t Triple) {
-	sk, pk, ok := t.S.Key(), t.P.Key(), t.O.Key()
-	if _, exists := g.spo[sk][pk][ok]; exists {
-		return
-	}
-	idxAdd(g.spo, sk, pk, ok, t)
-	idxAdd(g.pos, pk, ok, sk, t)
-	idxAdd(g.osp, ok, sk, pk, t)
-	g.n++
-}
-
-func idxAdd(idx map[string]map[string]map[string]Triple, a, b, c string, t Triple) {
-	l2, ok := idx[a]
-	if !ok {
-		l2 = make(map[string]map[string]Triple)
-		idx[a] = l2
-	}
-	l3, ok := l2[b]
-	if !ok {
-		l3 = make(map[string]Triple)
-		l2[b] = l3
-	}
-	l3[c] = t
-}
-
-// Remove deletes a triple, reporting whether it was present.
+// Remove deletes a triple, reporting whether it was present. Removal
+// from the sealed base rebuilds the base arrays (O(n)); it is the rare
+// operation in this workload and keeps the indexes tombstone-free.
 func (g *Graph) Remove(t Triple) bool {
 	if t.Validate() != nil {
 		return false
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	sk, pk, ok := t.S.Key(), t.P.Key(), t.O.Key()
-	if _, exists := g.spo[sk][pk][ok]; !exists {
+	sid, ok1 := g.d.lookup(t.S)
+	pid, ok2 := g.d.lookup(t.P)
+	oid, ok3 := g.d.lookup(t.O)
+	if !ok1 || !ok2 || !ok3 {
 		return false
 	}
-	idxRemove(g.spo, sk, pk, ok)
-	idxRemove(g.pos, pk, ok, sk)
-	idxRemove(g.osp, ok, sk, pk)
+	it := IDTriple{S: sid, P: pid, O: oid}
+	k := key3{it.S, it.P, it.O}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch {
+	case contains3(g.delta[ixSPO], k):
+		for ix := 0; ix < nIndexes; ix++ {
+			g.delta[ix] = removeSorted(g.delta[ix], toKey(ix, it))
+		}
+	case contains3(g.mid[ixSPO], k):
+		for ix := 0; ix < nIndexes; ix++ {
+			g.mid[ix] = rebuildWithout(g.mid[ix], toKey(ix, it))
+		}
+	case contains3(g.base[ixSPO], k):
+		for ix := 0; ix < nIndexes; ix++ {
+			g.base[ix] = rebuildWithout(g.base[ix], toKey(ix, it))
+		}
+	default:
+		return false
+	}
 	g.n--
+	g.snap = nil
 	return true
-}
-
-func idxRemove(idx map[string]map[string]map[string]Triple, a, b, c string) {
-	l2 := idx[a]
-	l3 := l2[b]
-	delete(l3, c)
-	if len(l3) == 0 {
-		delete(l2, b)
-	}
-	if len(l2) == 0 {
-		delete(idx, a)
-	}
 }
 
 // Has reports whether the graph contains the exact triple.
@@ -154,111 +291,55 @@ func (g *Graph) Has(t Triple) bool {
 	if t.Validate() != nil {
 		return false
 	}
+	sid, ok1 := g.d.lookup(t.S)
+	pid, ok2 := g.d.lookup(t.P)
+	oid, ok3 := g.d.lookup(t.O)
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	k := key3{sid, pid, oid}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	_, ok := g.spo[t.S.Key()][t.P.Key()][t.O.Key()]
-	return ok
+	return g.containsLocked(k)
 }
 
-// Match returns all triples matching the pattern, where a nil component is
-// a wildcard. The result order is unspecified.
+// rebuildWithout returns a fresh copy of a sealed sorted array with one
+// element dropped (the sealed arrays are aliased by snapshots and must
+// never be mutated in place).
+func rebuildWithout(old []key3, kk key3) []key3 {
+	fresh := make([]key3, 0, len(old)-1)
+	for _, e := range old {
+		if e != kk {
+			fresh = append(fresh, e)
+		}
+	}
+	return fresh
+}
+
+// Match returns all triples matching the pattern, where a nil component
+// is a wildcard. The result order is unspecified.
 func (g *Graph) Match(s, p, o Term) []Triple {
-	var out []Triple
-	g.ForEachMatch(s, p, o, func(t Triple) bool {
-		out = append(out, t)
-		return true
-	})
-	return out
+	return g.Snapshot().Match(s, p, o)
 }
 
 // Count returns the number of triples matching the pattern without
 // materializing them.
 func (g *Graph) Count(s, p, o Term) int {
-	n := 0
-	g.ForEachMatch(s, p, o, func(Triple) bool {
-		n++
-		return true
-	})
-	return n
+	return g.Snapshot().Count(s, p, o)
 }
 
-// ForEachMatch streams triples matching the pattern to fn; iteration stops
-// early when fn returns false. A nil component is a wildcard.
+// ForEachMatch streams triples matching the pattern to fn; iteration
+// stops early when fn returns false. A nil component is a wildcard.
 //
-// fn must not mutate the graph.
+// Iteration runs over a snapshot, so fn may mutate the graph; the
+// mutation is simply not visible to the ongoing iteration.
 func (g *Graph) ForEachMatch(s, p, o Term, fn func(Triple) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-
-	switch {
-	case s != nil && p != nil && o != nil:
-		if t, ok := g.spo[s.Key()][p.Key()][o.Key()]; ok {
-			fn(t)
-		}
-	case s != nil && p != nil:
-		for _, t := range g.spo[s.Key()][p.Key()] {
-			if !fn(t) {
-				return
-			}
-		}
-	case s != nil && o != nil:
-		for _, t := range g.osp[o.Key()][s.Key()] {
-			if !fn(t) {
-				return
-			}
-		}
-	case p != nil && o != nil:
-		for _, t := range g.pos[p.Key()][o.Key()] {
-			if !fn(t) {
-				return
-			}
-		}
-	case s != nil:
-		for _, l3 := range g.spo[s.Key()] {
-			for _, t := range l3 {
-				if !fn(t) {
-					return
-				}
-			}
-		}
-	case p != nil:
-		for _, l3 := range g.pos[p.Key()] {
-			for _, t := range l3 {
-				if !fn(t) {
-					return
-				}
-			}
-		}
-	case o != nil:
-		for _, l3 := range g.osp[o.Key()] {
-			for _, t := range l3 {
-				if !fn(t) {
-					return
-				}
-			}
-		}
-	default:
-		for _, l2 := range g.spo {
-			for _, l3 := range l2 {
-				for _, t := range l3 {
-					if !fn(t) {
-						return
-					}
-				}
-			}
-		}
-	}
+	g.Snapshot().ForEachMatch(s, p, o, fn)
 }
 
 // Triples returns a snapshot of every triple in deterministic order.
 func (g *Graph) Triples() []Triple {
-	out := make([]Triple, 0, g.Len())
-	g.ForEachMatch(nil, nil, nil, func(t Triple) bool {
-		out = append(out, t)
-		return true
-	})
-	SortTriples(out)
-	return out
+	return g.Snapshot().Triples()
 }
 
 // Subjects returns the distinct subjects of triples matching (-, p, o).
@@ -281,16 +362,11 @@ func (g *Graph) Objects(s, p Term) []Term {
 	return collect(seen)
 }
 
-// FirstObject returns the object of an arbitrary triple matching (s, p, -)
-// and whether one exists. It is the common accessor for functional
-// properties.
+// FirstObject returns the object of an arbitrary triple matching
+// (s, p, -) and whether one exists. It is the common accessor for
+// functional properties.
 func (g *Graph) FirstObject(s, p Term) (Term, bool) {
-	var out Term
-	g.ForEachMatch(s, p, nil, func(t Triple) bool {
-		out = t.O
-		return false
-	})
-	return out, out != nil
+	return g.Snapshot().FirstObject(s, p)
 }
 
 func collect(m map[string]Term) []Term {
@@ -307,18 +383,27 @@ func collect(m map[string]Term) []Term {
 	return out
 }
 
-// Merge adds every triple of src into g. Blank node labels are kept as-is;
-// callers that need blank-node isolation should rename first.
+// Merge adds every triple of src into g. Blank node labels are kept
+// as-is; callers that need blank-node isolation should rename first.
 func (g *Graph) Merge(src *Graph) {
-	for _, t := range src.Triples() {
-		g.MustAdd(t)
+	if err := g.AddAll(src.Triples()...); err != nil {
+		// src held only validated triples; re-validation cannot fail.
+		panic(err)
 	}
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The copy shares the (append-
+// only) term dictionary and the sealed base arrays with the original;
+// both are immutable, so the two graphs evolve independently.
 func (g *Graph) Clone() *Graph {
-	out := NewGraph()
-	out.Merge(g)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := &Graph{d: g.d, base: g.base, mid: g.mid, n: g.n, bnodeSeq: g.bnodeSeq}
+	for ix := range g.delta {
+		if len(g.delta[ix]) > 0 {
+			out.delta[ix] = append([]key3(nil), g.delta[ix]...)
+		}
+	}
 	return out
 }
 

@@ -1,0 +1,225 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+var (
+	snapNS = Namespace("http://snap.example/")
+)
+
+func snapTriple(i int) Triple {
+	return T(
+		snapNS.IRI(fmt.Sprintf("s%d", i/4)),
+		snapNS.IRI(fmt.Sprintf("p%d", i%4)),
+		NewInt(int64(i)),
+	)
+}
+
+// TestSnapshotImmutable: a snapshot keeps answering from the state it
+// was taken at, across delta writes, compactions and removals.
+func TestSnapshotImmutable(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 100; i++ {
+		g.MustAdd(snapTriple(i))
+	}
+	snap := g.Snapshot()
+	if snap.Len() != 100 {
+		t.Fatalf("snapshot Len = %d", snap.Len())
+	}
+
+	// Mutate heavily: enough adds to force delta compaction, plus a
+	// removal of a triple the snapshot owns.
+	for i := 100; i < 2000; i++ {
+		g.MustAdd(snapTriple(i))
+	}
+	if !g.Remove(snapTriple(7)) {
+		t.Fatal("Remove(7) reported absent")
+	}
+
+	if snap.Len() != 100 {
+		t.Errorf("snapshot Len changed to %d", snap.Len())
+	}
+	if !snap.Has(snapTriple(7)) {
+		t.Error("snapshot lost a removed triple")
+	}
+	if snap.Has(snapTriple(1500)) {
+		t.Error("snapshot sees a post-snapshot write")
+	}
+	n := 0
+	snap.ForEachMatch(nil, nil, nil, func(Triple) bool { n++; return true })
+	if n != 100 {
+		t.Errorf("snapshot iterates %d triples, want 100", n)
+	}
+
+	// The live graph sees everything.
+	if g.Len() != 1999 {
+		t.Errorf("graph Len = %d, want 1999", g.Len())
+	}
+	if g.Has(snapTriple(7)) {
+		t.Error("graph still has removed triple")
+	}
+}
+
+// TestSnapshotCached: repeated snapshots of an unchanged graph are the
+// same object; any mutation invalidates the cache.
+func TestSnapshotCached(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(snapTriple(1))
+	s1 := g.Snapshot()
+	if s2 := g.Snapshot(); s1 != s2 {
+		t.Error("unchanged graph should reuse the cached snapshot")
+	}
+	g.MustAdd(snapTriple(2))
+	if s3 := g.Snapshot(); s1 == s3 {
+		t.Error("mutation must invalidate the cached snapshot")
+	}
+}
+
+// TestMatchAcrossLevels: pattern matching agrees with a naive oracle
+// while triples are spread across base, mid and delta, with random
+// interleaved removals.
+func TestMatchAcrossLevels(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewGraph()
+	present := make(map[string]Triple)
+	for i := 0; i < 3000; i++ {
+		tr := snapTriple(rng.Intn(1200))
+		if rng.Intn(5) == 0 {
+			got := g.Remove(tr)
+			_, want := present[tr.Key()]
+			if got != want {
+				t.Fatalf("step %d: Remove=%v, oracle=%v", i, got, want)
+			}
+			delete(present, tr.Key())
+		} else {
+			g.MustAdd(tr)
+			present[tr.Key()] = tr
+		}
+	}
+	if g.Len() != len(present) {
+		t.Fatalf("Len = %d, oracle %d", g.Len(), len(present))
+	}
+	// Full scan equals oracle.
+	seen := 0
+	g.ForEachMatch(nil, nil, nil, func(tr Triple) bool {
+		if _, ok := present[tr.Key()]; !ok {
+			t.Fatalf("scan produced absent triple %v", tr)
+		}
+		seen++
+		return true
+	})
+	if seen != len(present) {
+		t.Fatalf("scan saw %d, oracle %d", seen, len(present))
+	}
+	// Bound-pattern counts equal oracle counts.
+	for p := 0; p < 4; p++ {
+		pred := snapNS.IRI(fmt.Sprintf("p%d", p))
+		want := 0
+		for _, tr := range present {
+			if Equal(tr.P, pred) {
+				want++
+			}
+		}
+		if got := g.Count(nil, pred, nil); got != want {
+			t.Errorf("Count(-, p%d, -) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// TestAddAllBulkMatchesIncremental: the sort-and-merge bulk path and
+// one-by-one Add produce identical graphs, including batch-internal
+// duplicates and overlap with existing triples.
+func TestAddAllBulkMatchesIncremental(t *testing.T) {
+	var batch []Triple
+	for i := 0; i < 2000; i++ {
+		batch = append(batch, snapTriple(i%1500)) // dups past 1500
+	}
+	bulk := NewGraph()
+	bulk.MustAdd(snapTriple(3)) // overlap with the batch
+	if err := bulk.AddAll(batch...); err != nil {
+		t.Fatal(err)
+	}
+	inc := NewGraph()
+	for _, tr := range batch {
+		inc.MustAdd(tr)
+	}
+	if !EqualGraphs(bulk, inc) {
+		t.Fatalf("bulk Len=%d incremental Len=%d", bulk.Len(), inc.Len())
+	}
+}
+
+// TestCloneIndependence: a clone and its source evolve independently.
+func TestCloneIndependence(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 600; i++ { // cross the compaction threshold
+		g.MustAdd(snapTriple(i))
+	}
+	c := g.Clone()
+	g.MustAdd(snapTriple(9000))
+	c.Remove(snapTriple(5))
+	if g.Len() != 601 || c.Len() != 599 {
+		t.Fatalf("Len g=%d c=%d, want 601/599", g.Len(), c.Len())
+	}
+	if c.Has(snapTriple(9000)) {
+		t.Error("clone sees source write")
+	}
+	if !g.Has(snapTriple(5)) {
+		t.Error("source lost triple removed from clone")
+	}
+}
+
+// TestSnapshotConcurrentReadWrite: lock-free snapshot reads race-cleanly
+// against concurrent writers (exercised under -race in CI).
+func TestSnapshotConcurrentReadWrite(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 500; i++ {
+		g.MustAdd(snapTriple(i))
+	}
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					g.MustAdd(snapTriple(500 + w*100000 + i))
+				case 1:
+					g.Remove(snapTriple(500 + w*100000 + i - 2))
+				default:
+					g.AddAll(snapTriple(w*100000+i), snapTriple(w*100000+i+1))
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				snap := g.Snapshot()
+				n := 0
+				snap.ForEachMatch(nil, nil, nil, func(Triple) bool { n++; return true })
+				if n != snap.Len() {
+					t.Errorf("snapshot iterated %d of %d triples", n, snap.Len())
+					return
+				}
+				snap.Count(nil, snapNS.IRI("p1"), nil)
+			}
+		}()
+	}
+	// Writers churn for the readers' whole lifetime.
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

@@ -7,70 +7,145 @@ import (
 	"repro/internal/rdf"
 )
 
-// Engine evaluates parsed queries against an RDF graph.
+// Engine evaluates parsed queries against an RDF graph. Every query
+// runs against an immutable snapshot taken when evaluation starts, so
+// evaluation is lock-free and never blocks concurrent writers.
 type Engine struct {
-	g *rdf.Graph
+	g    *rdf.Graph
+	snap *rdf.Snapshot
 }
 
-// NewEngine returns an engine bound to a graph.
+// NewEngine returns an engine bound to a graph. Each query evaluates
+// against a fresh snapshot of the graph's state at call time.
 func NewEngine(g *rdf.Graph) *Engine { return &Engine{g: g} }
 
+// NewSnapshotEngine returns an engine pinned to one immutable snapshot:
+// every query sees exactly that state, regardless of later writes.
+func NewSnapshotEngine(s *rdf.Snapshot) *Engine { return &Engine{snap: s} }
+
+func (e *Engine) snapshot() *rdf.Snapshot {
+	if e.snap != nil {
+		return e.snap
+	}
+	return e.g.Snapshot()
+}
+
 // Select runs a SELECT query and returns its solutions.
+//
+// Solution modifiers apply in SPARQL algebra order: ORDER BY over the
+// full solution rows, then projection, then DISTINCT, then OFFSET/LIMIT
+// — so SELECT DISTINCT ... LIMIT n returns n distinct rows whenever
+// that many exist.
 func (e *Engine) Select(q *Query) (*Solutions, error) {
 	if q.Form != FormSelect {
 		return nil, fmt.Errorf("sparql: Select called with %s query", q.Form)
 	}
-	rows, err := e.evalGroup(q.Where, []Binding{{}})
+	prog, err := compile(q, e.snapshot())
 	if err != nil {
 		return nil, err
 	}
-	var vars []Var
+
 	if q.hasAggregates() {
-		// Grouping happens before ORDER/LIMIT so modifiers can reference
-		// aggregate outputs.
-		rows, err = evalAggregates(q, rows)
+		rows, err := evalAggregates(q, prog.collectBindings())
 		if err != nil {
 			return nil, err
 		}
-		vars = q.aggProjection()
-	} else {
-		vars = q.Select
-		if len(vars) == 0 {
-			vars = collectVars(q.Where)
-		}
+		vars := q.aggProjection()
+		return finishRows(q, vars, rows), nil
 	}
-	rows, err = e.applyModifiers(q, rows)
-	if err != nil {
-		return nil, err
+
+	vars := q.Select
+	if len(vars) == 0 {
+		vars = collectVars(q.Where)
 	}
-	// Project.
-	out := make([]Binding, len(rows))
-	for i, r := range rows {
-		proj := make(Binding, len(vars))
-		for _, v := range vars {
-			if t, ok := r[v]; ok {
-				proj[v] = t
-			}
-		}
-		out[i] = proj
+	if len(q.OrderBy) > 0 {
+		return finishRows(q, vars, prog.collectBindings()), nil
 	}
-	sol := &Solutions{Vars: vars, Rows: out}
-	if q.Distinct {
-		sol = distinct(sol)
-	}
-	return sol, nil
+	return streamSelect(q, vars, prog), nil
 }
 
-// Ask runs an ASK query.
+// finishRows applies the modifier pipeline to materialized rows:
+// order → project → distinct → slice.
+func finishRows(q *Query, vars []Var, rows []Binding) *Solutions {
+	orderRows(q, rows)
+	rows = projectRows(vars, rows)
+	if q.Distinct {
+		rows = distinctRows(vars, rows)
+	}
+	rows = sliceRows(q, rows)
+	return &Solutions{Vars: vars, Rows: rows}
+}
+
+// streamSelect is the fast path for queries without ORDER BY or
+// aggregates: projection, DISTINCT and OFFSET/LIMIT all run inside the
+// streaming pipeline at the ID level, and LIMIT stops the scan early.
+func streamSelect(q *Query, vars []Var, prog *program) *Solutions {
+	slots := make([]int, len(vars))
+	for i, v := range vars {
+		if s, ok := prog.slots[v]; ok {
+			slots[i] = s
+		} else {
+			slots[i] = -1 // projected variable bound nowhere
+		}
+	}
+	var (
+		out     []Binding
+		seen    map[string]struct{}
+		keyBuf  []byte
+		skipped int
+	)
+	if q.Distinct {
+		seen = make(map[string]struct{})
+	}
+	prog.run(func(row []rdf.ID) bool {
+		if q.Distinct {
+			keyBuf = keyBuf[:0]
+			for _, s := range slots {
+				var id rdf.ID
+				if s >= 0 {
+					id = row[s]
+				}
+				keyBuf = append(keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+			}
+			if _, dup := seen[string(keyBuf)]; dup {
+				return true
+			}
+			seen[string(keyBuf)] = struct{}{}
+		}
+		if skipped < q.Offset {
+			skipped++
+			return true
+		}
+		if q.Limit >= 0 && len(out) >= q.Limit {
+			return false // covers LIMIT 0: never admit a row
+		}
+		b := make(Binding, len(vars))
+		for i, s := range slots {
+			if s >= 0 && row[s] != 0 {
+				b[vars[i]] = prog.snap.TermOf(row[s])
+			}
+		}
+		out = append(out, b)
+		return q.Limit < 0 || len(out) < q.Limit
+	})
+	return &Solutions{Vars: vars, Rows: out}
+}
+
+// Ask runs an ASK query. The scan stops at the first solution.
 func (e *Engine) Ask(q *Query) (bool, error) {
 	if q.Form != FormAsk {
 		return false, fmt.Errorf("sparql: Ask called with %s query", q.Form)
 	}
-	rows, err := e.evalGroup(q.Where, []Binding{{}})
+	prog, err := compile(q, e.snapshot())
 	if err != nil {
 		return false, err
 	}
-	return len(rows) > 0, nil
+	found := false
+	prog.run(func([]rdf.ID) bool {
+		found = true
+		return false
+	})
+	return found, nil
 }
 
 // Construct runs a CONSTRUCT query, returning a new graph built from the
@@ -80,14 +155,13 @@ func (e *Engine) Construct(q *Query) (*rdf.Graph, error) {
 	if q.Form != FormConstruct {
 		return nil, fmt.Errorf("sparql: Construct called with %s query", q.Form)
 	}
-	rows, err := e.evalGroup(q.Where, []Binding{{}})
+	prog, err := compile(q, e.snapshot())
 	if err != nil {
 		return nil, err
 	}
-	rows, err = e.applyModifiers(q, rows)
-	if err != nil {
-		return nil, err
-	}
+	rows := prog.collectBindings()
+	orderRows(q, rows)
+	rows = sliceRows(q, rows)
 	out := rdf.NewGraph()
 	for _, b := range rows {
 		for _, tp := range q.Template {
@@ -134,56 +208,6 @@ func instantiate(pt PatternTerm, b Binding) (rdf.Term, bool) {
 	return t, ok
 }
 
-// --- group evaluation ---
-
-func (e *Engine) evalGroup(g *Group, input []Binding) ([]Binding, error) {
-	rows := input
-	for _, el := range g.Elements {
-		var err error
-		switch el := el.(type) {
-		case BGP:
-			rows, err = e.evalBGP(el, rows)
-		case Filter:
-			rows = evalFilter(el, rows)
-		case Optional:
-			rows, err = e.evalOptional(el, rows)
-		case Union:
-			rows, err = e.evalUnion(el, rows)
-		case SubGroup:
-			rows, err = e.evalGroup(el.Group, rows)
-		default:
-			err = fmt.Errorf("sparql: unknown group element %T", el)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if len(rows) == 0 {
-			return rows, nil
-		}
-	}
-	return rows, nil
-}
-
-// evalBGP joins each triple pattern against the graph. Patterns are
-// reordered greedily by estimated selectivity (bound terms count) to keep
-// intermediate results small.
-func (e *Engine) evalBGP(bgp BGP, input []Binding) ([]Binding, error) {
-	patterns := orderPatterns(bgp.Patterns)
-	rows := input
-	for _, tp := range patterns {
-		var next []Binding
-		for _, b := range rows {
-			matches := e.matchPattern(tp, b)
-			next = append(next, matches...)
-		}
-		rows = next
-		if len(rows) == 0 {
-			return nil, nil
-		}
-	}
-	return rows, nil
-}
-
 // orderPatterns sorts patterns most-selective-first: patterns with more
 // concrete (or already-join-connected) positions come earlier. This is a
 // static heuristic; selectivity re-estimation per join step is not needed
@@ -213,128 +237,60 @@ func orderPatterns(ps []TriplePattern) []TriplePattern {
 	return out
 }
 
-// matchPattern matches a single triple pattern under an existing binding.
-func (e *Engine) matchPattern(tp TriplePattern, b Binding) []Binding {
-	resolve := func(pt PatternTerm) rdf.Term {
-		if !pt.IsVar() {
-			return pt.Term
-		}
-		if t, ok := b[pt.Var]; ok {
-			return t
-		}
-		return nil
-	}
-	s, p, o := resolve(tp.S), resolve(tp.P), resolve(tp.O)
-	var out []Binding
-	e.g.ForEachMatch(s, p, o, func(t rdf.Triple) bool {
-		nb := b.Clone()
-		if ok := bindIfVar(nb, tp.S, t.S) && bindIfVar(nb, tp.P, t.P) && bindIfVar(nb, tp.O, t.O); ok {
-			out = append(out, nb)
-		}
-		return true
-	})
-	return out
-}
-
-func bindIfVar(b Binding, pt PatternTerm, t rdf.Term) bool {
-	if !pt.IsVar() {
-		return true
-	}
-	if existing, ok := b[pt.Var]; ok {
-		return rdf.Equal(existing, t)
-	}
-	b[pt.Var] = t
-	return true
-}
-
-func evalFilter(f Filter, rows []Binding) []Binding {
-	var out []Binding
-	for _, b := range rows {
-		v, err := f.Expr.Eval(b)
-		if err != nil {
-			continue // SPARQL: errors eliminate the solution
-		}
-		ok, err := v.EBV()
-		if err == nil && ok {
-			out = append(out, b)
-		}
-	}
-	return out
-}
-
-func (e *Engine) evalOptional(o Optional, rows []Binding) ([]Binding, error) {
-	var out []Binding
-	for _, b := range rows {
-		extended, err := e.evalGroup(o.Group, []Binding{b})
-		if err != nil {
-			return nil, err
-		}
-		if len(extended) == 0 {
-			out = append(out, b)
-		} else {
-			out = append(out, extended...)
-		}
-	}
-	return out, nil
-}
-
-func (e *Engine) evalUnion(u Union, rows []Binding) ([]Binding, error) {
-	var out []Binding
-	for _, branch := range u.Branches {
-		res, err := e.evalGroup(branch, cloneAll(rows))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res...)
-	}
-	return out, nil
-}
-
-func cloneAll(rows []Binding) []Binding {
-	out := make([]Binding, len(rows))
-	for i, r := range rows {
-		out[i] = r.Clone()
-	}
-	return out
-}
-
 // --- modifiers ---
 
-func (e *Engine) applyModifiers(q *Query, rows []Binding) ([]Binding, error) {
-	if len(q.OrderBy) > 0 {
-		var sortErr error
-		sort.SliceStable(rows, func(i, j int) bool {
-			for _, k := range q.OrderBy {
-				vi, ei := k.Expr.Eval(rows[i])
-				vj, ej := k.Expr.Eval(rows[j])
-				// Unbound/error sorts first (SPARQL: lowest).
-				switch {
-				case ei != nil && ej != nil:
-					continue
-				case ei != nil:
-					return !k.Descending
-				case ej != nil:
-					return k.Descending
-				}
-				c, err := compareValues(vi, vj)
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				if c == 0 {
-					continue
-				}
-				if k.Descending {
-					return c > 0
-				}
-				return c < 0
+// orderRows sorts rows by the ORDER BY keys under SPARQL's total order
+// (unbound < blank nodes < IRIs < literals); it never fails, even over
+// mixed term kinds.
+func orderRows(q *Query, rows []Binding) {
+	if len(q.OrderBy) == 0 {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range q.OrderBy {
+			vi, ei := k.Expr.Eval(rows[i])
+			vj, ej := k.Expr.Eval(rows[j])
+			c := orderCompare(vi, ei, vj, ej)
+			if c == 0 {
+				continue
 			}
-			return false
-		})
-		if sortErr != nil {
-			return nil, sortErr
+			if k.Descending {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+func projectRows(vars []Var, rows []Binding) []Binding {
+	out := make([]Binding, len(rows))
+	for i, r := range rows {
+		proj := make(Binding, len(vars))
+		for _, v := range vars {
+			if t, ok := r[v]; ok {
+				proj[v] = t
+			}
+		}
+		out[i] = proj
+	}
+	return out
+}
+
+func distinctRows(vars []Var, rows []Binding) []Binding {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		k := r.key(vars)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
 		}
 	}
+	return out
+}
+
+func sliceRows(q *Query, rows []Binding) []Binding {
 	if q.Offset > 0 {
 		if q.Offset >= len(rows) {
 			rows = nil
@@ -345,24 +301,11 @@ func (e *Engine) applyModifiers(q *Query, rows []Binding) ([]Binding, error) {
 	if q.Limit >= 0 && q.Limit < len(rows) {
 		rows = rows[:q.Limit]
 	}
-	return rows, nil
-}
-
-func distinct(s *Solutions) *Solutions {
-	seen := make(map[string]bool, len(s.Rows))
-	out := make([]Binding, 0, len(s.Rows))
-	for _, r := range s.Rows {
-		k := r.key(s.Vars)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, r)
-		}
-	}
-	return &Solutions{Vars: s.Vars, Rows: out}
+	return rows
 }
 
 // collectVars gathers every variable mentioned in a group, in first-seen
-// order (used for SELECT *).
+// order (used for SELECT * and slot assignment).
 func collectVars(g *Group) []Var {
 	var out []Var
 	seen := make(map[Var]bool)

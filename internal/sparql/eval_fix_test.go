@@ -1,0 +1,163 @@
+package sparql
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// TestDistinctAppliesBeforeLimit: per SPARQL algebra, Distinct precedes
+// Slice, so SELECT DISTINCT ... LIMIT n must return n distinct rows
+// whenever that many exist. The old evaluator sliced first and could
+// return fewer. (Regression: fails on the pre-dictionary engine.)
+func TestDistinctAppliesBeforeLimit(t *testing.T) {
+	g := rdf.NewGraph()
+	ex := rdf.Namespace("http://example.org/")
+	obs := ex.IRI("observes")
+	// Two sensors observe A (duplicate projected rows), one observes B.
+	g.MustAdd(rdf.T(ex.IRI("s1"), obs, ex.IRI("A")))
+	g.MustAdd(rdf.T(ex.IRI("s2"), obs, ex.IRI("A")))
+	g.MustAdd(rdf.T(ex.IRI("s3"), obs, ex.IRI("B")))
+
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?p WHERE { ?s ex:observes ?p . } ORDER BY ?p LIMIT 2`)
+	if len(sol.Rows) != 2 {
+		t.Fatalf("DISTINCT LIMIT 2 returned %d rows, want 2 (distinct before slice)", len(sol.Rows))
+	}
+	want := []rdf.Term{ex.IRI("A"), ex.IRI("B")}
+	for i, w := range want {
+		if !rdf.Equal(sol.Rows[i][Var("p")], w) {
+			t.Errorf("row %d = %v, want %v", i, sol.Rows[i][Var("p")], w)
+		}
+	}
+}
+
+// TestDistinctBeforeOffset: OFFSET must skip distinct rows, not raw ones.
+func TestDistinctBeforeOffset(t *testing.T) {
+	g := rdf.NewGraph()
+	ex := rdf.Namespace("http://example.org/")
+	obs := ex.IRI("observes")
+	g.MustAdd(rdf.T(ex.IRI("s1"), obs, ex.IRI("A")))
+	g.MustAdd(rdf.T(ex.IRI("s2"), obs, ex.IRI("A")))
+	g.MustAdd(rdf.T(ex.IRI("s3"), obs, ex.IRI("B")))
+
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?p WHERE { ?s ex:observes ?p . } ORDER BY ?p OFFSET 1`)
+	if len(sol.Rows) != 1 || !rdf.Equal(sol.Rows[0][Var("p")], ex.IRI("B")) {
+		t.Fatalf("OFFSET 1 over distinct rows = %v, want exactly [B]", sol.Rows)
+	}
+}
+
+// TestOrderByMixedTermKinds: ORDER BY over mixed kinds must not abort
+// the query; SPARQL defines a total order with blank nodes before IRIs
+// before literals. The old evaluator returned an error as soon as two
+// incomparable values met (e.g. a blank node against anything).
+// (Regression: fails on the pre-dictionary engine.)
+func TestOrderByMixedTermKinds(t *testing.T) {
+	g := rdf.NewGraph()
+	ex := rdf.Namespace("http://example.org/")
+	p := ex.IRI("p")
+	g.MustAdd(rdf.T(ex.IRI("a"), p, rdf.BlankNode("z9")))
+	g.MustAdd(rdf.T(ex.IRI("a"), p, ex.IRI("AnIRI")))
+	g.MustAdd(rdf.T(ex.IRI("a"), p, rdf.NewInt(5)))
+	g.MustAdd(rdf.T(ex.IRI("a"), p, rdf.NewLiteral("abc")))
+
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?x WHERE { ?s ex:p ?x . } ORDER BY ?x`)
+	if len(sol.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(sol.Rows))
+	}
+	want := []rdf.Term{rdf.BlankNode("z9"), ex.IRI("AnIRI"), rdf.NewInt(5), rdf.NewLiteral("abc")}
+	for i, w := range want {
+		if !rdf.Equal(sol.Rows[i][Var("x")], w) {
+			t.Fatalf("order[%d] = %v, want %v (full: %v)", i, sol.Rows[i][Var("x")], w, sol.Rows)
+		}
+	}
+}
+
+// TestOrderByUnboundSortsFirst: rows where the key is unbound come
+// before every bound value, ascending.
+func TestOrderByUnboundSortsFirst(t *testing.T) {
+	g := rdf.NewGraph()
+	ex := rdf.Namespace("http://example.org/")
+	g.MustAdd(rdf.T(ex.IRI("s1"), ex.IRI("p"), rdf.NewInt(1)))
+	g.MustAdd(rdf.T(ex.IRI("s2"), ex.IRI("p"), rdf.NewInt(2)))
+	g.MustAdd(rdf.T(ex.IRI("s1"), ex.IRI("label"), rdf.NewLiteral("one")))
+
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?s ?l WHERE { ?s ex:p ?v . OPTIONAL { ?s ex:label ?l . } } ORDER BY ?l`)
+	if len(sol.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(sol.Rows))
+	}
+	if _, bound := sol.Rows[0][Var("l")]; bound {
+		t.Errorf("unbound ORDER BY key should sort first, got %v", sol.Rows)
+	}
+}
+
+// TestOrderByDescendingMixedKinds: DESC inverts the total order.
+func TestOrderByDescendingMixedKinds(t *testing.T) {
+	g := rdf.NewGraph()
+	ex := rdf.Namespace("http://example.org/")
+	p := ex.IRI("p")
+	g.MustAdd(rdf.T(ex.IRI("a"), p, rdf.BlankNode("b0")))
+	g.MustAdd(rdf.T(ex.IRI("a"), p, rdf.NewInt(3)))
+
+	sol := mustSelect(t, g, `
+PREFIX ex: <http://example.org/>
+SELECT ?x WHERE { ?s ex:p ?x . } ORDER BY DESC(?x)`)
+	if len(sol.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(sol.Rows))
+	}
+	if !rdf.Equal(sol.Rows[0][Var("x")], rdf.NewInt(3)) {
+		t.Errorf("DESC should put the literal first, got %v", sol.Rows)
+	}
+}
+
+// TestLimitZero: LIMIT 0 returns no rows on both the streaming path
+// (no ORDER BY) and the materialized path (with ORDER BY).
+func TestLimitZero(t *testing.T) {
+	g := rdf.NewGraph()
+	ex := rdf.Namespace("http://example.org/")
+	g.MustAdd(rdf.T(ex.IRI("s1"), ex.IRI("p"), rdf.NewInt(1)))
+	for _, q := range []string{
+		`PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:p ?v . } LIMIT 0`,
+		`PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:p ?v . } ORDER BY ?v LIMIT 0`,
+	} {
+		if sol := mustSelect(t, g, q); len(sol.Rows) != 0 {
+			t.Errorf("LIMIT 0 returned %d rows for %q", len(sol.Rows), q)
+		}
+	}
+}
+
+// TestSnapshotEngineIsolation: a snapshot engine pinned before a write
+// keeps answering from the old state while a live engine sees the write.
+func TestSnapshotEngineIsolation(t *testing.T) {
+	g := rdf.NewGraph()
+	ex := rdf.Namespace("http://example.org/")
+	g.MustAdd(rdf.T(ex.IRI("s1"), rdf.RDFType, ex.IRI("Sensor")))
+
+	pinned := NewSnapshotEngine(g.Snapshot())
+	live := NewEngine(g)
+	g.MustAdd(rdf.T(ex.IRI("s2"), rdf.RDFType, ex.IRI("Sensor")))
+
+	const q = `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s a ex:Sensor . }`
+	solPinned, err := pinned.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solLive, err := live.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(solPinned.(*Solutions).Rows); n != 1 {
+		t.Errorf("pinned snapshot sees %d sensors, want 1", n)
+	}
+	if n := len(solLive.(*Solutions).Rows); n != 2 {
+		t.Errorf("live engine sees %d sensors, want 2", n)
+	}
+}

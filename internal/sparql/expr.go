@@ -310,8 +310,90 @@ func numericCapable(v Value) bool {
 	return false
 }
 
+// orderCompare implements the total order ORDER BY sorts by. Values
+// that failed to evaluate (unbound variables, type errors) sort lowest,
+// then blank nodes, then IRIs, then literals — per the SPARQL
+// "Ordering" operator mapping. Within literals, numeric literals
+// compare by value and everything else by string form; the two groups
+// are kept apart so the order stays transitive (mixing value-based and
+// lexical comparison in one group would not be a total order). It never
+// fails: incomparable pairs fall back to a deterministic rank
+// comparison instead of aborting the sort.
+func orderCompare(a Value, aerr error, b Value, berr error) int {
+	ra, rb := orderRank(a, aerr), orderRank(b, berr)
+	if ra != rb {
+		return ra - rb
+	}
+	switch ra {
+	case orderRankUnbound:
+		return 0
+	case orderRankNumeric:
+		af, _ := a.asNum()
+		bf, _ := b.asNum()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	default: // blank, IRI, plain: all compare by string form
+		as, _ := orderString(a)
+		bs, _ := orderString(b)
+		return strings.Compare(as, bs)
+	}
+}
+
+// Order ranks, lowest first.
+const (
+	orderRankUnbound = iota
+	orderRankBlank
+	orderRankIRI
+	orderRankNumeric
+	orderRankPlain
+)
+
+func orderRank(v Value, err error) int {
+	if err != nil {
+		return orderRankUnbound
+	}
+	switch v.Kind {
+	case KindNum:
+		return orderRankNumeric
+	case KindBool, KindStr:
+		return orderRankPlain
+	case KindTerm:
+		switch t := v.Term.(type) {
+		case rdf.BlankNode:
+			return orderRankBlank
+		case rdf.IRI:
+			return orderRankIRI
+		case rdf.Literal:
+			if t.IsNumeric() {
+				return orderRankNumeric
+			}
+			return orderRankPlain
+		}
+	}
+	return orderRankUnbound
+}
+
+// orderString returns the string the non-numeric ranks compare by.
+func orderString(v Value) (string, bool) {
+	if v.Kind == KindTerm {
+		if b, ok := v.Term.(rdf.BlankNode); ok {
+			return b.Label(), true
+		}
+	}
+	s, err := v.asStr()
+	return s, err == nil
+}
+
 // compareValues orders two values: numerics numerically, otherwise
-// lexically by string form.
+// lexically by string form. It is the comparison behind the FILTER
+// operators (<, <=, >, >=), where incomparable values are an error that
+// eliminates the solution; ORDER BY uses orderCompare instead.
 func compareValues(a, b Value) (int, error) {
 	if numericCapable(a) && numericCapable(b) {
 		af, _ := a.asNum()

@@ -1,0 +1,54 @@
+package sparql
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// FuzzParseQuery feeds arbitrary input to the SPARQL parser: it must
+// either return an error or produce a query that the executor can
+// compile — never panic or hang. Queries that parse are additionally
+// compiled against a tiny snapshot so plan-time code is fuzzed too
+// (compilation is linear in the query; evaluation is deliberately not
+// run, since a parsed cross join can be exponential).
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		`SELECT ?s WHERE { ?s ?p ?o . }`,
+		`PREFIX ex: <http://example.org/> SELECT DISTINCT ?s ?v WHERE { ?s a ex:Sensor . ?s ex:value ?v . FILTER(?v > 1 && ?v < 20) } ORDER BY DESC(?v) LIMIT 5 OFFSET 2`,
+		`SELECT ?s WHERE { { ?s a <http://x/A> . } UNION { ?s a <http://x/B> . } }`,
+		`SELECT ?s ?l WHERE { ?s <http://x/p> ?v . OPTIONAL { ?s <http://x/label> ?l . } }`,
+		`ASK { ?s <http://x/p> "lit"@en . }`,
+		`CONSTRUCT { ?s <http://x/q> ?o . } WHERE { ?s <http://x/p> ?o . }`,
+		`PREFIX ex: <http://example.org/> SELECT ?d (COUNT(?s) AS ?n) (AVG(?v) AS ?mean) WHERE { ?s ex:in ?d . ?s ex:v ?v . } GROUP BY ?d`,
+		`SELECT ?s WHERE { ?s ?p ?o . FILTER REGEX(STR(?o), "^a.*b$", "i") }`,
+		`SELECT ?s WHERE { ?s ?p "x\"y\\z" . }`,
+		`SELECT ?s WHERE { ?s ?p 3.25e-2 . FILTER(BOUND(?s) || !ISBLANK(?s)) }`,
+		"SELECT * WHERE { ?s ?p ?o . } # comment\n",
+		`select ?s where { ?s a [] . }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	tiny := rdf.NewGraph()
+	ex := rdf.Namespace("http://example.org/")
+	tiny.MustAdd(rdf.T(ex.IRI("s"), ex.IRI("p"), rdf.NewInt(1)))
+	snap := tiny.Snapshot()
+
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatal("nil query without error")
+		}
+		if q.Where == nil {
+			t.Fatal("parsed query has nil WHERE group")
+		}
+		if _, err := compile(q, snap); err != nil {
+			t.Fatalf("parsed query failed to compile: %v", err)
+		}
+	})
+}
