@@ -11,12 +11,20 @@
 //
 //	dews [-seed N] [-years N] [-train N] [-lead N] [-districts a,b,c]
 //	     [-nodes N] [-fetch-parallel N] [-gateway-buffer N] [-serve :8080]
-//	     [-log-dir DIR] [-log-segment-bytes N] [-log-retain 720h] [-pprof]
+//	     [-log-dir DIR] [-log-segment-bytes N] [-log-retain 720h]
+//	     [-graph-dir DIR] [-graph-checkpoint 15s] [-graph-checkpoint-frac 0.25]
+//	     [-pprof]
 //
 // With -log-dir the broker writes every published message through a
 // durable segmented event log: restarts recover retained topics and the
 // offset sequence, and SSE subscribers resume by offset (Last-Event-ID
 // or ?from=).
+//
+// With -graph-dir the semantic-web bulletin graph is durable too: every
+// bulletin's triples are committed through a graph write-ahead log and
+// periodically checkpointed into binary snapshot files, so a restart
+// reopens the full RDF graph (snapshot load + WAL tail replay) instead
+// of starting empty.
 package main
 
 import (
@@ -55,6 +63,9 @@ func run(args []string) error {
 		logDir    = fs.String("log-dir", "", "durable event log directory (empty = in-memory broker only)")
 		logSeg    = fs.Int64("log-segment-bytes", 0, "event log segment rotation size in bytes (0 = default 8MiB)")
 		logRetain = fs.Duration("log-retain", 0, "drop sealed log segments older than this (0 = keep forever)")
+		graphDir  = fs.String("graph-dir", "", "durable semantic-web graph directory (empty = in-memory graph only)")
+		graphCkpt = fs.Duration("graph-checkpoint", 0, "graph snapshot/WAL-truncation cadence (0 = default 15s, negative = disable)")
+		graphFrac = fs.Float64("graph-checkpoint-frac", 0, "checkpoint once the WAL tail exceeds this fraction of the graph (0 = default 0.25)")
 		serve     = fs.String("serve", "", "serve the subscription gateway and semantic-web channel on this address after the run")
 		pprofOn   = fs.Bool("pprof", false, "with -serve, also mount net/http/pprof profiling under /debug/pprof/")
 		ablation  = fs.Bool("ablation", false, "run the fusion ablation study instead of the standard table")
@@ -74,6 +85,10 @@ func run(args []string) error {
 		LogDir:           *logDir,
 		LogSegmentBytes:  *logSeg,
 		LogRetain:        *logRetain,
+
+		GraphDir:                *graphDir,
+		GraphCheckpointInterval: *graphCkpt,
+		GraphCheckpointFraction: *graphFrac,
 	}
 	if *districts != "" {
 		cfg.Districts = strings.Split(*districts, ",")
@@ -100,6 +115,11 @@ func run(args []string) error {
 	if *logDir != "" {
 		fmt.Printf("event log: %s (recovered %d records from previous runs)\n",
 			*logDir, system.Recovered())
+	}
+	if *graphDir != "" {
+		gs := system.GraphStore().Stats()
+		fmt.Printf("graph store: %s (recovered %d triples: snapshot %d + %d replayed)\n",
+			*graphDir, gs.Triples, gs.Triples-gs.ReplayedTriples, gs.ReplayedTriples)
 	}
 	result, err := system.Run()
 	if err != nil {

@@ -7,6 +7,13 @@
 //	rdfpipe -in data.nt  -from ntriples -validate         # just validate
 //	rdfpipe -library -to turtle                           # dump the ontology
 //	rdfpipe -library -stats                               # library statistics
+//	rdfpipe -in big.nt -to snapshot -out 0.gsnap          # offline bulk load
+//	rdfpipe -in 0.gsnap -from snapshot -to turtle         # dump a snapshot
+//
+// The snapshot format is the persistent triple store's binary
+// run-snapshot (internal/graphlog): -to snapshot bulk-loads a document
+// into a file a store can open directly, and -from snapshot dumps one
+// back to a text serialization without starting a store.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/graphlog"
 	"repro/internal/ontology"
 	"repro/internal/ontology/drought"
 	"repro/internal/rdf"
@@ -31,8 +39,9 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rdfpipe", flag.ContinueOnError)
 	var (
 		in       = fs.String("in", "", "input file (default stdin)")
-		from     = fs.String("from", "turtle", "input format: turtle | ntriples")
-		to       = fs.String("to", "ntriples", "output format: turtle | ntriples")
+		from     = fs.String("from", "turtle", "input format: turtle | ntriples | snapshot")
+		to       = fs.String("to", "ntriples", "output format: turtle | ntriples | snapshot")
+		outFile  = fs.String("out", "", "output file for -to snapshot (the binary format is not written to stdout)")
 		library  = fs.Bool("library", false, "use the built-in unified ontology library as input")
 		validate = fs.Bool("validate", false, "parse and report statistics only")
 		stats    = fs.Bool("stats", false, "print ontology statistics (implies -validate)")
@@ -46,6 +55,18 @@ func run(args []string, out io.Writer) error {
 	switch {
 	case *library:
 		g = drought.Build().Graph()
+	case *from == "snapshot" || *from == "gsnap":
+		if *in == "" {
+			return fmt.Errorf("-from snapshot needs -in FILE (the binary format is not read from stdin)")
+		}
+		var info graphlog.SnapshotInfo
+		var err error
+		g, info, err = graphlog.ReadSnapshotFile(*in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "snapshot: %d triples, %d terms, WAL offset %d\n",
+			info.Triples, info.Terms, info.WALOffset)
 	default:
 		r := io.Reader(os.Stdin)
 		if *in != "" {
@@ -94,6 +115,18 @@ func run(args []string, out io.Writer) error {
 		return rdf.WriteTurtle(out, g, nil)
 	case "ntriples", "nt":
 		return rdf.WriteNTriples(out, g)
+	case "snapshot", "gsnap":
+		if *outFile == "" {
+			return fmt.Errorf("-to snapshot needs -out FILE (the binary format is not written to stdout)")
+		}
+		// WAL offset 1 marks the snapshot as covering nothing beyond the
+		// start of an (empty or fresh) WAL, so a store directory seeded
+		// with this file opens directly to the bulk-loaded graph.
+		if err := graphlog.WriteSnapshotFile(*outFile, g.Snapshot(), 1, g.BlankNodeSeq()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "snapshot: wrote %d triples to %s\n", g.Len(), *outFile)
+		return nil
 	default:
 		return fmt.Errorf("unknown output format %q", *to)
 	}

@@ -309,3 +309,62 @@ func TestDurableLogAcrossSystems(t *testing.T) {
 		t.Fatalf("recovered bulletin %+v, want offset %d time %v", got, bulletin.Offset, bulletin.Time)
 	}
 }
+
+// TestPersistentSemanticWeb runs a short simulation with a durable
+// graph, restarts the system on the same directory, and checks the
+// bulletin graph is recovered — and that new bulletins mint IRIs past
+// the recovered sequence instead of overwriting persisted ones.
+func TestPersistentSemanticWeb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run is slow")
+	}
+	dir := t.TempDir()
+	cfg := smallConfig(11)
+	cfg.Years = 4
+	cfg.TrainYears = 2
+	cfg.GraphDir = dir
+	cfg.GraphCheckpointInterval = -1 // recovery must work from WAL alone
+
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.GraphStore() == nil {
+		t.Fatal("GraphDir set but no store")
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Bulletins) == 0 {
+		t.Fatal("run produced no bulletins")
+	}
+	firstTriples := sys.Web().TripleCount()
+	if firstTriples == 0 {
+		t.Fatal("semantic-web graph is empty after the run")
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	if got := sys2.Web().TripleCount(); got != firstTriples {
+		t.Fatalf("recovered %d triples, want %d", got, firstTriples)
+	}
+	st := sys2.GraphStore().Stats()
+	if st.Triples != firstTriples {
+		t.Fatalf("store stats report %d triples, want %d", st.Triples, firstTriples)
+	}
+	// A delivery after recovery must extend the graph (fresh sequence
+	// number), not silently rewrite an existing bulletin node.
+	if err := sys2.Web().Deliver(res.Bulletins[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys2.Web().TripleCount(); got <= firstTriples {
+		t.Fatalf("post-recovery delivery did not extend the graph (%d -> %d)", firstTriples, got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/eventlog"
 	"repro/internal/forecast"
 	"repro/internal/gateway"
+	"repro/internal/graphlog"
 	"repro/internal/ik"
 	"repro/internal/ontology/drought"
 	"repro/internal/ontology/ssn"
@@ -93,6 +94,20 @@ type Config struct {
 	// LogRetain drops sealed log segments once their newest write is
 	// older than this (0 = keep forever).
 	LogRetain time.Duration
+	// GraphDir, when set, makes the semantic-web bulletin graph durable:
+	// every bulletin's triples are committed through a graph write-ahead
+	// log in this directory, periodically checkpointed into binary
+	// snapshot files, and the graph is recovered (snapshot + WAL tail)
+	// on startup.
+	GraphDir string
+	// GraphCheckpointInterval is how often the graph store considers
+	// writing a snapshot and truncating its WAL (0 = graphlog default,
+	// 15s; negative disables background checkpointing).
+	GraphCheckpointInterval time.Duration
+	// GraphCheckpointFraction triggers a checkpoint once the WAL tail
+	// holds more than this fraction of the graph's triples (0 = graphlog
+	// default, 0.25).
+	GraphCheckpointFraction float64
 }
 
 func (c *Config) applyDefaults() {
@@ -214,6 +229,9 @@ type System struct {
 	// previous run at startup.
 	log       *eventlog.Log
 	recovered int
+	// store is the persistent triple store behind the semantic-web
+	// channel (nil without Config.GraphDir).
+	store *graphlog.Store
 
 	// totalsMu guards the running ingest totals, which the gateway's
 	// /stats endpoint reads while Run is (or was) accumulating them.
@@ -297,16 +315,38 @@ func NewSystem(cfg Config) (sys *System, err error) {
 		}
 	}
 
+	var store *graphlog.Store
+	web := dissemination.NewSemanticWeb()
+	if cfg.GraphDir != "" {
+		store, err = graphlog.Open(graphlog.Config{
+			Dir:                cfg.GraphDir,
+			CheckpointInterval: cfg.GraphCheckpointInterval,
+			CheckpointFraction: cfg.GraphCheckpointFraction,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Like the event log: a later constructor failure must release the
+		// store, or its checkpoint goroutine outlives the failed build.
+		defer func() {
+			if err != nil {
+				store.Close()
+			}
+		}()
+		web = dissemination.NewPersistentSemanticWeb(store.Graph(), store.AddAll)
+	}
+
 	s := &System{
 		cfg:        cfg,
 		middleware: mw,
 		log:        elog,
 		recovered:  recovered,
+		store:      store,
 		hub:        dissemination.NewHub(),
 		billboard:  dissemination.NewSmartBillboard(),
 		sms:        dissemination.NewSMSBroadcast(),
 		radio:      dissemination.NewIPRadio("st"),
-		web:        dissemination.NewSemanticWeb(),
+		web:        web,
 		dviMap:     forecast.NewVulnerabilityMap(),
 	}
 	if err := s.hub.Register(s.billboard, forecast.DVINormal); err != nil {
@@ -361,14 +401,24 @@ func (s *System) Middleware() *core.Middleware { return s.middleware }
 func (s *System) Recovered() int { return s.recovered }
 
 // Close releases the system's durable resources: it fsyncs and closes
-// the event log (a no-op for in-memory systems). Call it once the run —
-// and any -serve period — is over.
+// the event log and the graph store (a no-op for in-memory systems).
+// Call it once the run — and any -serve period — is over.
 func (s *System) Close() error {
+	var first error
 	if s.log != nil {
-		return s.log.Close()
+		first = s.log.Close()
 	}
-	return nil
+	if s.store != nil {
+		if err := s.store.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
+
+// GraphStore exposes the persistent triple store behind the
+// semantic-web channel (nil without Config.GraphDir).
+func (s *System) GraphStore() *graphlog.Store { return s.store }
 
 // Web exposes the semantic-web channel (examples mount it over HTTP).
 func (s *System) Web() *dissemination.SemanticWeb { return s.web }
@@ -394,13 +444,17 @@ func (s *System) NewGateway() (*gateway.Gateway, error) {
 		Broker:        s.middleware.Broker(),
 		DefaultBuffer: s.cfg.GatewayBuffer,
 		Extra: func() map[string]any {
+			semweb := map[string]any{
+				"bulletin_triples": s.web.TripleCount(),
+			}
+			if s.store != nil {
+				semweb["store"] = s.store.Stats()
+			}
 			return map[string]any{
 				"ingest":          s.IngestTotals(),
 				"ik_out_of_order": s.middleware.IKOutOfOrder(),
 				"dissemination":   s.hub.Stats(),
-				"semweb": map[string]any{
-					"bulletin_triples": s.web.TripleCount(),
-				},
+				"semweb":          semweb,
 			}
 		},
 	})

@@ -25,6 +25,9 @@ type SemanticWeb struct {
 	// queries run on lock-free snapshots of it.
 	mu    sync.Mutex
 	graph *rdf.Graph
+	// write commits a bulletin's triples: the graph's own AddAll for the
+	// in-memory channel, or the persistent store's durable AddAll.
+	write func(...rdf.Triple) error
 	seq   int
 }
 
@@ -35,7 +38,22 @@ var (
 
 // NewSemanticWeb returns an empty channel.
 func NewSemanticWeb() *SemanticWeb {
-	return &SemanticWeb{graph: rdf.NewGraph()}
+	g := rdf.NewGraph()
+	return &SemanticWeb{graph: g, write: g.AddAll}
+}
+
+// NewPersistentSemanticWeb returns a channel whose bulletins are
+// durable: reads serve the store's graph, writes go through its WAL.
+// The bulletin sequence resumes from the recovered graph, so IRIs
+// minted after a restart never collide with persisted bulletins.
+func NewPersistentSemanticWeb(graph *rdf.Graph, write func(...rdf.Triple) error) *SemanticWeb {
+	return &SemanticWeb{
+		graph: graph,
+		write: write,
+		// Each Deliver asserts exactly one rdf:type Bulletin triple, so
+		// the class count is the number of sequence values consumed.
+		seq: graph.Count(nil, rdf.RDFType, bulletinClass),
+	}
 }
 
 // Name implements Channel.
@@ -62,7 +80,7 @@ func (s *SemanticWeb) Deliver(b forecast.Bulletin) error {
 	s.seq++
 	node := rdf.NSOBS.IRI(fmt.Sprintf("bulletin/%s/%d", b.District, s.seq))
 	s.mu.Unlock()
-	return s.graph.AddAll(
+	return s.write(
 		rdf.T(node, rdf.RDFType, bulletinClass),
 		rdf.T(node, regionProp, rdf.NSGEO.IRI(b.District)),
 		rdf.T(node, probProp, rdf.NewFloat(b.Probability)),

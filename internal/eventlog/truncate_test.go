@@ -1,0 +1,127 @@
+package eventlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func appendSeq(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(Record{
+			Topic:   "graph",
+			Time:    time.Unix(1700000000+int64(i), 0).UTC(),
+			Payload: json.RawMessage(fmt.Sprintf(`{"i":%d}`, i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRotateSealsActiveSegment(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir(), SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Rotating an empty log is a no-op.
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Segments; got != 1 {
+		t.Fatalf("segments after empty rotate = %d, want 1", got)
+	}
+
+	appendSeq(t, l, 10)
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Segments != 2 {
+		t.Fatalf("segments after rotate = %d, want 2", st.Segments)
+	}
+	// Appends continue in the fresh segment with a contiguous offset.
+	appendSeq(t, l, 5)
+	if st := l.Stats(); st.NextOffset != 16 {
+		t.Fatalf("NextOffset = %d, want 16", st.NextOffset)
+	}
+	// Every record stays readable across the rotation boundary.
+	recs, _, err := l.Read(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 15 {
+		t.Fatalf("read %d records, want 15", len(recs))
+	}
+}
+
+func TestTruncateBeforeDropsOnlyCoveredSealedSegments(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir(), SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Three sealed segments of 10 records each plus an active tail.
+	for i := 0; i < 3; i++ {
+		appendSeq(t, l, 10)
+		if err := l.Rotate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendSeq(t, l, 3)
+
+	// Offset inside the second segment: only the first is fully covered.
+	removed, err := l.TruncateBefore(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	if got := l.OldestOffset(); got != 11 {
+		t.Fatalf("OldestOffset = %d, want 11", got)
+	}
+
+	// Everything below the tail: both remaining sealed segments go, the
+	// active segment survives even though it is fully covered too.
+	removed, err = l.TruncateBefore(1 << 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	st := l.Stats()
+	if st.Segments != 1 {
+		t.Fatalf("segments = %d, want 1 (active)", st.Segments)
+	}
+	if st.OldestOffset != 31 {
+		t.Fatalf("OldestOffset = %d, want 31", st.OldestOffset)
+	}
+
+	// Surviving records replay, and the log reopens cleanly after the
+	// truncation (offset-contiguous segment set).
+	recs, _, err := l.Read(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || recs[0].Offset != 31 {
+		t.Fatalf("read %d records starting at %d, want 3 from 31", len(recs), recs[0].Offset)
+	}
+	dir := l.cfg.Dir
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.NextOffset(); got != 34 {
+		t.Fatalf("NextOffset after reopen = %d, want 34", got)
+	}
+}

@@ -32,15 +32,15 @@ type Graph struct {
 	// base holds the sealed, sorted bulk of the data. The arrays are
 	// immutable once published (snapshots alias them); mutation replaces
 	// them wholesale.
-	base [nIndexes][]key3
+	base [nIndexes][]Key3
 	// mid is a sealed intermediate level between delta and base. It
 	// absorbs delta compactions so the O(n) base merge is paid only once
 	// per midCap(n) triples rather than once per deltaCap. Like base,
 	// its arrays are immutable once published.
-	mid [nIndexes][]key3
+	mid [nIndexes][]Key3
 	// delta holds recent writes, sorted, mutated in place. Snapshots
 	// copy it, so in-place mutation never invalidates a snapshot.
-	delta [nIndexes][]key3
+	delta [nIndexes][]Key3
 	n     int
 	// snap caches the latest snapshot; nil after any mutation.
 	snap *Snapshot
@@ -96,7 +96,7 @@ func (g *Graph) snapshotLocked() *Snapshot {
 	s := &Snapshot{d: g.d, terms: g.d.snapshotTerms(), base: g.base, mid: g.mid, n: g.n}
 	for i := range g.delta {
 		if len(g.delta[i]) > 0 {
-			s.delta[i] = append([]key3(nil), g.delta[i]...)
+			s.delta[i] = append([]Key3(nil), g.delta[i]...)
 		}
 	}
 	g.snap = s
@@ -126,7 +126,7 @@ func (g *Graph) Add(t Triple) error {
 }
 
 func (g *Graph) addLocked(it IDTriple) {
-	k := key3{it.S, it.P, it.O}
+	k := Key3{it.S, it.P, it.O}
 	if g.containsLocked(k) {
 		return
 	}
@@ -140,7 +140,7 @@ func (g *Graph) addLocked(it IDTriple) {
 	}
 }
 
-func (g *Graph) containsLocked(k key3) bool {
+func (g *Graph) containsLocked(k Key3) bool {
 	return contains3(g.base[ixSPO], k) || contains3(g.mid[ixSPO], k) ||
 		contains3(g.delta[ixSPO], k)
 }
@@ -169,40 +169,38 @@ func (g *Graph) compactLocked() {
 // triple; the valid prefix is still applied (documented fail-fast
 // semantics).
 func (g *Graph) AddAll(ts ...Triple) error {
-	var ferr error
-	for i, t := range ts {
-		if err := t.Validate(); err != nil {
-			ferr, ts = err, ts[:i]
-			break
-		}
-	}
-	if len(ts) == 0 {
+	its, ferr := g.InternTriples(ts)
+	if len(its) == 0 {
 		return ferr
-	}
-	its := make([]IDTriple, 0, len(ts))
-	for _, t := range ts {
-		its = append(its, IDTriple{S: g.d.intern(t.S), P: g.d.intern(t.P), O: g.d.intern(t.O)})
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.addBatchLocked(its)
+	return ferr
+}
+
+// addBatchLocked applies a batch of pre-interned triples atomically. Small
+// batches go through the per-triple insert; larger ones sort the batch
+// once per index and merge, instead of paying one insertion memmove (and
+// potential compaction) per triple. It returns how many were new.
+func (g *Graph) addBatchLocked(its []IDTriple) int {
 	if len(its) <= deltaCap {
+		before := g.n
 		for _, it := range its {
 			g.addLocked(it)
 		}
-		return ferr
+		return g.n - before
 	}
-	// Bulk path: sort the batch once per index and merge, instead of
-	// paying one insertion memmove (and potential compaction) per triple.
-	fresh := make([]key3, 0, len(its))
+	fresh := make([]Key3, 0, len(its))
 	for _, it := range its {
-		k := key3{it.S, it.P, it.O}
+		k := Key3{it.S, it.P, it.O}
 		if g.containsLocked(k) {
 			continue
 		}
 		fresh = append(fresh, k)
 	}
 	if len(fresh) == 0 {
-		return ferr
+		return 0
 	}
 	sort.Slice(fresh, func(i, j int) bool { return key3Less(fresh[i], fresh[j]) })
 	// Batch-internal duplicates survive the membership filter; drop them.
@@ -213,7 +211,7 @@ func (g *Graph) AddAll(ts ...Triple) error {
 		}
 	}
 	for ix := 0; ix < nIndexes; ix++ {
-		batch := make([]key3, len(dedup))
+		batch := make([]Key3, len(dedup))
 		if ix == ixSPO {
 			copy(batch, dedup)
 		} else {
@@ -236,7 +234,7 @@ func (g *Graph) AddAll(ts ...Triple) error {
 		}
 	}
 	g.snap = nil
-	return ferr
+	return len(dedup)
 }
 
 // MustAdd inserts a triple and panics on malformed input. It is intended
@@ -261,8 +259,14 @@ func (g *Graph) Remove(t Triple) bool {
 	if !ok1 || !ok2 || !ok3 {
 		return false
 	}
-	it := IDTriple{S: sid, P: pid, O: oid}
-	k := key3{it.S, it.P, it.O}
+	return g.RemoveID(IDTriple{S: sid, P: pid, O: oid})
+}
+
+// RemoveID deletes a dictionary-encoded triple, reporting whether it was
+// present. It is the ID-level form of Remove, used by the persistence
+// layer's WAL replay.
+func (g *Graph) RemoveID(it IDTriple) bool {
+	k := Key3{it.S, it.P, it.O}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	switch {
@@ -297,7 +301,7 @@ func (g *Graph) Has(t Triple) bool {
 	if !ok1 || !ok2 || !ok3 {
 		return false
 	}
-	k := key3{sid, pid, oid}
+	k := Key3{sid, pid, oid}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return g.containsLocked(k)
@@ -306,8 +310,8 @@ func (g *Graph) Has(t Triple) bool {
 // rebuildWithout returns a fresh copy of a sealed sorted array with one
 // element dropped (the sealed arrays are aliased by snapshots and must
 // never be mutated in place).
-func rebuildWithout(old []key3, kk key3) []key3 {
-	fresh := make([]key3, 0, len(old)-1)
+func rebuildWithout(old []Key3, kk Key3) []Key3 {
+	fresh := make([]Key3, 0, len(old)-1)
 	for _, e := range old {
 		if e != kk {
 			fresh = append(fresh, e)
@@ -344,22 +348,12 @@ func (g *Graph) Triples() []Triple {
 
 // Subjects returns the distinct subjects of triples matching (-, p, o).
 func (g *Graph) Subjects(p, o Term) []Term {
-	seen := make(map[string]Term)
-	g.ForEachMatch(nil, p, o, func(t Triple) bool {
-		seen[t.S.Key()] = t.S
-		return true
-	})
-	return collect(seen)
+	return g.Snapshot().Subjects(p, o)
 }
 
 // Objects returns the distinct objects of triples matching (s, p, -).
 func (g *Graph) Objects(s, p Term) []Term {
-	seen := make(map[string]Term)
-	g.ForEachMatch(s, p, nil, func(t Triple) bool {
-		seen[t.O.Key()] = t.O
-		return true
-	})
-	return collect(seen)
+	return g.Snapshot().Objects(s, p)
 }
 
 // FirstObject returns the object of an arbitrary triple matching
@@ -367,20 +361,6 @@ func (g *Graph) Objects(s, p Term) []Term {
 // functional properties.
 func (g *Graph) FirstObject(s, p Term) (Term, bool) {
 	return g.Snapshot().FirstObject(s, p)
-}
-
-func collect(m map[string]Term) []Term {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	// Deterministic order keeps downstream output stable.
-	sort.Strings(keys)
-	out := make([]Term, 0, len(m))
-	for _, k := range keys {
-		out = append(out, m[k])
-	}
-	return out
 }
 
 // Merge adds every triple of src into g. Blank node labels are kept
@@ -401,7 +381,7 @@ func (g *Graph) Clone() *Graph {
 	out := &Graph{d: g.d, base: g.base, mid: g.mid, n: g.n, bnodeSeq: g.bnodeSeq}
 	for ix := range g.delta {
 		if len(g.delta[ix]) > 0 {
-			out.delta[ix] = append([]key3(nil), g.delta[ix]...)
+			out.delta[ix] = append([]Key3(nil), g.delta[ix]...)
 		}
 	}
 	return out

@@ -1,0 +1,261 @@
+package rdf
+
+import "fmt"
+
+// This file is the exported, ID-level surface the persistence layer
+// (internal/graphlog) is built on: enumerating a snapshot's dictionary
+// and sorted index runs for serialization, and reconstructing a graph
+// from them — plus the pre-interned mutation entry points a write-ahead
+// log needs so the bytes it frames are exactly the bytes replay applies.
+
+// Exported index identifiers for Snapshot.Run. They mirror the internal
+// permutation order: every Key3 of run IndexSPO is (S, P, O), of
+// IndexPOS is (P, O, S), and of IndexOSP is (O, S, P).
+const (
+	IndexSPO = ixSPO
+	IndexPOS = ixPOS
+	IndexOSP = ixOSP
+	// NumIndexes is the number of index permutations a graph maintains.
+	NumIndexes = nIndexes
+)
+
+// Terms returns the snapshot's frozen decode table: entry i is the term
+// with ID i+1. The slice is shared and must not be modified.
+func (s *Snapshot) Terms() []Term { return s.terms }
+
+// Run returns the snapshot's triples for one index permutation as a
+// single sorted, duplicate-free run, fusing the snapshot's internal
+// levels. When the snapshot has no unsealed writes (the common state
+// after bulk ingest or a compaction) the sealed base array is returned
+// directly without copying. The result aliases immutable snapshot data
+// and must not be modified.
+func (s *Snapshot) Run(ix int) []Key3 {
+	if ix < 0 || ix >= nIndexes {
+		return nil
+	}
+	if len(s.mid[ix]) == 0 && len(s.delta[ix]) == 0 {
+		return s.base[ix]
+	}
+	return mergeSorted(mergeSorted(s.base[ix], s.mid[ix]), s.delta[ix])
+}
+
+// LevelLens returns the per-level run lengths of the snapshot's SPO
+// index (base, mid, delta) — the merge-structure shape, surfaced in
+// store stats.
+func (s *Snapshot) LevelLens() (base, mid, delta int) {
+	return len(s.base[ixSPO]), len(s.mid[ixSPO]), len(s.delta[ixSPO])
+}
+
+// LookupIDTriple resolves a triple to dictionary-encoded form without
+// interning anything. ok is false when any term has never been interned
+// — such a triple cannot be in the graph.
+func (g *Graph) LookupIDTriple(t Triple) (IDTriple, bool) {
+	s, ok := g.d.lookup(t.S)
+	if !ok {
+		return IDTriple{}, false
+	}
+	p, ok := g.d.lookup(t.P)
+	if !ok {
+		return IDTriple{}, false
+	}
+	o, ok := g.d.lookup(t.O)
+	if !ok {
+		return IDTriple{}, false
+	}
+	return IDTriple{S: s, P: p, O: o}, true
+}
+
+// InternTriples validates ts and interns every term, returning the batch
+// in dictionary-encoded form. Like AddAll it stops at the first invalid
+// triple: the valid prefix is returned along with the error, so callers
+// can preserve AddAll's documented prefix-applied semantics.
+func (g *Graph) InternTriples(ts []Triple) ([]IDTriple, error) {
+	var ferr error
+	for i, t := range ts {
+		if err := t.Validate(); err != nil {
+			ferr, ts = err, ts[:i]
+			break
+		}
+	}
+	if len(ts) == 0 {
+		return nil, ferr
+	}
+	its := make([]IDTriple, len(ts))
+	for i, t := range ts {
+		its[i] = IDTriple{S: g.d.intern(t.S), P: g.d.intern(t.P), O: g.d.intern(t.O)}
+	}
+	return its, ferr
+}
+
+// AddAllIDs applies a batch of pre-interned triples as one atomic batch
+// and returns how many were new. Every ID must have been assigned by
+// this graph's dictionary (via InternTriples or RestoreTerms); an
+// out-of-range ID is rejected before anything is applied.
+func (g *Graph) AddAllIDs(its []IDTriple) (int, error) {
+	max := g.d.len()
+	for _, it := range its {
+		if it.S == 0 || it.S > max || it.P == 0 || it.P > max || it.O == 0 || it.O > max {
+			return 0, fmt.Errorf("rdf: ID triple %v outside dictionary of %d terms", it, max)
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addBatchLocked(its), nil
+}
+
+// HasID reports whether the graph contains the exact ID-triple.
+func (g *Graph) HasID(it IDTriple) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.containsLocked(Key3{it.S, it.P, it.O})
+}
+
+// DictLen returns the number of interned terms, which is also the
+// highest assigned ID. It counts the shared dictionary, so clones of a
+// graph report the same value.
+func (g *Graph) DictLen() ID { return g.d.len() }
+
+// DictRange returns the terms with IDs in (after, DictLen()], in ID
+// order. The returned slice aliases the append-only dictionary and must
+// not be modified.
+func (g *Graph) DictRange(after ID) []Term {
+	g.d.mu.Lock()
+	defer g.d.mu.Unlock()
+	if int(after) >= len(g.d.terms) {
+		return nil
+	}
+	return g.d.terms[after:]
+}
+
+// RestoreTerms extends the dictionary with terms whose IDs are already
+// known: term i of the slice has ID firstID+i. IDs at or below the
+// current DictLen must match the existing assignment (WAL replay after a
+// snapshot revisits the overlap); an ID gap or a conflicting assignment
+// is a corruption error.
+func (g *Graph) RestoreTerms(firstID ID, terms []Term) error {
+	if firstID == 0 {
+		return fmt.Errorf("rdf: RestoreTerms with ID 0 (0 is the wildcard sentinel)")
+	}
+	for _, t := range terms {
+		if t == nil {
+			return fmt.Errorf("rdf: RestoreTerms with nil term")
+		}
+	}
+	d := g.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, t := range terms {
+		id := firstID + ID(i)
+		switch cur := ID(len(d.terms)); {
+		case id <= cur:
+			if d.terms[id-1].Key() != t.Key() {
+				return fmt.Errorf("rdf: RestoreTerms conflict at ID %d: have %s, got %s",
+					id, d.terms[id-1].Key(), t.Key())
+			}
+		case id == cur+1:
+			d.terms = append(d.terms, t)
+			d.ids.Store(t.Key(), id)
+		default:
+			return fmt.Errorf("rdf: RestoreTerms gap: next ID is %d, got %d", cur+1, id)
+		}
+	}
+	return nil
+}
+
+// BlankNodeSeq returns the graph's blank-node allocation cursor (the
+// number of NewBlankNode calls so far), for persistence.
+func (g *Graph) BlankNodeSeq() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.bnodeSeq
+}
+
+// RestoreBlankNodeSeq fast-forwards the blank-node allocation cursor so
+// a reopened graph never re-issues a label a persisted triple already
+// uses. It never moves the cursor backwards.
+func (g *Graph) RestoreBlankNodeSeq(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n > g.bnodeSeq {
+		g.bnodeSeq = n
+	}
+}
+
+// NewGraphFromRuns reconstructs a graph directly from pre-sorted index
+// runs — the snapshot-load path. Each run must be strictly sorted in its
+// permutation's key order with every ID in [1, len(terms)], the three
+// runs must describe the same triple set, and terms must be positionally
+// valid for how the runs use them (subjects IRI or blank, predicates
+// IRI). Validation is a sequential pass per run so a corrupt or
+// hand-crafted snapshot fails with a clean error instead of corrupting
+// queries or panicking later.
+//
+// The runs and terms are adopted, not copied: they become the sealed
+// base arrays and decode table of the returned graph and must not be
+// modified afterwards.
+func NewGraphFromRuns(terms []Term, runs [NumIndexes][]Key3, bnodeSeq int) (*Graph, error) {
+	n := len(runs[ixSPO])
+	for ix := 1; ix < nIndexes; ix++ {
+		if len(runs[ix]) != n {
+			return nil, fmt.Errorf("rdf: index runs disagree on length: %d vs %d", n, len(runs[ix]))
+		}
+	}
+	kinds := make([]byte, len(terms))
+	for i, t := range terms {
+		if t == nil {
+			return nil, fmt.Errorf("rdf: nil term at ID %d", i+1)
+		}
+		kinds[i] = byte(t.Kind())
+	}
+	max := ID(len(terms))
+	var sums [nIndexes]uint64
+	for ix := 0; ix < nIndexes; ix++ {
+		var prev Key3
+		for i, k := range runs[ix] {
+			if k.A == 0 || k.A > max || k.B == 0 || k.B > max || k.C == 0 || k.C > max {
+				return nil, fmt.Errorf("rdf: run %d entry %d references ID outside [1, %d]", ix, i, max)
+			}
+			if i > 0 && !key3Less(prev, k) {
+				return nil, fmt.Errorf("rdf: run %d not strictly sorted at entry %d", ix, i)
+			}
+			prev = k
+			sums[ix] ^= mixTriple(fromKey(ix, k))
+		}
+	}
+	// The order-independent checksum catches runs that are individually
+	// well-formed but describe different triple sets, without the sort or
+	// hash table a direct comparison would need.
+	if sums[ixPOS] != sums[ixSPO] || sums[ixOSP] != sums[ixSPO] {
+		return nil, fmt.Errorf("rdf: index runs describe different triple sets")
+	}
+	for _, k := range runs[ixSPO] {
+		if sk := TermKind(kinds[k.A-1]); sk != KindIRI && sk != KindBlank {
+			return nil, fmt.Errorf("rdf: subject ID %d is a %s", k.A, sk)
+		}
+		if pk := TermKind(kinds[k.B-1]); pk != KindIRI {
+			return nil, fmt.Errorf("rdf: predicate ID %d is a %s", k.B, pk)
+		}
+	}
+	g := &Graph{d: newDictFromTerms(terms), base: runs, n: n, bnodeSeq: bnodeSeq}
+	return g, nil
+}
+
+// mixTriple hashes an ID-triple into a well-mixed word for the
+// order-independent run checksum (an xor-fold of per-triple hashes).
+func mixTriple(t IDTriple) uint64 {
+	h := uint64(t.S)*0x9E3779B185EBCA87 ^ uint64(t.P)*0xC2B2AE3D27D4EB4F ^ uint64(t.O)*0x165667B19E3779F9
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+// newDictFromTerms builds a dictionary whose decode slice is exactly
+// terms. Populating the lookup structure is the dominant cost of a
+// snapshot load at millions of terms, so the restored terms go into the
+// frozen hash index — hashed in place, no Key() strings, no per-entry
+// allocation — which builds several times faster than any map[string]ID
+// and stays lock-free to read.
+func newDictFromTerms(terms []Term) *dict {
+	return &dict{terms: terms, frozen: newFrozenIndex(terms)}
+}

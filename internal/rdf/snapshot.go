@@ -17,10 +17,14 @@ const (
 	nIndexes
 )
 
-// key3 is one entry of a permuted index.
-type key3 struct{ A, B, C ID }
+// Key3 is one entry of a permuted index: a triple with its components
+// reordered into the index's (A, B, C) key order. It is exported for the
+// persistence layer (internal/graphlog), which serializes and reloads
+// the sorted runs directly; everything else should work with Triple or
+// IDTriple.
+type Key3 struct{ A, B, C ID }
 
-func key3Less(x, y key3) bool {
+func key3Less(x, y Key3) bool {
 	if x.A != y.A {
 		return x.A < y.A
 	}
@@ -31,19 +35,19 @@ func key3Less(x, y key3) bool {
 }
 
 // toKey permutes a triple into index order.
-func toKey(ix int, t IDTriple) key3 {
+func toKey(ix int, t IDTriple) Key3 {
 	switch ix {
 	case ixPOS:
-		return key3{t.P, t.O, t.S}
+		return Key3{t.P, t.O, t.S}
 	case ixOSP:
-		return key3{t.O, t.S, t.P}
+		return Key3{t.O, t.S, t.P}
 	default:
-		return key3{t.S, t.P, t.O}
+		return Key3{t.S, t.P, t.O}
 	}
 }
 
 // fromKey undoes toKey.
-func fromKey(ix int, k key3) IDTriple {
+func fromKey(ix int, k Key3) IDTriple {
 	switch ix {
 	case ixPOS:
 		return IDTriple{S: k.C, P: k.A, O: k.B}
@@ -56,7 +60,7 @@ func fromKey(ix int, k key3) IDTriple {
 
 // range1 returns the [lo, hi) range of entries whose first component
 // equals a.
-func range1(arr []key3, a ID) (int, int) {
+func range1(arr []Key3, a ID) (int, int) {
 	lo := sort.Search(len(arr), func(i int) bool { return arr[i].A >= a })
 	hi := sort.Search(len(arr), func(i int) bool { return arr[i].A > a })
 	return lo, hi
@@ -64,7 +68,7 @@ func range1(arr []key3, a ID) (int, int) {
 
 // range2 returns the [lo, hi) range of entries whose first two
 // components equal (a, b).
-func range2(arr []key3, a, b ID) (int, int) {
+func range2(arr []Key3, a, b ID) (int, int) {
 	lo := sort.Search(len(arr), func(i int) bool {
 		e := arr[i]
 		return e.A > a || (e.A == a && e.B >= b)
@@ -77,23 +81,23 @@ func range2(arr []key3, a, b ID) (int, int) {
 }
 
 // contains3 reports whether the sorted array holds exactly k.
-func contains3(arr []key3, k key3) bool {
+func contains3(arr []Key3, k Key3) bool {
 	i := sort.Search(len(arr), func(i int) bool { return !key3Less(arr[i], k) })
 	return i < len(arr) && arr[i] == k
 }
 
 // insertSorted inserts k into the sorted array, keeping it sorted. The
 // caller has already established that k is absent.
-func insertSorted(arr []key3, k key3) []key3 {
+func insertSorted(arr []Key3, k Key3) []Key3 {
 	i := sort.Search(len(arr), func(i int) bool { return key3Less(k, arr[i]) })
-	arr = append(arr, key3{})
+	arr = append(arr, Key3{})
 	copy(arr[i+1:], arr[i:])
 	arr[i] = k
 	return arr
 }
 
 // removeSorted deletes k from the sorted array in place.
-func removeSorted(arr []key3, k key3) []key3 {
+func removeSorted(arr []Key3, k Key3) []Key3 {
 	i := sort.Search(len(arr), func(i int) bool { return !key3Less(arr[i], k) })
 	if i < len(arr) && arr[i] == k {
 		copy(arr[i:], arr[i+1:])
@@ -103,8 +107,8 @@ func removeSorted(arr []key3, k key3) []key3 {
 }
 
 // mergeSorted merges two sorted, duplicate-free arrays into a fresh one.
-func mergeSorted(base, delta []key3) []key3 {
-	out := make([]key3, 0, len(base)+len(delta))
+func mergeSorted(base, delta []Key3) []Key3 {
+	out := make([]Key3, 0, len(base)+len(delta))
 	i, j := 0, 0
 	for i < len(base) && j < len(delta) {
 		if key3Less(base[i], delta[j]) {
@@ -130,16 +134,16 @@ func mergeSorted(base, delta []key3) []key3 {
 type Snapshot struct {
 	d     *dict
 	terms []Term // frozen decode table: ID-1 → term
-	base  [nIndexes][]key3
-	mid   [nIndexes][]key3
-	delta [nIndexes][]key3
+	base  [nIndexes][]Key3
+	mid   [nIndexes][]Key3
+	delta [nIndexes][]Key3
 	n     int
 }
 
 // levels returns the snapshot's sorted runs for one index, largest
 // first.
-func (s *Snapshot) levels(ix int) [3][]key3 {
-	return [3][]key3{s.base[ix], s.mid[ix], s.delta[ix]}
+func (s *Snapshot) levels(ix int) [3][]Key3 {
+	return [3][]Key3{s.base[ix], s.mid[ix], s.delta[ix]}
 }
 
 // Len returns the number of triples in the snapshot.
@@ -248,7 +252,7 @@ func (s *Snapshot) CountID(sp, pp, op ID) int {
 
 // HasID reports whether the exact ID-triple is present.
 func (s *Snapshot) HasID(t IDTriple) bool {
-	k := key3{t.S, t.P, t.O}
+	k := Key3{t.S, t.P, t.O}
 	return contains3(s.base[ixSPO], k) || contains3(s.mid[ixSPO], k) ||
 		contains3(s.delta[ixSPO], k)
 }
@@ -321,6 +325,61 @@ func (s *Snapshot) FirstObject(sub, pred Term) (Term, bool) {
 		return false
 	})
 	return out, out != nil
+}
+
+// Subjects returns the distinct subjects of triples matching (-, p, o).
+// Deduplication runs over uint32 IDs; each distinct subject is decoded
+// exactly once at the end, instead of once per matching triple into a
+// string-keyed map.
+func (s *Snapshot) Subjects(p, o Term) []Term {
+	pp, ok1 := s.resolve(p)
+	op, ok2 := s.resolve(o)
+	if !ok1 || !ok2 {
+		return []Term{}
+	}
+	seen := make(map[ID]struct{})
+	s.ForEachMatchID(0, pp, op, func(t IDTriple) bool {
+		seen[t.S] = struct{}{}
+		return true
+	})
+	return s.decodeDistinct(seen)
+}
+
+// Objects returns the distinct objects of triples matching (s, p, -),
+// deduplicated over IDs like Subjects.
+func (s *Snapshot) Objects(sub, p Term) []Term {
+	sp, ok1 := s.resolve(sub)
+	pp, ok2 := s.resolve(p)
+	if !ok1 || !ok2 {
+		return []Term{}
+	}
+	seen := make(map[ID]struct{})
+	s.ForEachMatchID(sp, pp, 0, func(t IDTriple) bool {
+		seen[t.O] = struct{}{}
+		return true
+	})
+	return s.decodeDistinct(seen)
+}
+
+// decodeDistinct decodes a set of IDs and sorts the terms by canonical
+// key — the same deterministic order the string-keyed dedupe produced,
+// but paid only once per distinct term.
+func (s *Snapshot) decodeDistinct(seen map[ID]struct{}) []Term {
+	type keyed struct {
+		t Term
+		k string
+	}
+	ks := make([]keyed, 0, len(seen))
+	for id := range seen {
+		t := s.terms[id-1]
+		ks = append(ks, keyed{t: t, k: t.Key()})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].k < ks[j].k })
+	out := make([]Term, len(ks))
+	for i, e := range ks {
+		out[i] = e.t
+	}
+	return out
 }
 
 // Triples returns every triple in deterministic (SPO key) order.
