@@ -108,9 +108,16 @@ type Gateway struct {
 	// counters surfaced by /stats.
 	sseActive       atomic.Int64
 	sseStreams      atomic.Int64
+	sseResumed      atomic.Int64
 	sseEvents       atomic.Int64
 	slowDisconnects atomic.Int64
 	published       atomic.Int64
+	publishBatches  atomic.Int64
+	publishSynced   atomic.Int64
+	// goodbye terminations by reason.
+	goodbyeShutdown     atomic.Int64
+	goodbyeSlow         atomic.Int64
+	goodbyeReplayFailed atomic.Int64
 
 	qmu    sync.Mutex
 	queues map[string]*core.AckSubscription
@@ -275,10 +282,27 @@ func (g *Gateway) handlePublish(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// ?sync=1 upgrades the ack to a durability guarantee: the response
+	// is withheld until the attached event log has fsynced the batch, so
+	// a 200 means the records survive a crash. Without it an ack means
+	// "logged" — durable only up to the log's batched-fsync window.
+	synced := false
+	if s := r.URL.Query().Get("sync"); s == "1" || s == "true" {
+		if l := g.cfg.Broker.Log(); l != nil {
+			if err := l.Sync(); err != nil {
+				httpError(w, http.StatusInternalServerError, "sync: %v", err)
+				return
+			}
+			synced = true
+			g.publishSynced.Add(1)
+		}
+	}
 	g.published.Add(int64(len(msgs)))
+	g.publishBatches.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"published":  len(msgs),
 		"deliveries": deliveries,
+		"synced":     synced,
 	})
 }
 
@@ -292,10 +316,18 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		"gateway": map[string]any{
 			"sse_clients":       g.sseActive.Load(),
 			"sse_streams_total": g.sseStreams.Load(),
+			"sse_resumed_total": g.sseResumed.Load(),
 			"sse_events_sent":   g.sseEvents.Load(),
 			"slow_disconnects":  g.slowDisconnects.Load(),
 			"published":         g.published.Load(),
+			"publish_batches":   g.publishBatches.Load(),
+			"publish_synced":    g.publishSynced.Load(),
 			"queues":            queues,
+			"goodbyes": map[string]any{
+				"shutdown":      g.goodbyeShutdown.Load(),
+				"slow_consumer": g.goodbyeSlow.Load(),
+				"replay_failed": g.goodbyeReplayFailed.Load(),
+			},
 		},
 	}
 	if l := g.cfg.Broker.Log(); l != nil {

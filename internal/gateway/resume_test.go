@@ -322,7 +322,11 @@ func TestShutdownDuringCatchUp(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	time.Sleep(50 * time.Millisecond)
+	// Synchronize on the stream actually registering (and starting its
+	// catch-up) rather than sleeping an arbitrary calibration interval:
+	// under -race on a loaded machine 50ms was not always enough, and on
+	// a fast one it was 50ms wasted.
+	waitFor(t, func() bool { return g.sseActive.Load() == 1 })
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

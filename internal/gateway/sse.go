@@ -137,6 +137,9 @@ func (g *Gateway) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	rc := http.NewResponseController(w)
 	deadline := func() { _ = rc.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout)) }
 
+	if resume {
+		g.sseResumed.Add(1)
+	}
 	if resume && g.cfg.Broker.Log() != nil {
 		g.tailLog(w, r, fl, deadline, pattern, after)
 		return
@@ -360,6 +363,14 @@ func (g *Gateway) catchUp(w http.ResponseWriter, r *http.Request, fl http.Flushe
 // ending either way. Goodbyes carry no id: the SSE id is the resume
 // cursor, and a terminal notice must not disturb it.
 func (g *Gateway) writeGoodbye(w http.ResponseWriter, fl http.Flusher, reason string, dropped int) {
+	switch reason {
+	case "shutdown":
+		g.goodbyeShutdown.Add(1)
+	case "slow-consumer":
+		g.goodbyeSlow.Add(1)
+	case "replay-failed":
+		g.goodbyeReplayFailed.Add(1)
+	}
 	_ = writeEvent(w, "goodbye", map[string]any{
 		"reason":  reason,
 		"dropped": dropped,

@@ -1,0 +1,150 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/wsn"
+)
+
+// DefaultDistricts is the Free State deployment of the paper, the same
+// universe cmd/dews simulates.
+var DefaultDistricts = []string{
+	"mangaung", "xhariep", "lejweleputswa", "thabo-mofutsanyana", "fezile-dabi",
+}
+
+// defaultProperties lists the observed-property topic segments, taken
+// from the WSN vocabulary so load topics are exactly the simulation's.
+func defaultProperties() []string {
+	out := make([]string, len(wsn.AllModalities))
+	for i, m := range wsn.AllModalities {
+		out[i] = m.String()
+	}
+	return out
+}
+
+// Event is one generated load event before any wall-clock stamping:
+// everything here is a pure function of the stream seed, so two
+// same-seed streams are byte-identical (see MarshalEvents). Send-time
+// metadata (the lg-sent header the latency measurement rides on) is
+// attached by the publisher at the moment of publish, never here.
+type Event struct {
+	// Topic is the concrete publish topic (obs/<district>/<property>,
+	// or bulletin/<district> for bulletin events).
+	Topic string `json:"topic"`
+	// ID is the globally unique event identity "p<publisher>-<seq>";
+	// the chaos oracles key on it.
+	ID string `json:"id"`
+	// Seq is the per-publisher sequence number, starting at 1.
+	Seq uint64 `json:"seq"`
+	// Node is the synthetic mote name.
+	Node string `json:"node"`
+	// Value is the synthetic reading.
+	Value float64 `json:"value"`
+	// Bulletin is non-nil when this event is a bulletin publish (the
+	// graph-path fraction of the stream).
+	Bulletin *BulletinPayload `json:"bulletin,omitempty"`
+}
+
+// BulletinPayload mirrors forecast.Bulletin's JSON shape: the server
+// side decodes it and materializes RDF, so bulletin load events
+// exercise the full knowledge path.
+type BulletinPayload struct {
+	District    string    `json:"District"`
+	Issued      time.Time `json:"Issued"`
+	LeadDays    int       `json:"LeadDays"`
+	Probability float64   `json:"Probability"`
+	Band        int       `json:"Band"`
+	Forecaster  string    `json:"Forecaster"`
+}
+
+// StreamConfig parameterizes one publisher's deterministic stream.
+type StreamConfig struct {
+	// Seed is the run seed; combined with Publisher it derives the
+	// stream's private source.
+	Seed int64
+	// Publisher is this stream's index within the run.
+	Publisher int
+	// Districts and Properties span the topic universe (defaults:
+	// the five Free State districts × the WSN modalities).
+	Districts  []string
+	Properties []string
+	// BulletinEvery emits a bulletin event every n-th event (0 = never).
+	BulletinEvery int
+}
+
+// Stream generates a deterministic event sequence. Not safe for
+// concurrent use; each publisher owns one.
+type Stream struct {
+	cfg  StreamConfig
+	rng  *rand.Rand
+	seq  uint64
+	base time.Time
+}
+
+// NewStream builds a stream. The private source is derived from
+// (Seed, Publisher) the same way the WSN fleet derives per-node seeds,
+// so distinct publishers are decorrelated but jointly reproducible.
+func NewStream(cfg StreamConfig) *Stream {
+	if len(cfg.Districts) == 0 {
+		cfg.Districts = DefaultDistricts
+	}
+	if len(cfg.Properties) == 0 {
+		cfg.Properties = defaultProperties()
+	}
+	return &Stream{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed + int64(cfg.Publisher)*7919)),
+		// Bulletin issue times must be deterministic too: a fixed epoch
+		// advanced per event, not wall clock.
+		base: time.Date(2015, 1, 1, 6, 0, 0, 0, time.UTC),
+	}
+}
+
+// Next generates the stream's next event.
+func (s *Stream) Next() Event {
+	s.seq++
+	district := s.cfg.Districts[s.rng.Intn(len(s.cfg.Districts))]
+	ev := Event{
+		ID:   fmt.Sprintf("p%d-%d", s.cfg.Publisher, s.seq),
+		Seq:  s.seq,
+		Node: fmt.Sprintf("lg-%s-%02d", district, s.cfg.Publisher),
+	}
+	if s.cfg.BulletinEvery > 0 && s.seq%uint64(s.cfg.BulletinEvery) == 0 {
+		ev.Topic = "bulletin/" + district
+		p := s.rng.Float64()
+		ev.Value = p
+		ev.Bulletin = &BulletinPayload{
+			District:    district,
+			Issued:      s.base.Add(time.Duration(s.seq) * time.Minute),
+			LeadDays:    30,
+			Probability: p,
+			Band:        int(p * 3.99),
+			Forecaster:  "loadgen",
+		}
+		return ev
+	}
+	prop := s.cfg.Properties[s.rng.Intn(len(s.cfg.Properties))]
+	ev.Topic = "obs/" + district + "/" + prop
+	ev.Value = s.rng.Float64() * 40
+	return ev
+}
+
+// MarshalEvents renders the first n events of a fresh stream with the
+// given config as canonical JSON lines. It exists for the determinism
+// regression: two same-seed calls must return byte-identical output.
+func MarshalEvents(cfg StreamConfig, n int) ([]byte, error) {
+	s := NewStream(cfg)
+	var out []byte
+	for i := 0; i < n; i++ {
+		line, err := json.Marshal(s.Next())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	return out, nil
+}

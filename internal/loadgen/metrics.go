@@ -1,0 +1,129 @@
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram is a log-linear latency histogram: values bucket by
+// power-of-two magnitude with 16 linear sub-buckets per octave, so the
+// relative quantile error is bounded at ~6% across the full range
+// (nanoseconds to minutes) with a fixed 1KiB footprint. Not
+// concurrency-safe — each worker owns one and the runner merges them.
+type Histogram struct {
+	count   uint64
+	sum     uint64
+	max     uint64
+	buckets [64 * subBuckets]uint64
+}
+
+const subBuckets = 16
+
+// bucketIndex maps a value to its bucket. Values below subBuckets land
+// in the linear prefix (exact); beyond it, the top 4 bits after the
+// leading one select the sub-bucket.
+func bucketIndex(v uint64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(v)
+	sub := (v >> (uint(exp) - 4)) & (subBuckets - 1)
+	return (exp-3)*subBuckets + int(sub)
+}
+
+// bucketValue returns a representative (upper-bound) value for bucket i.
+func bucketValue(i int) uint64 {
+	if i < subBuckets {
+		return uint64(i)
+	}
+	exp := i/subBuckets + 3
+	sub := uint64(i % subBuckets)
+	return (1 << uint(exp)) | ((sub+1)<<(uint(exp)-4) - 1)
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	v := uint64(d)
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bucketIndex(v)]++
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Quantile returns the approximate q-quantile (0 < q <= 1).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen > rank {
+			v := bucketValue(i)
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Mean returns the arithmetic mean.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// LatencySummary is the JSON rendering of a histogram, in milliseconds
+// (floats) so BENCH_load.json is directly comparable across runs.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// Summary renders the histogram.
+func (h *Histogram) Summary() LatencySummary {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return LatencySummary{
+		Count:  h.count,
+		P50Ms:  ms(h.Quantile(0.50)),
+		P99Ms:  ms(h.Quantile(0.99)),
+		P999Ms: ms(h.Quantile(0.999)),
+		MeanMs: ms(h.Mean()),
+		MaxMs:  ms(h.Max()),
+	}
+}

@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	// id is the SSE id: field parsed as an offset (0 when absent).
+	id uint64
+	// event is the event type ("message", "goodbye"; "" never reaches
+	// the handler — the gateway always sets one).
+	event string
+	// data is the raw data: payload.
+	data []byte
+}
+
+// envelope mirrors gateway.Envelope's wire shape. loadgen keeps its own
+// decode-side struct so the harness can drive any conforming gateway,
+// not just an in-process one.
+type envelope struct {
+	Offset  uint64            `json:"offset"`
+	Topic   string            `json:"topic"`
+	Time    time.Time         `json:"time"`
+	Payload json.RawMessage   `json:"payload"`
+	Headers map[string]string `json:"headers"`
+}
+
+// goodbyeInfo is the gateway's terminal event payload.
+type goodbyeInfo struct {
+	Reason  string `json:"reason"`
+	Dropped int    `json:"dropped"`
+}
+
+// subscribeSSE opens one SSE subscription and invokes fn per event
+// until the stream ends. When resume is true, lastEventID is sent as
+// Last-Event-ID (the standard resume handshake; 0 replays the whole
+// log). fn returning an error aborts the stream (io.EOF means "done,
+// stop cleanly").
+func subscribeSSE(ctx context.Context, client *http.Client, base, pattern string, buffer int, lastEventID uint64, resume bool, fn func(sseEvent) error) error {
+	u := base + "/subscribe?pattern=" + url.QueryEscape(pattern)
+	if buffer > 0 {
+		u += "&buffer=" + strconv.Itoa(buffer)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	if resume {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastEventID, 10))
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("subscribe %s: %d %s", pattern, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return parseSSE(resp.Body, fn)
+}
+
+// parseSSE reads an SSE byte stream and delivers each complete event.
+// Comment lines (keep-alives) are skipped. A clean EOF returns nil.
+func parseSSE(r io.Reader, fn func(sseEvent) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var cur sseEvent
+	pending := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if pending {
+				if err := fn(cur); err != nil {
+					if err == io.EOF {
+						return nil
+					}
+					return err
+				}
+				cur = sseEvent{}
+				pending = false
+			}
+		case strings.HasPrefix(line, ":"):
+			// comment / keep-alive
+		case strings.HasPrefix(line, "id: "):
+			if v, err := strconv.ParseUint(line[4:], 10, 64); err == nil {
+				cur.id = v
+			}
+			pending = true
+		case strings.HasPrefix(line, "event: "):
+			cur.event = line[7:]
+			pending = true
+		case strings.HasPrefix(line, "data: "):
+			cur.data = append([]byte(nil), line[6:]...)
+			pending = true
+		}
+	}
+	return sc.Err()
+}

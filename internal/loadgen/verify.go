@@ -1,0 +1,65 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+)
+
+// ReplayFacts is what one full verification replay observed: a fresh
+// firehose subscription from offset 1 reading the entire log through
+// the live SSE path.
+type ReplayFacts struct {
+	Events      uint64 `json:"events"`
+	FirstOffset uint64 `json:"first_offset"`
+	LastOffset  uint64 `json:"last_offset"`
+	Contiguous  bool   `json:"contiguous"`
+	// IDCounts maps HeaderID → times delivered on this one stream;
+	// exactly-once means every count is 1.
+	IDCounts map[string]int `json:"-"`
+	// Duplicated counts IDs delivered more than once.
+	Duplicated int `json:"duplicated"`
+}
+
+// VerifyReplay opens one resuming firehose subscription from offset 1
+// and reads until the stream reaches target (inclusive), auditing
+// order and identity. This is the online half of the chaos oracle: the
+// recovered server must be able to re-serve its whole history through
+// the same SSE path clients use, exactly once, in offset order.
+func VerifyReplay(ctx context.Context, client *http.Client, base string, target uint64, timeout time.Duration) (*ReplayFacts, error) {
+	facts := &ReplayFacts{Contiguous: true, IDCounts: make(map[string]int)}
+	if target == 0 {
+		return facts, nil
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	err := subscribeSSE(ctx, client, base, "#", 0, 0, true, func(ev sseEvent) error {
+		if ev.event != "message" {
+			return nil
+		}
+		var env envelope
+		if err := json.Unmarshal(ev.data, &env); err != nil {
+			return err
+		}
+		if facts.Events == 0 {
+			facts.FirstOffset = env.Offset
+		} else if env.Offset != facts.LastOffset+1 {
+			facts.Contiguous = false
+		}
+		facts.LastOffset = env.Offset
+		facts.Events++
+		if id := env.Headers[HeaderID]; id != "" {
+			facts.IDCounts[id]++
+			if facts.IDCounts[id] == 2 {
+				facts.Duplicated++
+			}
+		}
+		if env.Offset >= target {
+			return io.EOF
+		}
+		return nil
+	})
+	return facts, err
+}

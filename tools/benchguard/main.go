@@ -13,6 +13,16 @@
 // compared (the baseline also records experiment benchmarks the smoke
 // does not rerun); an empty intersection is an error so a mistyped
 // -bench pattern cannot pass vacuously.
+//
+// Load mode gates a cmd/dewsload report instead of micro-benchmarks:
+//
+//	go run ./tools/benchguard -load BENCH_load_ci.json -load-baseline BENCH_load_smoke.json
+//
+// It fails when the report's own oracles failed (passed=false), when
+// steady throughput fell below -min-throughput-frac of the configured
+// offered rate, or — when a baseline with an identical load config is
+// given — when throughput dropped or end-to-end p99 grew by more than
+// -max-regress percent versus that baseline.
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"regexp"
 	"strconv"
 )
@@ -44,10 +55,128 @@ type baseline struct {
 // The -<procs> suffix is optional (absent when GOMAXPROCS is 1).
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
+// loadReport mirrors the parts of cmd/dewsload's dewsload/v1 report
+// that the gate reads. Unknown fields are ignored so the gate tolerates
+// report additions without a lockstep update.
+type loadReport struct {
+	Schema string         `json:"schema"`
+	Mode   string         `json:"mode"`
+	Config map[string]any `json:"config"`
+	Passed bool           `json:"passed"`
+	Steady *loadPhase     `json:"steady"`
+	Chaos  *struct {
+		Passed   bool     `json:"passed"`
+		Failures []string `json:"failures"`
+	} `json:"chaos"`
+}
+
+type loadPhase struct {
+	ThroughputEPS float64 `json:"throughput_eps"`
+	Subscribers   []struct {
+		Kind string `json:"kind"`
+		E2E  struct {
+			P99ms float64 `json:"p99_ms"`
+		} `json:"e2e"`
+	} `json:"subscribers"`
+}
+
+// worstP99 is the slowest subscriber kind's end-to-end p99 — the
+// number a "millions of users" claim lives or dies on.
+func (p *loadPhase) worstP99() float64 {
+	var worst float64
+	for _, s := range p.Subscribers {
+		if s.E2E.P99ms > worst {
+			worst = s.E2E.P99ms
+		}
+	}
+	return worst
+}
+
+func readLoadReport(path string) (*loadReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r loadReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if r.Schema != "dewsload/v1" {
+		return nil, fmt.Errorf("%s: schema %q, want dewsload/v1", path, r.Schema)
+	}
+	return &r, nil
+}
+
+// gateLoad applies the load-report checks and exits on failure.
+func gateLoad(reportPath, baselinePath string, minFrac, maxRegress float64) {
+	rep, err := readLoadReport(reportPath)
+	if err != nil {
+		fatal(err)
+	}
+	if !rep.Passed {
+		if rep.Chaos != nil && !rep.Chaos.Passed {
+			fatal(fmt.Errorf("%s: chaos oracles failed: %v", reportPath, rep.Chaos.Failures))
+		}
+		fatal(fmt.Errorf("%s: report marked passed=false", reportPath))
+	}
+	if rep.Steady == nil {
+		fatal(fmt.Errorf("%s: no steady phase to gate", reportPath))
+	}
+	rate, _ := rep.Config["rate_eps"].(float64)
+	if rate > 0 {
+		floor := minFrac * rate
+		if rep.Steady.ThroughputEPS < floor {
+			fatal(fmt.Errorf("steady throughput %.1f eps below %.0f%% of offered %.0f eps",
+				rep.Steady.ThroughputEPS, 100*minFrac, rate))
+		}
+		fmt.Printf("load: throughput %.1f eps (offered %.0f, floor %.1f)  p99 %.1f ms  ok\n",
+			rep.Steady.ThroughputEPS, rate, floor, rep.Steady.worstP99())
+	}
+	if baselinePath == "" {
+		fmt.Printf("benchguard: %s passed (no load baseline)\n", reportPath)
+		return
+	}
+	base, err := readLoadReport(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Config, base.Config) {
+		// A different workload makes deltas meaningless; the absolute
+		// checks above already ran, so warn rather than fail.
+		fmt.Printf("benchguard: load configs differ between %s and %s — skipping baseline comparison\n",
+			reportPath, baselinePath)
+		return
+	}
+	if base.Steady == nil {
+		fatal(fmt.Errorf("%s: baseline has no steady phase", baselinePath))
+	}
+	tputDrop := 100 * (base.Steady.ThroughputEPS - rep.Steady.ThroughputEPS) / base.Steady.ThroughputEPS
+	fmt.Printf("load vs baseline: throughput %.1f -> %.1f eps (%+.1f%%)\n",
+		base.Steady.ThroughputEPS, rep.Steady.ThroughputEPS, -tputDrop)
+	if tputDrop > maxRegress {
+		fatal(fmt.Errorf("steady throughput dropped %.1f%% vs %s (max %.0f%%)", tputDrop, baselinePath, maxRegress))
+	}
+	if baseP99, nowP99 := base.Steady.worstP99(), rep.Steady.worstP99(); baseP99 > 0 {
+		grow := 100 * (nowP99 - baseP99) / baseP99
+		fmt.Printf("load vs baseline: worst e2e p99 %.1f -> %.1f ms (%+.1f%%)\n", baseP99, nowP99, grow)
+		if grow > maxRegress {
+			fatal(fmt.Errorf("e2e p99 grew %.1f%% vs %s (max %.0f%%)", grow, baselinePath, maxRegress))
+		}
+	}
+	fmt.Printf("benchguard: %s within %.0f%% of %s\n", reportPath, maxRegress, baselinePath)
+}
+
 func main() {
-	baselinePath := flag.String("baseline", "", "baseline BENCH_pr*.json (required)")
-	maxRegress := flag.Float64("max-regress", 25, "fail when ns/op regresses more than this percentage")
+	baselinePath := flag.String("baseline", "", "baseline BENCH_pr*.json (required unless -load)")
+	maxRegress := flag.Float64("max-regress", 25, "fail when ns/op (or load throughput/p99) regresses more than this percentage")
+	loadPath := flag.String("load", "", "gate a cmd/dewsload BENCH_load report instead of bench output")
+	loadBaseline := flag.String("load-baseline", "", "committed dewsload report to compare -load against (same config)")
+	minTputFrac := flag.Float64("min-throughput-frac", 0.5, "with -load: fail when steady throughput is below this fraction of the offered rate")
 	flag.Parse()
+	if *loadPath != "" {
+		gateLoad(*loadPath, *loadBaseline, *minTputFrac, *maxRegress)
+		return
+	}
 	if *baselinePath == "" || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: benchguard -baseline BENCH_prN.json [-max-regress pct] bench.out...")
 		os.Exit(2)
