@@ -13,7 +13,7 @@
 //	     [-nodes N] [-fetch-parallel N] [-gateway-buffer N] [-serve :8080]
 //	     [-log-dir DIR] [-log-segment-bytes N] [-log-retain 720h]
 //	     [-graph-dir DIR] [-graph-checkpoint 15s] [-graph-checkpoint-frac 0.25]
-//	     [-pprof]
+//	     [-pprof] [-pprof-mutex N] [-pprof-block N]
 //
 // With -log-dir the broker writes every published message through a
 // durable segmented event log: restarts recover retained topics and the
@@ -35,6 +35,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -52,26 +53,37 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dews", flag.ContinueOnError)
 	var (
-		seed      = fs.Int64("seed", 2015, "simulation seed")
-		years     = fs.Int("years", 12, "total simulated years")
-		train     = fs.Int("train", 6, "training years (climatology + calibration)")
-		lead      = fs.Int("lead", 30, "forecast lead time in days")
-		districts = fs.String("districts", "", "comma-separated district slugs (default: all five)")
-		nodes     = fs.Int("nodes", 4, "sensor nodes per district")
-		fetchPar  = fs.Int("fetch-parallel", 0, "concurrent cloud-source downloads per ingest (0 = layer default, 1 = serial)")
-		gwBuffer  = fs.Int("gateway-buffer", 0, "default per-client SSE buffer of the subscription gateway (0 = gateway default)")
-		logDir    = fs.String("log-dir", "", "durable event log directory (empty = in-memory broker only)")
-		logSeg    = fs.Int64("log-segment-bytes", 0, "event log segment rotation size in bytes (0 = default 8MiB)")
-		logRetain = fs.Duration("log-retain", 0, "drop sealed log segments older than this (0 = keep forever)")
-		graphDir  = fs.String("graph-dir", "", "durable semantic-web graph directory (empty = in-memory graph only)")
-		graphCkpt = fs.Duration("graph-checkpoint", 0, "graph snapshot/WAL-truncation cadence (0 = default 15s, negative = disable)")
-		graphFrac = fs.Float64("graph-checkpoint-frac", 0, "checkpoint once the WAL tail exceeds this fraction of the graph (0 = default 0.25)")
-		serve     = fs.String("serve", "", "serve the subscription gateway and semantic-web channel on this address after the run")
-		pprofOn   = fs.Bool("pprof", false, "with -serve, also mount net/http/pprof profiling under /debug/pprof/")
-		ablation  = fs.Bool("ablation", false, "run the fusion ablation study instead of the standard table")
+		seed       = fs.Int64("seed", 2015, "simulation seed")
+		years      = fs.Int("years", 12, "total simulated years")
+		train      = fs.Int("train", 6, "training years (climatology + calibration)")
+		lead       = fs.Int("lead", 30, "forecast lead time in days")
+		districts  = fs.String("districts", "", "comma-separated district slugs (default: all five)")
+		nodes      = fs.Int("nodes", 4, "sensor nodes per district")
+		fetchPar   = fs.Int("fetch-parallel", 0, "concurrent cloud-source downloads per ingest (0 = layer default, 1 = serial)")
+		gwBuffer   = fs.Int("gateway-buffer", 0, "default per-client SSE buffer of the subscription gateway (0 = gateway default)")
+		logDir     = fs.String("log-dir", "", "durable event log directory (empty = in-memory broker only)")
+		logSeg     = fs.Int64("log-segment-bytes", 0, "event log segment rotation size in bytes (0 = default 8MiB)")
+		logRetain  = fs.Duration("log-retain", 0, "drop sealed log segments older than this (0 = keep forever)")
+		graphDir   = fs.String("graph-dir", "", "durable semantic-web graph directory (empty = in-memory graph only)")
+		graphCkpt  = fs.Duration("graph-checkpoint", 0, "graph snapshot/WAL-truncation cadence (0 = default 15s, negative = disable)")
+		graphFrac  = fs.Float64("graph-checkpoint-frac", 0, "checkpoint once the WAL tail exceeds this fraction of the graph (0 = default 0.25)")
+		serve      = fs.String("serve", "", "serve the subscription gateway and semantic-web channel on this address after the run")
+		pprofOn    = fs.Bool("pprof", false, "with -serve, also mount net/http/pprof profiling under /debug/pprof/")
+		mutexFrac  = fs.Int("pprof-mutex", 0, "sample 1/N of mutex contention events for /debug/pprof/mutex (0 = off)")
+		blockNanos = fs.Int("pprof-block", 0, "sample blocking events lasting >= N ns for /debug/pprof/block (0 = off)")
+		ablation   = fs.Bool("ablation", false, "run the fusion ablation study instead of the standard table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Contention profiling is opt-in and set before any broker work so
+	// the whole run is sampled, not just the serving phase. The profiles
+	// are read through -pprof's /debug/pprof/{mutex,block} endpoints.
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockNanos > 0 {
+		runtime.SetBlockProfileRate(*blockNanos)
 	}
 
 	cfg := dews.Config{

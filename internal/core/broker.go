@@ -1,9 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/eventlog"
 )
@@ -26,6 +26,12 @@ const (
 // it, so fan-out, retained replay and stats accounting exist once.
 type subscriber interface {
 	offer(m Message)
+	// offerRetained is offer for the retained replay at subscribe time:
+	// it skips a message whose offset the mailbox already holds, because
+	// a publish racing the subscription may deliver the same message
+	// both live (through the fresh trie snapshot) and via the retained
+	// stripes.
+	offerRetained(m Message)
 	shut()
 	Dropped() int
 }
@@ -37,7 +43,10 @@ type subEntry struct {
 	sub     subscriber
 }
 
-// Subscription is one subscriber's bounded mailbox.
+// Subscription is one subscriber's bounded mailbox. The queue is a ring
+// buffer: DropOldest eviction overwrites the oldest slot in O(1) instead
+// of shifting the whole queue, so a full mailbox (a slow SSE consumer at
+// capacity 4096) prices an offer the same as an empty one.
 type Subscription struct {
 	// ID is the broker-assigned identity.
 	ID int
@@ -46,8 +55,12 @@ type Subscription struct {
 
 	policy DropPolicy
 	mu     sync.Mutex
-	queue  []Message
-	cap    int
+	// buf is the ring storage; it grows on demand up to cap. head is
+	// the index of the oldest queued message, n the queued count.
+	buf  []Message
+	head int
+	n    int
+	cap  int
 	// dropped counts messages lost to backpressure.
 	dropped int
 	// delivered counts messages enqueued.
@@ -55,17 +68,29 @@ type Subscription struct {
 	closed    bool
 }
 
+// at returns the ring slot index for the i-th queued message.
+func (s *Subscription) at(i int) int {
+	return (s.head + i) % len(s.buf)
+}
+
 // Poll removes and returns up to max queued messages (all when max <= 0).
 func (s *Subscription) Poll(max int) []Message {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := len(s.queue)
+	n := s.n
 	if max > 0 && max < n {
 		n = max
 	}
 	out := make([]Message, n)
-	copy(out, s.queue[:n])
-	s.queue = append(s.queue[:0], s.queue[n:]...)
+	for i := 0; i < n; i++ {
+		j := s.at(i)
+		out[i] = s.buf[j]
+		s.buf[j] = Message{} // release payload/cache references
+	}
+	if n > 0 {
+		s.head = s.at(n)
+		s.n -= n
+	}
 	return out
 }
 
@@ -73,7 +98,7 @@ func (s *Subscription) Poll(max int) []Message {
 func (s *Subscription) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return s.n
 }
 
 // Dropped returns how many messages backpressure discarded.
@@ -93,21 +118,63 @@ func (s *Subscription) Delivered() int {
 func (s *Subscription) offer(m Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.offerLocked(m)
+}
+
+func (s *Subscription) offerLocked(m Message) {
 	if s.closed {
 		return
 	}
-	if len(s.queue) >= s.cap {
+	if s.n == s.cap {
 		if s.policy == DropNewest {
 			s.dropped++
 			return
 		}
-		// DropOldest.
-		copy(s.queue, s.queue[1:])
-		s.queue = s.queue[:len(s.queue)-1]
+		// DropOldest: the tail slot coincides with the head slot when
+		// the ring is full — overwrite it and advance the head.
+		s.buf[s.head] = m
+		s.head = (s.head + 1) % len(s.buf)
 		s.dropped++
+		s.delivered++
+		return
 	}
-	s.queue = append(s.queue, m)
+	if s.n == len(s.buf) {
+		grown := len(s.buf) * 2
+		if grown == 0 {
+			grown = 8
+		}
+		if grown > s.cap {
+			grown = s.cap
+		}
+		next := make([]Message, grown)
+		for i := 0; i < s.n; i++ {
+			next[i] = s.buf[s.at(i)]
+		}
+		s.buf = next
+		s.head = 0
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = m
+	s.n++
 	s.delivered++
+}
+
+// offerRetained enqueues a retained message unless the mailbox already
+// holds that offset (the subscribe/publish race can route one message
+// through both the live and the retained path).
+func (s *Subscription) offerRetained(m Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if m.Offset != 0 {
+		for i := 0; i < s.n; i++ {
+			if s.buf[s.at(i)].Offset == m.Offset {
+				return
+			}
+		}
+	}
+	s.offerLocked(m)
 }
 
 func (s *Subscription) shut() {
@@ -139,33 +206,61 @@ type BrokerStats struct {
 	DispatchWorkers int `json:"dispatch_workers"`
 }
 
+// retainStripes shards the retained-message map by topic hash so
+// concurrent publishers on different topics update retained state
+// without sharing a lock.
+const retainStripes = 32
+
+type retainStripe struct {
+	mu sync.Mutex
+	m  map[string]Message
+}
+
 // Broker is the application abstraction layer's pub/sub fabric. Delivery
 // is synchronous fan-out into bounded per-subscriber queues; subscribers
-// poll, fetch/ack, or receive pushes via the dispatcher. Matching goes
-// through a segment-based topic trie, so publish cost scales with topic
-// depth and match count, not with the total number of subscriptions.
+// poll, fetch/ack, or receive pushes via the dispatcher.
+//
+// The publish hot path is lock-free with respect to broker state: the
+// subscription index is an immutable trie snapshot loaded atomically,
+// counters are atomics, retained messages live in hash-sharded stripes,
+// and offset sequencing is delegated to the event log's own tiny
+// critical section (or a bare atomic for in-memory brokers). Publishers
+// therefore never wait on each other's fan-out, on subscription churn,
+// or on /stats polls; see ARCHITECTURE.md, "Broker concurrency model".
 type Broker struct {
-	mu         sync.Mutex
-	index      *topicTree
-	entries    map[int]*subEntry
-	nextID     int
-	published  int
-	deliveries int
-	// nextOffset is the sequence number the next publish receives. It is
-	// monotonic within a process; with a log attached it continues the
-	// durable sequence across restarts (AttachLog advances it).
-	nextOffset uint64
-	// log, when set, receives a durable copy of every published message
-	// before fan-out (write-through).
-	log *eventlog.Log
-	// retained keeps the last message per concrete topic so late
-	// subscribers can catch up (MQTT-style retained messages).
-	retained map[string]Message
+	// index is the current subscription-trie snapshot (nil = empty).
+	// Mutations (under subMu) build a new trie and swap the pointer;
+	// Publish loads it without locks.
+	index atomic.Pointer[trieNode]
+
+	// subMu serializes subscription mutations and attach: entries,
+	// nextID, and the index swap. The publish path never takes it.
+	subMu   sync.Mutex
+	entries map[int]*subEntry
+	nextID  int
+
+	published  atomic.Int64
+	deliveries atomic.Int64
 	// removedDrops accumulates the drop counts of unsubscribed
 	// subscriptions so Stats stays cumulative.
-	removedDrops int
+	removedDrops atomic.Int64
+
+	// seq assigns offsets for in-memory brokers (last assigned; first
+	// publish gets 1). With a log attached the log is the sequencer and
+	// seq stays untouched.
+	seq atomic.Uint64
+	// log, when set, receives a durable copy of every published message
+	// before fan-out (write-through) and assigns its offsets.
+	log atomic.Pointer[eventlog.Log]
+
+	// retained keeps the last message per concrete topic so late
+	// subscribers can catch up (MQTT-style retained messages), sharded
+	// by topic hash. retainedCount tracks the distinct-topic total for
+	// the cap check without a global lock.
+	retained      [retainStripes]retainStripe
+	retainedCount atomic.Int64
 	// retainedLimit caps distinct retained topics (0 = unlimited).
-	retainedLimit int
+	retainedLimit atomic.Int64
 
 	dispatchMu sync.Mutex
 	dispatch   *dispatcher
@@ -173,57 +268,84 @@ type Broker struct {
 
 // NewBroker returns an empty broker.
 func NewBroker() *Broker {
-	return &Broker{
-		index:      newTopicTree(),
-		entries:    make(map[int]*subEntry),
-		retained:   make(map[string]Message),
-		nextOffset: 1,
+	b := &Broker{entries: make(map[int]*subEntry)}
+	for i := range b.retained {
+		b.retained[i].m = make(map[string]Message)
 	}
+	return b
+}
+
+// registerEntry indexes the subscriber under subMu and returns the
+// assigned ID. The trie swap publishes the subscription to concurrent
+// publishers at the moment of the Store.
+func (b *Broker) registerEntry(pattern string, sub subscriber) int {
+	b.subMu.Lock()
+	b.nextID++
+	e := &subEntry{id: b.nextID, pattern: pattern, sub: sub}
+	b.entries[e.id] = e
+	b.index.Store(trieInsert(b.index.Load(), pattern, true, e))
+	b.subMu.Unlock()
+	return e.id
 }
 
 // register validates the pattern, indexes the subscriber, replays
 // retained messages in deterministic topic order, and returns the
 // assigned ID. All subscription flavors funnel through here.
+//
+// Ordering matters: the index swap happens before the stripes are read,
+// while Publish retains before loading the index. Whatever the
+// interleaving, a message concurrent with the subscribe is therefore
+// seen on at least one of the two paths (both operations are atomics/
+// mutexes, which Go's memory model orders sequentially consistently);
+// the case where it arrives on both is collapsed by offerRetained's
+// offset check.
 func (b *Broker) register(pattern string, sub subscriber) (int, error) {
 	if err := ValidatePattern(pattern); err != nil {
 		return 0, err
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.nextID++
-	e := &subEntry{id: b.nextID, pattern: pattern, sub: sub}
-	b.entries[e.id] = e
-	b.index.insert(pattern, e)
+	id := b.registerEntry(pattern, sub)
+	for _, m := range b.retainedMatches(pattern) {
+		sub.offerRetained(m)
+	}
+	return id, nil
+}
 
-	topics := make([]string, 0, len(b.retained))
-	for t := range b.retained {
-		if TopicMatch(pattern, t) {
-			topics = append(topics, t)
+// retainedMatches collects the retained messages matching pattern,
+// sorted by topic for deterministic replay order.
+func (b *Broker) retainedMatches(pattern string) []Message {
+	var out []Message
+	for i := range b.retained {
+		st := &b.retained[i]
+		st.mu.Lock()
+		for t, m := range st.m {
+			if TopicMatch(pattern, t) {
+				out = append(out, m)
+			}
 		}
+		st.mu.Unlock()
 	}
-	sort.Strings(topics)
-	for _, t := range topics {
-		sub.offer(b.retained[t])
-	}
-	return e.id, nil
+	sort.Slice(out, func(i, j int) bool { return out[i].Topic < out[j].Topic })
+	return out
 }
 
 // remove closes and deregisters a subscription by ID. The subscription's
 // backpressure losses are folded into the broker's cumulative drop
 // counter so Stats keeps accounting for departed subscribers (the
 // gateway disconnects slow SSE consumers; their drops must not vanish
-// from /stats with them).
+// from /stats with them). Publishers still holding the previous trie
+// snapshot may offer to the closed mailbox; those offers are no-ops.
 func (b *Broker) remove(id int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.subMu.Lock()
 	e, ok := b.entries[id]
 	if !ok {
+		b.subMu.Unlock()
 		return
 	}
-	e.sub.shut()
-	b.removedDrops += e.sub.Dropped()
 	delete(b.entries, id)
-	b.index.remove(e.pattern, id)
+	b.index.Store(trieRemove(b.index.Load(), e.pattern, true, id))
+	b.subMu.Unlock()
+	e.sub.shut()
+	b.removedDrops.Add(int64(e.sub.Dropped()))
 }
 
 // Subscribe registers a pattern with a queue capacity (default 1024 when
@@ -257,20 +379,40 @@ func (b *Broker) Unsubscribe(sub *Subscription) {
 // (the gateway's /publish) must not let remote clients grow the
 // retained map without bound. n <= 0 means unlimited.
 func (b *Broker) SetRetainedLimit(n int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.retainedLimit = n
+	b.retainedLimit.Store(int64(n))
+}
+
+// stripeFor hashes a topic (FNV-1a) to its retained stripe.
+func (b *Broker) stripeFor(topic string) *retainStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(topic); i++ {
+		h = (h ^ uint32(topic[i])) * 16777619
+	}
+	return &b.retained[h%retainStripes]
 }
 
 // retain stores a topic's latest message, honoring the retained-topic
-// cap. Caller holds b.mu.
-func (b *Broker) retain(m Message) {
-	if b.retainedLimit > 0 {
-		if _, ok := b.retained[m.Topic]; !ok && len(b.retained) >= b.retainedLimit {
+// cap. Under concurrent publishers to the same topic the highest offset
+// wins regardless of arrival order. The cap check reads the global
+// count without a global lock, so simultaneous first-publishes to new
+// topics in different stripes can overshoot the cap by at most the
+// stripe count — the cap is an anti-abuse bound, not an exact quota.
+func (b *Broker) retain(m *Message) {
+	st := b.stripeFor(m.Topic)
+	st.mu.Lock()
+	cur, ok := st.m[m.Topic]
+	switch {
+	case !ok:
+		if lim := b.retainedLimit.Load(); lim > 0 && b.retainedCount.Load() >= lim {
+			st.mu.Unlock()
 			return
 		}
+		b.retainedCount.Add(1)
+		st.m[m.Topic] = *m
+	case m.Offset > cur.Offset:
+		st.m[m.Topic] = *m
 	}
-	b.retained[m.Topic] = m
+	st.mu.Unlock()
 }
 
 // matchPool recycles the scratch slices Publish matches into, so a
@@ -294,24 +436,25 @@ func putMatched(mp *[]*subEntry) {
 // and returns the number of subscriptions it reached. The message is
 // stamped with the next offset and, when a log is attached, written
 // through to it first — a message that cannot be made durable is not
-// delivered.
+// delivered. The only lock a publish ever contends on is the log's own
+// offset sequencer (and per-mailbox locks on fan-out): payload
+// marshaling, record encoding, retained updates and trie matching all
+// run outside any shared critical section.
 func (b *Broker) Publish(m Message) (int, error) {
 	if err := m.Validate(); err != nil {
 		return 0, err
 	}
-	mp := matchPool.Get().(*[]*subEntry)
-	b.mu.Lock()
 	if err := b.stamp(&m); err != nil {
-		b.mu.Unlock()
-		matchPool.Put(mp)
 		return 0, err
 	}
-	b.published++
-	b.retain(m)
-	matched := b.index.match(m.Topic, *mp)
-	b.deliveries += len(matched)
-	b.mu.Unlock()
-
+	b.published.Add(1)
+	// Retain before loading the index: paired with register's
+	// index-swap-then-stripe-read order, this guarantees a concurrent
+	// subscriber sees the message on at least one path.
+	b.retain(&m)
+	mp := matchPool.Get().(*[]*subEntry)
+	matched := trieMatch(b.index.Load(), m.Topic, true, *mp)
+	b.deliveries.Add(int64(len(matched)))
 	for _, e := range matched {
 		e.sub.offer(m)
 	}
@@ -321,32 +464,36 @@ func (b *Broker) Publish(m Message) (int, error) {
 	return n, nil
 }
 
-// stamp assigns the next offset and writes the message through to the
-// log when one is attached. A durable publish also gets the shared
-// encode cache: the payload JSON marshaled for the log is the same
-// bytes every wire-facing subscriber (the gateway) will reuse, and the
-// cache travels inside every fanned-out copy. Caller holds b.mu.
+// stamp assigns the message's offset: the log's sequencer for durable
+// brokers (the append's offset is the broker offset — WAL order and
+// offset order coincide by construction), a bare atomic otherwise. A
+// durable publish also gets the shared encode cache: the payload JSON
+// marshaled for the log is the same bytes every wire-facing subscriber
+// (the gateway) will reuse, and the cache travels inside every
+// fanned-out copy.
 func (b *Broker) stamp(m *Message) error {
-	m.Offset = b.nextOffset
-	if b.log != nil {
-		m.cache = &msgCache{}
-		off, err := b.log.Append(recordOf(m))
-		if err != nil {
-			return err
-		}
-		if off != m.Offset {
-			return fmt.Errorf("core: log assigned offset %d, broker expected %d", off, m.Offset)
-		}
+	l := b.log.Load()
+	if l == nil {
+		m.Offset = b.seq.Add(1)
+		return nil
 	}
-	b.nextOffset++
+	c := &msgCache{}
+	c.payload = appendPayload(c.scratch[:0], m.Payload)
+	off, err := l.Append(eventlog.Record{Topic: m.Topic, Time: m.Time, Payload: c.payload, Headers: m.Headers})
+	if err != nil {
+		return err
+	}
+	m.Offset = off
+	m.cache = c
 	return nil
 }
 
-// PublishBatch publishes a batch of messages under a single index-lock
-// acquisition, amortizing lock and matching overhead across the batch.
-// It returns the total number of subscription deliveries. Validation
-// happens up front: an invalid message fails the whole batch before
-// anything is published.
+// PublishBatch publishes a batch of messages, appending them to the log
+// as one contiguous run under a single sequencer acquisition (payloads
+// are marshaled and records encoded before the lock), then matching and
+// fanning out with the same lock-free path as Publish. It returns the
+// total number of subscription deliveries. Validation happens up front:
+// an invalid message fails the whole batch before anything is published.
 func (b *Broker) PublishBatch(msgs []Message) (int, error) {
 	for _, m := range msgs {
 		if err := m.Validate(); err != nil {
@@ -356,33 +503,53 @@ func (b *Broker) PublishBatch(msgs []Message) (int, error) {
 	if len(msgs) == 0 {
 		return 0, nil
 	}
+	if l := b.log.Load(); l != nil {
+		recs := make([]eventlog.Record, len(msgs))
+		for i := range msgs {
+			c := &msgCache{}
+			c.payload = appendPayload(c.scratch[:0], msgs[i].Payload)
+			msgs[i].cache = c
+			recs[i] = eventlog.Record{Topic: msgs[i].Topic, Time: msgs[i].Time, Payload: c.payload, Headers: msgs[i].Headers}
+		}
+		first, n, err := l.AppendBatch(recs)
+		for i := 0; i < n; i++ {
+			msgs[i].Offset = first + uint64(i)
+		}
+		b.published.Add(int64(n))
+		for i := 0; i < n; i++ {
+			b.retain(&msgs[i])
+		}
+		if err != nil {
+			// A write-through failure mid-batch aborts the batch: the
+			// first n messages are already durable and retained (a
+			// restart replays them) but nothing is fanned out — under a
+			// failing disk, losing deliveries beats delivering what was
+			// never logged.
+			return 0, err
+		}
+	} else {
+		last := b.seq.Add(uint64(len(msgs)))
+		for i := range msgs {
+			msgs[i].Offset = last - uint64(len(msgs)) + 1 + uint64(i)
+		}
+		b.published.Add(int64(len(msgs)))
+		for i := range msgs {
+			b.retain(&msgs[i])
+		}
+	}
 	// Matches for the whole batch land in one pooled flat slice with
 	// per-message end offsets — two bookkeeping slices per batch instead
-	// of one match slice per message.
+	// of one match slice per message. One index load serves the batch.
 	mp := matchPool.Get().(*[]*subEntry)
 	ends := make([]int, len(msgs))
 	flat := *mp
-	b.mu.Lock()
+	root := b.index.Load()
 	for i := range msgs {
-		// A write-through failure mid-batch aborts the batch: earlier
-		// messages are already durable and retained (a restart replays
-		// them) but nothing is fanned out — under a failing disk,
-		// losing deliveries beats delivering what was never logged.
-		if err := b.stamp(&msgs[i]); err != nil {
-			b.mu.Unlock()
-			*mp = flat
-			putMatched(mp)
-			return 0, err
-		}
-		b.published++
-		b.retain(msgs[i])
-		flat = b.index.match(msgs[i].Topic, flat)
+		flat = trieMatch(root, msgs[i].Topic, true, flat)
 		ends[i] = len(flat)
 	}
 	total := len(flat)
-	b.deliveries += total
-	b.mu.Unlock()
-
+	b.deliveries.Add(int64(total))
 	start := 0
 	for i, end := range ends {
 		for _, e := range flat[start:end] {
@@ -398,30 +565,34 @@ func (b *Broker) PublishBatch(msgs []Message) (int, error) {
 // Stats returns current broker statistics across every subscription
 // flavor, including at-least-once (ack) subscriptions and the
 // accumulated drops of subscriptions that have since been removed.
+// Counters are atomics and the subscription table is read under subMu —
+// a /stats poll never touches the publish hot path.
 func (b *Broker) Stats() BrokerStats {
 	workers := 0
 	if d := b.dispatcher(); d != nil {
 		workers = d.workers
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	drops := b.removedDrops
+	b.subMu.Lock()
+	drops := b.removedDrops.Load()
+	subs := len(b.entries)
 	for _, e := range b.entries {
-		drops += e.sub.Dropped()
+		drops += int64(e.sub.Dropped())
 	}
+	b.subMu.Unlock()
 	return BrokerStats{
-		Published:       b.published,
-		Deliveries:      b.deliveries,
-		Drops:           drops,
-		Subscriptions:   len(b.entries),
+		Published:       int(b.published.Load()),
+		Deliveries:      int(b.deliveries.Load()),
+		Drops:           int(drops),
+		Subscriptions:   subs,
 		DispatchWorkers: workers,
 	}
 }
 
 // Retained returns the retained message for a concrete topic.
 func (b *Broker) Retained(topic string) (Message, bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	m, ok := b.retained[topic]
+	st := b.stripeFor(topic)
+	st.mu.Lock()
+	m, ok := st.m[topic]
+	st.mu.Unlock()
 	return m, ok
 }

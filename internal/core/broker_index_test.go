@@ -120,8 +120,8 @@ func TestBrokerIndexUnsubscribePrunes(t *testing.T) {
 		t.Error("surviving subscription missed the delivery")
 	}
 	b.Unsubscribe(s2)
-	if !b.index.root.empty() {
-		t.Error("index not pruned after every unsubscribe")
+	if b.index.Load() != nil {
+		t.Error("index not pruned after every unsubscribe (empty tree must collapse to nil)")
 	}
 }
 

@@ -36,6 +36,17 @@ func (h *handlerSub) offer(m Message) {
 	}
 }
 
+// offerRetained mirrors offer for the subscribe-time retained replay:
+// the embedded Subscription's offset dedupe applies, and the mailbox is
+// scheduled so the handler sees the replay without waiting for the next
+// live publish.
+func (h *handlerSub) offerRetained(m Message) {
+	h.Subscription.offerRetained(m)
+	if d := h.b.dispatcher(); d != nil {
+		d.schedule(h)
+	}
+}
+
 // dispatcher is the push-mode worker pool: workers drain scheduled
 // handler mailboxes and invoke their handlers.
 type dispatcher struct {
@@ -163,14 +174,14 @@ func (b *Broker) StartDispatch(workers int) {
 	b.dispatch = d
 	b.dispatchMu.Unlock()
 
-	b.mu.Lock()
+	b.subMu.Lock()
 	var backlog []*handlerSub
 	for _, e := range b.entries {
 		if h, ok := e.sub.(*handlerSub); ok && h.Pending() > 0 {
 			backlog = append(backlog, h)
 		}
 	}
-	b.mu.Unlock()
+	b.subMu.Unlock()
 	for _, h := range backlog {
 		d.schedule(h)
 	}

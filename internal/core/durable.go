@@ -12,52 +12,53 @@ import (
 var ErrNoLog = errors.New("core: broker has no event log")
 
 // AttachLog makes the broker durable: every subsequent publish is
-// written through to l before fan-out, and the broker's state is first
-// recovered from the log — the retained map is rebuilt from history (the
-// last record per topic wins, exactly the in-memory retention rule) and
-// the offset sequence continues where the log ends. Attach before any
-// traffic, typically right after NewBroker over a directory that may
+// written through to l before fan-out (the log's sequencer assigns the
+// broker's offsets), and the broker's state is first recovered from the
+// log — the retained stripes are rebuilt from history (the last record
+// per topic wins, exactly the in-memory retention rule). Attach before
+// any traffic, typically right after NewBroker over a directory that may
 // hold a previous run's log; the number of replayed records is returned.
 func (b *Broker) AttachLog(l *eventlog.Log) (int, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.log != nil {
+	b.subMu.Lock()
+	defer b.subMu.Unlock()
+	if b.log.Load() != nil {
 		return 0, errors.New("core: broker already has an event log")
 	}
 	// A broker that already published in-memory has offsets the log never
-	// saw; attaching now would collide the two sequences (the next stamp
-	// would disagree with the log's append offset and every publish would
-	// fail while still writing orphan records). Refuse instead.
-	if b.nextOffset != 1 {
+	// saw; attaching now would collide the two sequences (in-memory
+	// offsets overlap the log's append offsets, breaking resume cursors
+	// and retained ordering). Refuse instead.
+	if b.seq.Load() != 0 {
 		return 0, errors.New("core: AttachLog requires a fresh broker (attach before any publish)")
 	}
 	replayed := 0
-	next, err := l.Scan(0, func(rec eventlog.Record) error {
-		b.retain(messageOf(rec))
+	_, err := l.Scan(0, func(rec eventlog.Record) error {
+		m := messageOf(rec)
+		b.retain(&m)
 		replayed++
 		return nil
 	})
 	if err != nil {
 		return replayed, err
 	}
-	b.log = l
-	b.nextOffset = next
+	b.log.Store(l)
 	return replayed, nil
 }
 
 // Log returns the attached event log, nil when the broker is in-memory
 // only.
 func (b *Broker) Log() *eventlog.Log {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.log
+	return b.log.Load()
 }
 
-// NextOffset returns the offset the next publish will receive.
+// NextOffset returns the offset the next publish will receive: the
+// log's next append offset for durable brokers, the atomic sequence
+// plus one otherwise.
 func (b *Broker) NextOffset() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.nextOffset
+	if l := b.log.Load(); l != nil {
+		return l.NextOffset()
+	}
+	return b.seq.Load() + 1
 }
 
 // ReplayFrom streams every logged message with offset >= from whose
@@ -70,9 +71,7 @@ func (b *Broker) ReplayFrom(from uint64, pattern string, fn func(Message) error)
 	if err := ValidatePattern(pattern); err != nil {
 		return 0, err
 	}
-	b.mu.Lock()
-	l := b.log
-	b.mu.Unlock()
+	l := b.log.Load()
 	if l == nil {
 		return 0, ErrNoLog
 	}
@@ -96,24 +95,8 @@ func (b *Broker) SubscribeLive(pattern string, capacity int, policy DropPolicy) 
 		return nil, err
 	}
 	sub := &Subscription{Pattern: pattern, cap: capacity, policy: policy}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.nextID++
-	e := &subEntry{id: b.nextID, pattern: pattern, sub: sub}
-	b.entries[e.id] = e
-	b.index.insert(pattern, e)
-	sub.ID = e.id
+	sub.ID = b.registerEntry(pattern, sub)
 	return sub, nil
-}
-
-// recordOf converts a message to its durable form. The payload is
-// marshaled through the message's shared encode cache, so the same
-// bytes written to the log are later reused by wire-facing subscribers
-// (the gateway's SSE frames) without re-marshaling. Payloads that do
-// not marshal (channels, funcs — nothing the system publishes) degrade
-// to their string rendering, mirroring the gateway's wire conversion.
-func recordOf(m *Message) eventlog.Record {
-	return eventlog.Record{Topic: m.Topic, Time: m.Time, Payload: m.PayloadJSON(), Headers: m.Headers}
 }
 
 // messageOf converts a durable record back to a message. Payloads decode

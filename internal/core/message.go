@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -55,17 +57,97 @@ type msgCache struct {
 	// frame is an opaque caller-rendered frame (the gateway stores the
 	// complete SSE event bytes here).
 	frame []byte
+	// scratch gives short scalar encodings a home inside the cache's own
+	// allocation: the broker encodes into scratch[:0], so a typical
+	// sensor publish (a float) costs one allocation — the cache — not a
+	// cache plus a payload slice. 24 bytes covers every float64 and
+	// int64 rendering.
+	scratch [24]byte
 }
 
 // marshalPayload renders a payload as JSON. Payloads that do not marshal
 // (channels, funcs — nothing the system publishes) degrade to their
-// string rendering rather than failing the caller.
+// string rendering rather than failing the caller. Scalar payloads —
+// the bulk of sensor traffic — take a reflection-free path that emits
+// byte-identical output to encoding/json, which matters because the
+// durable publish path marshals every payload before the WAL append.
 func marshalPayload(payload any) []byte {
+	return appendPayload(nil, payload)
+}
+
+// appendPayload appends the JSON rendering of payload to dst (see
+// marshalPayload). Scalar fast paths reuse dst's capacity — the broker
+// passes a scratch buffer living inside the message's encode cache —
+// while the reflection fallback appends whatever encoding/json built.
+func appendPayload(dst []byte, payload any) []byte {
+	switch v := payload.(type) {
+	case nil:
+		return append(dst, "null"...)
+	case bool:
+		if v {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case int:
+		return strconv.AppendInt(dst, int64(v), 10)
+	case int64:
+		return strconv.AppendInt(dst, v, 10)
+	case uint32:
+		return strconv.AppendUint(dst, uint64(v), 10)
+	case float64:
+		if b, ok := appendJSONFloat(dst, v); ok {
+			return b
+		}
+	case string:
+		if b, ok := appendJSONString(dst, v); ok {
+			return b
+		}
+	}
 	b, err := json.Marshal(payload)
 	if err != nil {
 		b, _ = json.Marshal(fmt.Sprint(payload))
 	}
-	return b
+	return append(dst, b...)
+}
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64
+// (shortest form, 'e' only outside [1e-6, 1e21), exponent digits
+// unpadded). NaN and infinities report !ok — encoding/json rejects
+// them, so they take the fallback path and degrade to a string.
+func appendJSONFloat(dst []byte, f float64) ([]byte, bool) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return dst, false
+	}
+	format := byte('f')
+	if abs := math.Abs(f); abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// Clean up e-09 to e-9, as encoding/json does.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, true
+}
+
+// appendJSONString appends s as a JSON string when no character needs
+// escaping (encoding/json escapes control characters, '"', '\\', and —
+// for HTML safety — '<', '>', '&'; multi-byte UTF-8 passes through
+// unescaped unless invalid). Anything suspicious reports !ok and falls
+// back to encoding/json.
+func appendJSONString(dst []byte, s string) ([]byte, bool) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return dst, false
+		}
+	}
+	dst = append(dst, '"')
+	dst = append(dst, s...)
+	return append(dst, '"'), true
 }
 
 // PayloadJSON returns the message payload marshaled as JSON, building it

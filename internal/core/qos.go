@@ -51,6 +51,37 @@ func (s *AckSubscription) offer(m Message) {
 	s.queue = append(s.queue, Delivery{Seq: s.seq, Message: m})
 }
 
+// offerRetained enqueues a retained message unless the mailbox (queued
+// or in-flight) already holds that offset — the subscribe/publish race
+// can route one message through both the live and the retained path,
+// and the at-least-once tier must not turn that into a double delivery
+// at subscribe time.
+func (s *AckSubscription) offerRetained(m Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if m.Offset != 0 {
+		for _, d := range s.queue {
+			if d.Message.Offset == m.Offset {
+				return
+			}
+		}
+		for _, d := range s.inflight {
+			if d.Message.Offset == m.Offset {
+				return
+			}
+		}
+	}
+	if len(s.queue)+len(s.inflight) >= s.capacity {
+		s.dropped++
+		return
+	}
+	s.seq++
+	s.queue = append(s.queue, Delivery{Seq: s.seq, Message: m})
+}
+
 func (s *AckSubscription) shut() {
 	s.mu.Lock()
 	s.closed = true

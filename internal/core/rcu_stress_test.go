@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/eventlog"
+)
+
+// TestRCUChurnUnderPublish hammers the lock-free publish path: stable
+// subscriptions registered up front must see exactly the matching
+// messages (the multiset, once each) while other goroutines churn
+// Subscribe/Unsubscribe — every churn step swaps in a fresh trie
+// snapshot — and multiple publishers run Publish and PublishBatch
+// concurrently. The fan-out oracle is the linear TopicMatch scan, so a
+// trie snapshot that loses, duplicates, or leaks an entry mid-swap
+// fails the multiset comparison. Run under -race this also certifies
+// the RCU load/store pairing (publishers read the index without any
+// lock).
+func TestRCUChurnUnderPublish(t *testing.T) {
+	for _, durable := range []bool{false, true} {
+		name := "memory"
+		if durable {
+			name = "durable"
+		}
+		t.Run(name, func(t *testing.T) { rcuChurnStress(t, durable) })
+	}
+}
+
+func rcuChurnStress(t *testing.T, durable bool) {
+	const (
+		stableSubs  = 20
+		publishers  = 4
+		churners    = 4
+		perPub      = 300 // messages per publisher goroutine
+		batchEvery  = 5   // every Nth publish goes through PublishBatch
+		batchLen    = 4
+		mailboxSize = 4 << 10 // > publishers*perPub*batchLen: nothing may drop
+	)
+
+	b := NewBroker()
+	if durable {
+		l, err := eventlog.Open(eventlog.Config{Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		if _, err := b.AttachLog(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Stable subscriptions: registered before any publish (fresh broker,
+	// no retained state), so each must receive exactly the live fan-out.
+	rng := rand.New(rand.NewSource(9))
+	patterns := make([]string, stableSubs)
+	subs := make([]*Subscription, stableSubs)
+	for i := range subs {
+		patterns[i] = randPattern(rng)
+		var err error
+		subs[i], err = b.Subscribe(patterns[i], mailboxSize, DropOldest)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pre-generate each publisher's message stream with unique payload
+	// ids so the oracle can compare exact multisets afterwards.
+	type pubMsg struct {
+		topic string
+		id    int
+	}
+	streams := make([][]pubMsg, publishers)
+	for p := range streams {
+		prng := rand.New(rand.NewSource(int64(100 + p)))
+		for i := 0; i < perPub; i++ {
+			streams[p] = append(streams[p], pubMsg{topic: randTopic(prng), id: p*1_000_000 + i})
+		}
+	}
+
+	stop := make(chan struct{})
+	var churnWG sync.WaitGroup
+	for c := 0; c < churners; c++ {
+		churnWG.Add(1)
+		go func(seed int64) {
+			defer churnWG.Done()
+			crng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s, err := b.Subscribe(randPattern(crng), 16, DropOldest)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b.Unsubscribe(s)
+			}
+		}(int64(200 + c))
+	}
+
+	var pubWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func(stream []pubMsg) {
+			defer pubWG.Done()
+			for i := 0; i < len(stream); {
+				if i%batchEvery == 0 && i+batchLen <= len(stream) {
+					batch := make([]Message, batchLen)
+					for j := range batch {
+						batch[j] = Message{Topic: stream[i+j].topic, Payload: stream[i+j].id}
+					}
+					if _, err := b.PublishBatch(batch); err != nil {
+						t.Error(err)
+						return
+					}
+					i += batchLen
+					continue
+				}
+				if _, err := b.Publish(Message{Topic: stream[i].topic, Payload: stream[i].id}); err != nil {
+					t.Error(err)
+					return
+				}
+				i++
+			}
+		}(streams[p])
+	}
+	pubWG.Wait()
+	close(stop)
+	churnWG.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Oracle: the linear TopicMatch scan over everything published.
+	want := make([]map[int]int, stableSubs) // pattern -> payload id -> count
+	for i := range want {
+		want[i] = make(map[int]int)
+	}
+	for _, stream := range streams {
+		for _, m := range stream {
+			for i, p := range patterns {
+				if TopicMatch(p, m.topic) {
+					want[i][m.id]++
+				}
+			}
+		}
+	}
+	for i, s := range subs {
+		if d := s.Dropped(); d != 0 {
+			t.Fatalf("pattern %q dropped %d messages; mailbox sized to hold everything", patterns[i], d)
+		}
+		got := make(map[int]int)
+		seenOffsets := make(map[uint64]bool)
+		for _, m := range s.Poll(0) {
+			got[m.Payload.(int)]++
+			if m.Offset == 0 {
+				t.Fatalf("pattern %q received message without offset: %+v", patterns[i], m)
+			}
+			if seenOffsets[m.Offset] {
+				t.Fatalf("pattern %q received offset %d twice", patterns[i], m.Offset)
+			}
+			seenOffsets[m.Offset] = true
+		}
+		if len(got) != len(want[i]) {
+			t.Fatalf("pattern %q: %d distinct ids delivered, oracle wants %d", patterns[i], len(got), len(want[i]))
+		}
+		for id, n := range want[i] {
+			if got[id] != n {
+				t.Fatalf("pattern %q: id %d delivered %d times, oracle wants %d", patterns[i], id, got[id], n)
+			}
+		}
+	}
+	if durable {
+		// WAL order == offset order: replay must observe every publish
+		// exactly once, contiguous from 1.
+		total := 0
+		next, err := b.ReplayFrom(1, "#", func(m Message) error {
+			total++
+			if m.Offset != uint64(total) {
+				return fmt.Errorf("replay offset %d at position %d", m.Offset, total)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantTotal := publishers * perPub; total != wantTotal {
+			t.Fatalf("replayed %d records, want %d (next=%d)", total, wantTotal, next)
+		}
+	}
+}

@@ -154,10 +154,7 @@ type Log struct {
 	// w buffers appends to the active segment; it is flushed before any
 	// reader snapshot and before every fsync, so readers and durability
 	// always see a complete-frame prefix.
-	w *bufio.Writer
-	// encBuf is the reused v2 frame-encode buffer: appends build
-	// [header][body] here in place, so the hot path allocates nothing.
-	encBuf []byte
+	w      *bufio.Writer
 	dirty  bool
 	closed bool
 	// compactMu serializes retention sweeps so two concurrent Compacts
@@ -423,38 +420,59 @@ func (l *Log) sealActive() error {
 	return nil
 }
 
-// Append assigns the next offset, encodes the record with the v2 binary
-// codec into the log's reused frame buffer, writes it to the buffered
-// active segment, and rotates the segment when it exceeds SegmentBytes.
-// The hot path does no per-record heap allocation beyond growing the
-// reused buffer; durability arrives with the next batched fsync (or
-// Sync/Close).
-func (l *Log) Append(rec Record) (uint64, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return 0, errors.New("eventlog: log is closed")
+// encPool recycles frame-encode buffers. Record bodies are encoded
+// outside the log lock (concurrent appenders encode in parallel into
+// pooled buffers), so the lock's critical section is only the
+// sequencing itself: patch the offset, checksum, and hand the frame to
+// the buffered writer.
+var encPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4<<10); return &b },
+}
+
+// putEnc returns an encode buffer to the pool unless a huge record blew
+// it past the retention cap — a one-off 20 MiB record must not pin
+// 20 MiB forever.
+func putEnc(bp *[]byte, buf []byte) {
+	if cap(buf) <= encBufMax {
+		*bp = buf[:0]
+		encPool.Put(bp)
 	}
-	tail := l.segments[len(l.segments)-1]
-	rec.Offset = tail.end()
-	if cap(l.encBuf) < frameHeader {
-		l.encBuf = make([]byte, frameHeader, 4<<10)
+}
+
+// encodeFrame appends one [header][body] frame for rec to buf. The
+// header and the body's offset field are zero placeholders, patched by
+// patchFrame once the sequencer assigns the offset. Errors only on an
+// oversized record.
+func encodeFrame(buf []byte, rec *Record) ([]byte, error) {
+	start := len(buf)
+	var zero [frameHeader]byte
+	buf = append(buf, zero[:]...)
+	buf = appendRecordV2(buf, rec)
+	if body := len(buf) - start - frameHeader; body > maxRecordBytes {
+		return buf, fmt.Errorf("eventlog: record of %d bytes exceeds limit %d", body, maxRecordBytes)
 	}
-	frame := appendRecordV2(l.encBuf[:frameHeader], &rec)
-	// Keep the buffer for the next append unless this record blew it up
-	// past the retention cap (including on the oversize error path — a
-	// rejected 20 MiB record must not pin 20 MiB forever).
-	if cap(frame) <= encBufMax {
-		l.encBuf = frame[:0]
-	} else {
-		l.encBuf = nil
-	}
+	return buf, nil
+}
+
+// patchFrame stamps the assigned offset into a pre-encoded frame and
+// completes its header (length + CRC over the patched body). The offset
+// occupies the first 8 body bytes (see codec.go), so sequencing a
+// record costs three fixed-size writes and one checksum — this is the
+// entire per-record cost inside the append lock.
+func patchFrame(frame []byte, off uint64) {
 	body := frame[frameHeader:]
-	if len(body) > maxRecordBytes {
-		return 0, fmt.Errorf("eventlog: record of %d bytes exceeds limit %d", len(body), maxRecordBytes)
-	}
+	binary.LittleEndian.PutUint64(body[0:8], off)
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, castagnoli))
+}
+
+// appendFrameLocked sequences one pre-encoded frame: assigns the tail
+// offset, patches it in, writes through the buffered writer, and
+// rotates the segment when it exceeds SegmentBytes. Caller holds l.mu.
+func (l *Log) appendFrameLocked(frame []byte) (uint64, error) {
+	tail := l.segments[len(l.segments)-1]
+	off := tail.end()
+	patchFrame(frame, off)
 	if _, err := l.w.Write(frame); err != nil {
 		return 0, fmt.Errorf("eventlog: %w", err)
 	}
@@ -474,7 +492,76 @@ func (l *Log) Append(rec Record) (uint64, error) {
 			l.sealFailures++
 		}
 	}
-	return rec.Offset, nil
+	return off, nil
+}
+
+// Append encodes the record with the v2 binary codec into a pooled
+// buffer outside the lock, then takes the lock only to sequence it:
+// assign the next offset, patch it into the frame, and hand the bytes
+// to the buffered active segment. Concurrent appenders therefore
+// serialize on the offset assignment and buffer write, not on payload
+// encoding; WAL order equals offset order by construction. Durability
+// arrives with the next batched fsync (or Sync/Close).
+func (l *Log) Append(rec Record) (uint64, error) {
+	bp := encPool.Get().(*[]byte)
+	buf, err := encodeFrame((*bp)[:0], &rec)
+	if err != nil {
+		putEnc(bp, buf)
+		return 0, err
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		putEnc(bp, buf)
+		return 0, errors.New("eventlog: log is closed")
+	}
+	off, err := l.appendFrameLocked(buf)
+	l.mu.Unlock()
+	putEnc(bp, buf)
+	return off, err
+}
+
+// AppendBatch appends recs as one contiguous offset run: every record
+// is encoded outside the lock, then the lock is taken once to sequence
+// and write all of them back to back. It returns the first assigned
+// offset and how many records were appended; on error the first n
+// records are durably appended (offsets first..first+n-1) and the rest
+// were not. An empty batch returns (0, 0, nil).
+func (l *Log) AppendBatch(recs []Record) (first uint64, n int, err error) {
+	if len(recs) == 0 {
+		return 0, 0, nil
+	}
+	bp := encPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	starts := make([]int, len(recs)+1)
+	for i := range recs {
+		starts[i] = len(buf)
+		if buf, err = encodeFrame(buf, &recs[i]); err != nil {
+			putEnc(bp, buf)
+			return 0, 0, err
+		}
+	}
+	starts[len(recs)] = len(buf)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		putEnc(bp, buf)
+		return 0, 0, errors.New("eventlog: log is closed")
+	}
+	for i := range recs {
+		off, werr := l.appendFrameLocked(buf[starts[i]:starts[i+1]])
+		if werr != nil {
+			err = werr
+			break
+		}
+		if i == 0 {
+			first = off
+		}
+		n++
+	}
+	l.mu.Unlock()
+	putEnc(bp, buf)
+	return first, n, err
 }
 
 // NextOffset returns the offset the next append will receive.

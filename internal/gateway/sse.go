@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -173,6 +175,7 @@ func (g *Gateway) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	keepAlive := time.NewTicker(g.cfg.KeepAlive)
 	defer keepAlive.Stop()
 
+	var frames net.Buffers
 	for {
 		select {
 		case <-r.Context().Done():
@@ -202,24 +205,28 @@ func (g *Gateway) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 				g.writeGoodbye(w, fl, "slow-consumer", dropped)
 				return
 			}
-			msgs := sub.Poll(0)
-			wrote := 0
-			for _, m := range msgs {
+			// Coalesce the whole drain into one write and one flush:
+			// the queue empties per wakeup anyway, so per-message
+			// write/flush cycles only buy chunked-transfer overhead and
+			// syscalls per event instead of per drain.
+			frames = frames[:0]
+			for _, m := range sub.Poll(0) {
 				// Best-effort resume without a log: suppress events the
 				// client already saw; history itself is gone.
 				if resume && m.Offset <= after {
 					continue
 				}
-				deadline()
-				if err := writeMessage(w, m); err != nil {
-					return
-				}
-				wrote++
+				frames = append(frames, messageFrame(m))
 			}
-			if wrote == 0 {
+			if len(frames) == 0 {
 				continue
 			}
-			g.sseEvents.Add(int64(wrote))
+			deadline()
+			n := len(frames)
+			if err := writeFrames(w, frames); err != nil {
+				return
+			}
+			g.sseEvents.Add(int64(n))
 			fl.Flush()
 		}
 	}
@@ -313,6 +320,26 @@ func (g *Gateway) endTail(w http.ResponseWriter, fl http.Flusher, deadline func(
 // per record, so shutdown cannot hang behind a long catch-up.
 func (g *Gateway) catchUp(w http.ResponseWriter, r *http.Request, fl http.Flusher, deadline func(), pattern string, scanCursor, lastSent uint64) (uint64, uint64, error) {
 	retries := 0
+	var frames net.Buffers
+	// flushFrames coalesces the batch into one client write and one
+	// Flush. lastSent has already advanced past every queued frame, so
+	// the batch MUST drain before any retry decision — an unflushed
+	// frame plus a rescan would skip those records for good.
+	flushFrames := func() error {
+		if len(frames) == 0 {
+			return nil
+		}
+		n := len(frames)
+		deadline()
+		err := writeFrames(w, frames)
+		frames = frames[:0]
+		if err != nil {
+			return errClientGone
+		}
+		g.sseEvents.Add(int64(n))
+		fl.Flush()
+		return nil
+	}
 	for {
 		if r.Context().Err() != nil || g.ctx.Err() != nil {
 			return scanCursor, lastSent, errStreamClosed
@@ -326,20 +353,18 @@ func (g *Gateway) catchUp(w http.ResponseWriter, r *http.Request, fl http.Flushe
 			if m.Offset <= lastSent {
 				return nil
 			}
-			deadline()
-			if werr := writeMessage(w, m); werr != nil {
-				return errClientGone
-			}
+			frames = append(frames, messageFrame(m))
 			lastSent = m.Offset
 			wrote++
-			if wrote%64 == 0 {
-				fl.Flush()
+			if len(frames) >= catchUpBatch {
+				return flushFrames()
 			}
 			return nil
 		})
+		if ferr := flushFrames(); ferr != nil {
+			return scanCursor, lastSent, ferr
+		}
 		if wrote > 0 {
-			g.sseEvents.Add(int64(wrote))
-			fl.Flush()
 			retries = 0
 		}
 		if err != nil {
@@ -378,13 +403,54 @@ func (g *Gateway) writeGoodbye(w http.ResponseWriter, fl http.Flusher, reason st
 	fl.Flush()
 }
 
-// writeMessage writes one message event as a prebuilt SSE frame. The
-// frame bytes — envelope JSON plus the id/event/data framing — are
-// rendered once per published message and shared across every
-// subscriber via the message's encode cache (see Message.SharedFrame),
-// so fan-out encoding cost is O(1) per message, not O(subscribers).
-func writeMessage(w http.ResponseWriter, m core.Message) error {
-	_, err := w.Write(messageFrame(m))
+// catchUpBatch bounds how many frames a log catch-up accumulates before
+// forcing a write+flush, so a multi-gigabyte history replay never
+// buffers unbounded memory per client.
+const catchUpBatch = 64
+
+// coalesceMax bounds the pooled buffer writeFrames coalesces into; a
+// drain whose frames total more than this skips the copy and hands the
+// batch to net.Buffers instead (writev on connections that support it).
+const coalesceMax = 64 << 10
+
+var coalescePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 8<<10)
+	return &b
+}}
+
+// writeFrames writes a batch of prebuilt SSE frames with one client
+// write instead of one per frame. Frames are message-cache-shared and
+// must not be modified, so small batches are copied into a pooled
+// buffer (one Write → one chunked-transfer chunk → one syscall) and
+// jumbo batches go through net.Buffers, which uses writev where the
+// underlying connection supports it and sequential writes elsewhere.
+// The frames slice is consumed either way — callers reset it.
+func writeFrames(w http.ResponseWriter, frames net.Buffers) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	if len(frames) == 1 {
+		_, err := w.Write(frames[0])
+		return err
+	}
+	total := 0
+	for _, f := range frames {
+		total += len(f)
+	}
+	if total > coalesceMax {
+		_, err := frames.WriteTo(w)
+		return err
+	}
+	bp := coalescePool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	for _, f := range frames {
+		buf = append(buf, f...)
+	}
+	_, err := w.Write(buf)
+	if cap(buf) <= coalesceMax {
+		*bp = buf[:0]
+		coalescePool.Put(bp)
+	}
 	return err
 }
 
