@@ -231,6 +231,7 @@ type Broker struct {
 	// index is the current subscription-trie snapshot (nil = empty).
 	// Mutations (under subMu) build a new trie and swap the pointer;
 	// Publish loads it without locks.
+	//dewsvet:rcu
 	index atomic.Pointer[trieNode]
 
 	// subMu serializes subscription mutations and attach: entries,
@@ -440,6 +441,8 @@ func putMatched(mp *[]*subEntry) {
 // offset sequencer (and per-mailbox locks on fan-out): payload
 // marshaling, record encoding, retained updates and trie matching all
 // run outside any shared critical section.
+//
+//dewsvet:hotpath
 func (b *Broker) Publish(m Message) (int, error) {
 	if err := m.Validate(); err != nil {
 		return 0, err
@@ -477,8 +480,7 @@ func (b *Broker) stamp(m *Message) error {
 		m.Offset = b.seq.Add(1)
 		return nil
 	}
-	c := &msgCache{}
-	c.payload = appendPayload(c.scratch[:0], m.Payload)
+	c := newMsgCache(m.Payload)
 	off, err := l.Append(eventlog.Record{Topic: m.Topic, Time: m.Time, Payload: c.payload, Headers: m.Headers})
 	if err != nil {
 		return err
@@ -494,6 +496,8 @@ func (b *Broker) stamp(m *Message) error {
 // fanning out with the same lock-free path as Publish. It returns the
 // total number of subscription deliveries. Validation happens up front:
 // an invalid message fails the whole batch before anything is published.
+//
+//dewsvet:hotpath
 func (b *Broker) PublishBatch(msgs []Message) (int, error) {
 	for _, m := range msgs {
 		if err := m.Validate(); err != nil {
@@ -504,10 +508,9 @@ func (b *Broker) PublishBatch(msgs []Message) (int, error) {
 		return 0, nil
 	}
 	if l := b.log.Load(); l != nil {
-		recs := make([]eventlog.Record, len(msgs))
+		recs := make([]eventlog.Record, len(msgs)) //dewsvet:hotalloc-ok one record slice amortized over the whole batch
 		for i := range msgs {
-			c := &msgCache{}
-			c.payload = appendPayload(c.scratch[:0], msgs[i].Payload)
+			c := newMsgCache(msgs[i].Payload)
 			msgs[i].cache = c
 			recs[i] = eventlog.Record{Topic: msgs[i].Topic, Time: msgs[i].Time, Payload: c.payload, Headers: msgs[i].Headers}
 		}
@@ -541,7 +544,7 @@ func (b *Broker) PublishBatch(msgs []Message) (int, error) {
 	// per-message end offsets — two bookkeeping slices per batch instead
 	// of one match slice per message. One index load serves the batch.
 	mp := matchPool.Get().(*[]*subEntry)
-	ends := make([]int, len(msgs))
+	ends := make([]int, len(msgs)) //dewsvet:hotalloc-ok one end-offset slice amortized over the whole batch
 	flat := *mp
 	root := b.index.Load()
 	for i := range msgs {

@@ -19,16 +19,23 @@ var ErrNoLog = errors.New("core: broker has no event log")
 // any traffic, typically right after NewBroker over a directory that may
 // hold a previous run's log; the number of replayed records is returned.
 func (b *Broker) AttachLog(l *eventlog.Log) (int, error) {
+	// Check eligibility under subMu, but release it before the replay:
+	// rebuilding retained state reads the entire WAL, and the retained
+	// stripes carry their own locks — holding the subscription mutex
+	// across that file I/O would stall every subscribe for the whole
+	// recovery.
 	b.subMu.Lock()
-	defer b.subMu.Unlock()
-	if b.log.Load() != nil {
+	attached := b.log.Load() != nil
+	seq := b.seq.Load()
+	b.subMu.Unlock()
+	if attached {
 		return 0, errors.New("core: broker already has an event log")
 	}
 	// A broker that already published in-memory has offsets the log never
 	// saw; attaching now would collide the two sequences (in-memory
 	// offsets overlap the log's append offsets, breaking resume cursors
 	// and retained ordering). Refuse instead.
-	if b.seq.Load() != 0 {
+	if seq != 0 {
 		return 0, errors.New("core: AttachLog requires a fresh broker (attach before any publish)")
 	}
 	replayed := 0
@@ -40,6 +47,18 @@ func (b *Broker) AttachLog(l *eventlog.Log) (int, error) {
 	})
 	if err != nil {
 		return replayed, err
+	}
+	// Re-check under the lock before publishing the log pointer: a
+	// competing AttachLog may have won, or an in-memory publish may have
+	// slipped in during the unlocked replay (the old code, which held
+	// subMu throughout, had the same race — Publish never takes subMu).
+	b.subMu.Lock()
+	defer b.subMu.Unlock()
+	if b.log.Load() != nil {
+		return replayed, errors.New("core: broker already has an event log")
+	}
+	if b.seq.Load() != 0 {
+		return replayed, errors.New("core: AttachLog requires a fresh broker (attach before any publish)")
 	}
 	b.log.Store(l)
 	return replayed, nil

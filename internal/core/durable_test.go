@@ -299,3 +299,93 @@ func TestAttachLogRequiresFreshBroker(t *testing.T) {
 		t.Fatalf("log gained records from the refused attach: next %d", fresh.NextOffset())
 	}
 }
+
+// TestAttachLogConcurrentSubscribe: AttachLog rebuilds retained state
+// from the WAL without holding subMu across the file I/O (regression:
+// it used to, stalling every Subscribe for the whole recovery).
+// Subscriptions churning during the replay must make progress, and the
+// attach must still replay every record.
+func TestAttachLogConcurrentSubscribe(t *testing.T) {
+	dir := t.TempDir()
+	const records = 4000
+	l := openLogT(t, dir)
+	for i := 0; i < records; i++ {
+		if _, err := l.Append(eventlog.Record{
+			Topic:   fmt.Sprintf("obs/d%d/Rainfall", i%8),
+			Time:    time.Now(),
+			Payload: []byte("1"),
+		}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("closing seed log: %v", err)
+	}
+
+	l2 := openLogT(t, dir)
+	defer l2.Close()
+	b := NewBroker()
+	stop := make(chan struct{})
+	done := make(chan int)
+	go func() {
+		churned := 0
+		for {
+			select {
+			case <-stop:
+				done <- churned
+				return
+			default:
+			}
+			sub, err := b.Subscribe("obs/#", 8, DropOldest)
+			if err != nil {
+				t.Errorf("subscribe during attach: %v", err)
+				done <- churned
+				return
+			}
+			b.Unsubscribe(sub)
+			churned++
+		}
+	}()
+	n, err := b.AttachLog(l2)
+	close(stop)
+	churned := <-done
+	if err != nil {
+		t.Fatalf("AttachLog with concurrent subscribers: %v", err)
+	}
+	if n != records {
+		t.Fatalf("replayed %d records, want %d", n, records)
+	}
+	if churned == 0 {
+		t.Log("no subscribe completed during the replay window (slow machine?) — liveness not exercised")
+	}
+}
+
+// TestAttachLogConcurrentAttach: when two goroutines race to attach,
+// the post-replay re-check must let exactly one win; the loser reports
+// an error instead of silently overwriting the winner's log pointer.
+func TestAttachLogConcurrentAttach(t *testing.T) {
+	la := openLogT(t, t.TempDir())
+	defer la.Close()
+	lb := openLogT(t, t.TempDir())
+	defer lb.Close()
+	b := NewBroker()
+	errs := make(chan error, 2)
+	for _, l := range []*eventlog.Log{la, lb} {
+		go func(l *eventlog.Log) {
+			_, err := b.AttachLog(l)
+			errs <- err
+		}(l)
+	}
+	failed := 0
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d of 2 concurrent attaches failed, want exactly 1", failed)
+	}
+	if b.Log() == nil {
+		t.Fatal("no log attached after the race")
+	}
+}

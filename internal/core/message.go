@@ -49,7 +49,11 @@ type Message struct {
 // msgCache holds the lazily built wire encodings of one published
 // message. All copies of the message share the pointer; the mutex makes
 // concurrent renders (many SSE pumps draining the same publish) build
-// each encoding exactly once.
+// each encoding exactly once. Because the pointer is shared by every
+// copy, only this file's once-only builders (newMsgCache, PayloadJSON,
+// SharedFrame — all under mu after construction) may write its fields.
+//
+//dewsvet:immutable
 type msgCache struct {
 	mu sync.Mutex
 	// payload is the payload marshaled as JSON.
@@ -63,6 +67,15 @@ type msgCache struct {
 	// cache plus a payload slice. 24 bytes covers every float64 and
 	// int64 rendering.
 	scratch [24]byte
+}
+
+// newMsgCache builds the shared encode cache for one durable publish,
+// rendering the payload JSON into the cache's own scratch allocation —
+// a scalar payload costs one allocation (the cache), not two.
+func newMsgCache(payload any) *msgCache {
+	c := &msgCache{}
+	c.payload = appendPayload(c.scratch[:0], payload)
+	return c
 }
 
 // marshalPayload renders a payload as JSON. Payloads that do not marshal
@@ -182,7 +195,11 @@ func (m Message) SharedFrame(render func(payloadJSON []byte) []byte) []byte {
 		if c.payload == nil {
 			c.payload = marshalPayload(m.Payload)
 		}
-		c.frame = render(c.payload)
+		// The render callback runs under c.mu on purpose: the mutex is
+		// what makes the frame build once when many SSE pumps race to
+		// drain the same publish, and renderers are pure encoders (the
+		// gateway's builds bytes, no I/O, no locks).
+		c.frame = render(c.payload) //dewsvet:lockhold-ok once-only render; renderers are pure encoders
 	}
 	return c.frame
 }

@@ -1,6 +1,7 @@
 package dews
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -305,7 +306,7 @@ func NewSystem(cfg Config) (sys *System, err error) {
 		// the process.
 		defer func() {
 			if err != nil {
-				elog.Close()
+				err = errors.Join(err, elog.Close())
 			}
 		}()
 		// The retained limit is already set, so recovery honors it.
@@ -330,7 +331,7 @@ func NewSystem(cfg Config) (sys *System, err error) {
 		// store, or its checkpoint goroutine outlives the failed build.
 		defer func() {
 			if err != nil {
-				store.Close()
+				err = errors.Join(err, store.Close())
 			}
 		}()
 		web = dissemination.NewPersistentSemanticWeb(store.Graph(), store.AddAll)

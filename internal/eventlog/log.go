@@ -241,8 +241,7 @@ func (l *Log) load() error {
 	}
 	// Truncate the torn tail (no-op when the segment is clean).
 	if err := f.Truncate(tail.bytes); err != nil {
-		f.Close()
-		return fmt.Errorf("eventlog: truncating torn tail of %s: %w", tail.path, err)
+		return errors.Join(fmt.Errorf("eventlog: truncating torn tail of %s: %w", tail.path, err), f.Close())
 	}
 	if tail.version != segVersionV2 {
 		if tail.count > 0 {
@@ -257,15 +256,13 @@ func (l *Log) load() error {
 		// An empty (or headerless torn) tail holds nothing to preserve:
 		// rewrite it in place as a v2 segment.
 		if _, err := f.Write(segMagicV2[:]); err != nil {
-			f.Close()
-			return fmt.Errorf("eventlog: writing v2 header to %s: %w", tail.path, err)
+			return errors.Join(fmt.Errorf("eventlog: writing v2 header to %s: %w", tail.path, err), f.Close())
 		}
 		tail.version = segVersionV2
 		tail.bytes = segHeaderLen
 		l.dirty = true
 	} else if _, err := f.Seek(tail.bytes, io.SeekStart); err != nil {
-		f.Close()
-		return fmt.Errorf("eventlog: %w", err)
+		return errors.Join(fmt.Errorf("eventlog: %w", err), f.Close())
 	}
 	tail.sealedAt = time.Time{}
 	l.active = f
@@ -285,7 +282,7 @@ func scanSegment(path string, tail bool) (uint8, int, int64, error) {
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("eventlog: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //dewsvet:wralerr-ok read-only handle; a close error cannot lose data
 	r := bufio.NewReaderSize(f, 64<<10)
 	var (
 		version = uint8(segVersionV1)
@@ -347,7 +344,7 @@ func scanSegment(path string, tail bool) (uint8, int, int64, error) {
 // buffer. Caller holds l.mu (or is single-threaded in load).
 func (l *Log) startSegment(base uint64) error {
 	path := filepath.Join(l.cfg.Dir, fmt.Sprintf("%020d%s", base, segSuffix))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644) //dewsvet:lockhold-ok cold path: segment creation happens at open and on rotation, not per append
 	if err != nil {
 		return fmt.Errorf("eventlog: %w", err)
 	}
@@ -358,7 +355,7 @@ func (l *Log) startSegment(base uint64) error {
 	} else {
 		l.w.Reset(f)
 	}
-	if _, err := l.w.Write(segMagicV2[:]); err != nil {
+	if _, err := l.w.Write(segMagicV2[:]); err != nil { //dewsvet:lockhold-ok header write lands in the fresh append buffer
 		return fmt.Errorf("eventlog: %w", err)
 	}
 	l.dirty = true
@@ -371,7 +368,7 @@ func (l *Log) flushLocked() error {
 	if l.w == nil {
 		return nil
 	}
-	if err := l.w.Flush(); err != nil {
+	if err := l.w.Flush(); err != nil { //dewsvet:lockhold-ok the sequencer's buffered-writer handoff: draining to the OS under l.mu is the design
 		l.dirty = true
 		return fmt.Errorf("eventlog: flushing append buffer: %w", err)
 	}
@@ -384,6 +381,8 @@ func (l *Log) flushLocked() error {
 // simply keeps growing past SegmentBytes and rotation retries on the
 // next append), so a transient disk error can never wedge the log or
 // lose an already-written record. Caller holds l.mu.
+//
+//dewsvet:lockhold-ok rotation must swap files atomically under the sequencer lock; it amortizes over SegmentBytes of appends
 func (l *Log) sealActive() error {
 	tail := l.segments[len(l.segments)-1]
 	path := filepath.Join(l.cfg.Dir, fmt.Sprintf("%020d%s", tail.end(), segSuffix))
@@ -392,8 +391,10 @@ func (l *Log) sealActive() error {
 		return fmt.Errorf("eventlog: %w", err)
 	}
 	abort := func(err error) error {
-		f.Close()
-		os.Remove(path)
+		// Best-effort cleanup of the never-written replacement file;
+		// the caller's error is the one that matters.
+		_ = f.Close()
+		_ = os.Remove(path)
 		return err
 	}
 	if err := l.flushLocked(); err != nil {
@@ -473,7 +474,7 @@ func (l *Log) appendFrameLocked(frame []byte) (uint64, error) {
 	tail := l.segments[len(l.segments)-1]
 	off := tail.end()
 	patchFrame(frame, off)
-	if _, err := l.w.Write(frame); err != nil {
+	if _, err := l.w.Write(frame); err != nil { //dewsvet:lockhold-ok the sequencer's buffered-writer handoff: a memcpy into the append buffer, spilling only when full
 		return 0, fmt.Errorf("eventlog: %w", err)
 	}
 	tail.count++
@@ -502,6 +503,8 @@ func (l *Log) appendFrameLocked(frame []byte) (uint64, error) {
 // serialize on the offset assignment and buffer write, not on payload
 // encoding; WAL order equals offset order by construction. Durability
 // arrives with the next batched fsync (or Sync/Close).
+//
+//dewsvet:hotpath
 func (l *Log) Append(rec Record) (uint64, error) {
 	bp := encPool.Get().(*[]byte)
 	buf, err := encodeFrame((*bp)[:0], &rec)
@@ -527,13 +530,15 @@ func (l *Log) Append(rec Record) (uint64, error) {
 // offset and how many records were appended; on error the first n
 // records are durably appended (offsets first..first+n-1) and the rest
 // were not. An empty batch returns (0, 0, nil).
+//
+//dewsvet:hotpath
 func (l *Log) AppendBatch(recs []Record) (first uint64, n int, err error) {
 	if len(recs) == 0 {
 		return 0, 0, nil
 	}
 	bp := encPool.Get().(*[]byte)
 	buf := (*bp)[:0]
-	starts := make([]int, len(recs)+1)
+	starts := make([]int, len(recs)+1) //dewsvet:hotalloc-ok one frame-offset slice amortized over the whole batch
 	for i := range recs {
 		starts[i] = len(buf)
 		if buf, err = encodeFrame(buf, &recs[i]); err != nil {
@@ -646,7 +651,7 @@ func scanView(dec *decoder, v segView, from uint64, fn func(Record) error) error
 	if err != nil {
 		return fmt.Errorf("eventlog: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //dewsvet:wralerr-ok read-only handle; a close error cannot lose data
 	r := bufio.NewReaderSize(io.LimitReader(f, v.bytes), 64<<10)
 	if v.version == segVersionV2 {
 		if _, err := r.Discard(segHeaderLen); err != nil {
@@ -857,7 +862,7 @@ func (l *Log) TruncateBefore(offset uint64) (int, error) {
 	removed := 0
 	var firstErr error
 	for _, seg := range drop {
-		if err := os.Remove(seg.path); err != nil {
+		if err := os.Remove(seg.path); err != nil { //dewsvet:lockhold-ok compactMu serializes sweeps only; appenders take l.mu, never compactMu
 			firstErr = fmt.Errorf("eventlog: removing %s: %w", seg.path, err)
 			break
 		}
@@ -906,7 +911,7 @@ func (l *Log) Compact() (int, error) {
 	removed := 0
 	var firstErr error
 	for _, seg := range drop {
-		if err := os.Remove(seg.path); err != nil {
+		if err := os.Remove(seg.path); err != nil { //dewsvet:lockhold-ok compactMu serializes sweeps only; appenders take l.mu, never compactMu
 			firstErr = fmt.Errorf("eventlog: removing %s: %w", seg.path, err)
 			break
 		}
@@ -957,14 +962,12 @@ func (l *Log) Close() error {
 	if err := l.flushLocked(); err != nil {
 		l.mu.Unlock()
 		l.wg.Wait()
-		l.active.Close()
-		return err
+		return errors.Join(err, l.active.Close())
 	}
 	l.mu.Unlock()
 	l.wg.Wait()
 	if err := l.active.Sync(); err != nil {
-		l.active.Close()
-		return fmt.Errorf("eventlog: %w", err)
+		return errors.Join(fmt.Errorf("eventlog: %w", err), l.active.Close())
 	}
 	if err := l.active.Close(); err != nil {
 		return fmt.Errorf("eventlog: %w", err)

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -375,5 +376,36 @@ func TestEmptyLog(t *testing.T) {
 	recs, next, err := l.Read(0, 0)
 	if err != nil || len(recs) != 0 || next != 1 {
 		t.Fatalf("empty Read: %d records next %d err %v", len(recs), next, err)
+	}
+}
+
+// TestCloseReportsTeardownErrors: when Close cannot flush or sync the
+// active segment, the error it returns must also carry the segment's
+// own close error (regression: the close error used to be swallowed,
+// reporting the teardown as cleaner than it was).
+func TestCloseReportsTeardownErrors(t *testing.T) {
+	l, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Topic: "t", Time: time.Now(), Payload: []byte("x")}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	// Sabotage: close the active segment underneath the log. Whichever
+	// teardown step trips first (flush of still-buffered bytes, or the
+	// pre-close sync), Close must join that error with its own failed
+	// close of the already-closed file.
+	l.mu.Lock()
+	f := l.active
+	l.mu.Unlock()
+	if err := f.Close(); err != nil {
+		t.Fatalf("sabotage close: %v", err)
+	}
+	err = l.Close()
+	if err == nil {
+		t.Fatal("Close succeeded with a closed active segment")
+	}
+	if got := strings.Count(err.Error(), "file already closed"); got < 2 {
+		t.Fatalf("Close should report both the teardown failure and its own close error, got %q", err)
 	}
 }

@@ -459,7 +459,13 @@ func writeFrames(w http.ResponseWriter, frames net.Buffers) error {
 // The id: line is omitted for offset 0 (a message that never passed
 // through a broker) so the client's Last-Event-ID keeps pointing at
 // real history.
+//
+//dewsvet:hotpath
 func messageFrame(m core.Message) []byte {
+	// The render closure runs at most once per published message —
+	// SharedFrame caches the frame, so every later subscriber gets the
+	// prebuilt bytes and the steady-state call allocates nothing.
+	//dewsvet:hotalloc-ok once-per-message render; SharedFrame caches the result for every later call
 	return m.SharedFrame(func(payloadJSON []byte) []byte {
 		body, err := json.Marshal(Envelope{
 			Offset:  m.Offset,

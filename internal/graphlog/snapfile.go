@@ -61,7 +61,9 @@ func WriteSnapshotFile(path string, snap *rdf.Snapshot, walOffset uint64, bnodeS
 	}
 	defer func() {
 		if f != nil {
-			f.Close()
+			// Best-effort: f is non-nil only on error paths, where err
+			// already reports why the snapshot write failed.
+			_ = f.Close()
 		}
 		if err != nil {
 			os.Remove(tmp)
@@ -129,7 +131,7 @@ func ReadSnapshotFile(path string) (*rdf.Graph, SnapshotInfo, error) {
 	if err != nil {
 		return nil, SnapshotInfo{}, err
 	}
-	defer f.Close()
+	defer f.Close() //dewsvet:wralerr-ok read-only handle; a close error cannot lose data
 	st, err := f.Stat()
 	if err != nil {
 		return nil, SnapshotInfo{}, err
@@ -364,7 +366,7 @@ func syncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
+	defer d.Close() //dewsvet:wralerr-ok the Sync result is what matters; the directory handle is read-only
 	return d.Sync()
 }
 

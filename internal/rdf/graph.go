@@ -93,14 +93,8 @@ func (g *Graph) snapshotLocked() *Snapshot {
 	if g.snap != nil {
 		return g.snap
 	}
-	s := &Snapshot{d: g.d, terms: g.d.snapshotTerms(), base: g.base, mid: g.mid, n: g.n}
-	for i := range g.delta {
-		if len(g.delta[i]) > 0 {
-			s.delta[i] = append([]Key3(nil), g.delta[i]...)
-		}
-	}
-	g.snap = s
-	return s
+	g.snap = newSnapshot(g.d, g.d.snapshotTerms(), g.base, g.mid, g.delta, g.n)
+	return g.snap
 }
 
 // midCap bounds the intermediate level relative to the sealed bulk, so

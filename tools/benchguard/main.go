@@ -11,8 +11,11 @@
 //
 // Only benchmarks present in both the baseline and the output are
 // compared (the baseline also records experiment benchmarks the smoke
-// does not rerun); an empty intersection is an error so a mistyped
-// -bench pattern cannot pass vacuously.
+// does not rerun). The matched and missing counts are always printed —
+// a baseline benchmark absent from the output is a gate that silently
+// stopped gating — and -require <regexp> turns absence into failure for
+// the benchmarks CI is expected to rerun. An empty intersection is
+// always an error so a mistyped -bench pattern cannot pass vacuously.
 //
 // Load mode gates a cmd/dewsload report instead of micro-benchmarks:
 //
@@ -30,9 +33,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"reflect"
 	"regexp"
+	"sort"
 	"strconv"
 )
 
@@ -172,7 +177,15 @@ func main() {
 	loadPath := flag.String("load", "", "gate a cmd/dewsload BENCH_load report instead of bench output")
 	loadBaseline := flag.String("load-baseline", "", "committed dewsload report to compare -load against (same config)")
 	minTputFrac := flag.Float64("min-throughput-frac", 0.5, "with -load: fail when steady throughput is below this fraction of the offered rate")
+	requirePat := flag.String("require", "", "regexp of baseline benchmark names that must appear in the bench output; a missing one fails the gate")
 	flag.Parse()
+	var require *regexp.Regexp
+	if *requirePat != "" {
+		var err error
+		if require, err = regexp.Compile(*requirePat); err != nil {
+			fatal(fmt.Errorf("bad -require regexp: %w", err))
+		}
+	}
 	if *loadPath != "" {
 		gateLoad(*loadPath, *loadBaseline, *minTputFrac, *maxRegress)
 		return
@@ -227,29 +240,67 @@ func main() {
 		}
 	}
 
+	if err := gateBench(os.Stdout, want, got, *maxRegress, require, *baselinePath); err != nil {
+		fatal(err)
+	}
+}
+
+// gateBench compares the measured ns/op against the baseline, printing
+// one line per compared benchmark (in name order) plus the matched and
+// missing counts. It fails on any regression beyond maxRegress, on an
+// empty intersection, and on a missing baseline benchmark whose name
+// matches require — a benchmark CI rebuilds every run must not be able
+// to vanish from the gate by being renamed or skipped.
+func gateBench(w io.Writer, want, got map[string]float64, maxRegress float64, require *regexp.Regexp, baselinePath string) error {
+	names := make([]string, 0, len(want))
+	for name := range want {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
 	compared, failed := 0, 0
-	for name, baseNs := range want {
+	var missing []string
+	for _, name := range names {
+		baseNs := want[name]
 		ns, ok := got[name]
 		if !ok {
+			missing = append(missing, name)
 			continue
 		}
 		compared++
 		delta := 100 * (ns - baseNs) / baseNs
 		status := "ok"
-		if delta > *maxRegress {
+		if delta > maxRegress {
 			status = "REGRESSED"
 			failed++
 		}
-		fmt.Printf("%-44s baseline %10.1f ns/op  now %10.1f ns/op  %+6.1f%%  %s\n",
+		fmt.Fprintf(w, "%-44s baseline %10.1f ns/op  now %10.1f ns/op  %+6.1f%%  %s\n",
 			name, baseNs, ns, delta, status)
 	}
+	fmt.Fprintf(w, "benchguard: %d of %d baseline benchmarks matched, %d missing from the output\n",
+		compared, len(want), len(missing))
+	if len(missing) > 0 {
+		fmt.Fprintf(w, "benchguard: missing: %v\n", missing)
+	}
 	if compared == 0 {
-		fatal(fmt.Errorf("no benchmark in %v matched the baseline — check the -bench pattern", flag.Args()))
+		return fmt.Errorf("no benchmark in the output matched the baseline — check the -bench pattern")
+	}
+	if require != nil {
+		var gone []string
+		for _, name := range missing {
+			if require.MatchString(name) {
+				gone = append(gone, name)
+			}
+		}
+		if len(gone) > 0 {
+			return fmt.Errorf("required benchmarks missing from the output: %v (renamed or skipped — the gate would silently stop gating them)", gone)
+		}
 	}
 	if failed > 0 {
-		fatal(fmt.Errorf("%d of %d benchmarks regressed more than %.0f%%", failed, compared, *maxRegress))
+		return fmt.Errorf("%d of %d benchmarks regressed more than %.0f%%", failed, compared, maxRegress)
 	}
-	fmt.Printf("benchguard: %d benchmarks within %.0f%% of %s\n", compared, *maxRegress, *baselinePath)
+	fmt.Fprintf(w, "benchguard: %d benchmarks within %.0f%% of %s\n", compared, maxRegress, baselinePath)
+	return nil
 }
 
 func fatal(err error) {

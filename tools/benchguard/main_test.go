@@ -1,0 +1,70 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestGateBenchReportsMissing: a baseline benchmark absent from the
+// bench output must be counted and named, never silently skipped
+// (regression: the gate used to pass as long as one benchmark matched,
+// so renaming a hot-path benchmark un-gated it without a trace).
+func TestGateBenchReportsMissing(t *testing.T) {
+	want := map[string]float64{
+		"BenchmarkAppend":  100,
+		"BenchmarkPublish": 200,
+	}
+	got := map[string]float64{"BenchmarkAppend": 90}
+	var out strings.Builder
+	if err := gateBench(&out, want, got, 25, nil, "BENCH.json"); err != nil {
+		t.Fatalf("gateBench without -require: %v", err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "1 of 2 baseline benchmarks matched, 1 missing") {
+		t.Errorf("report lacks matched/missing counts:\n%s", report)
+	}
+	if !strings.Contains(report, "BenchmarkPublish") {
+		t.Errorf("report does not name the missing benchmark:\n%s", report)
+	}
+}
+
+// TestGateBenchRequire: with -require, a matching baseline benchmark
+// missing from the output fails the gate outright.
+func TestGateBenchRequire(t *testing.T) {
+	want := map[string]float64{
+		"BenchmarkAppend":  100,
+		"BenchmarkPublish": 200,
+	}
+	got := map[string]float64{"BenchmarkAppend": 90}
+	re := regexp.MustCompile(`^BenchmarkPublish$`)
+	var out strings.Builder
+	err := gateBench(&out, want, got, 25, re, "BENCH.json")
+	if err == nil {
+		t.Fatal("gateBench passed with a required benchmark missing")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkPublish") {
+		t.Errorf("error does not name the missing benchmark: %v", err)
+	}
+
+	// A required benchmark that is present keeps the gate green.
+	got["BenchmarkPublish"] = 210
+	out.Reset()
+	if err := gateBench(&out, want, got, 25, re, "BENCH.json"); err != nil {
+		t.Fatalf("gateBench with required benchmark present: %v", err)
+	}
+}
+
+// TestGateBenchRegression: the regression check itself still fires.
+func TestGateBenchRegression(t *testing.T) {
+	want := map[string]float64{"BenchmarkAppend": 100}
+	got := map[string]float64{"BenchmarkAppend": 140}
+	var out strings.Builder
+	if err := gateBench(&out, want, got, 25, nil, "BENCH.json"); err == nil {
+		t.Fatal("gateBench passed a 40%% regression with max 25%%")
+	}
+	// Empty intersection is an error even without -require.
+	if err := gateBench(&out, want, map[string]float64{}, 25, nil, "BENCH.json"); err == nil {
+		t.Fatal("gateBench passed an empty intersection")
+	}
+}

@@ -1,0 +1,56 @@
+// Package analysis is a self-contained, dependency-free subset of the
+// golang.org/x/tools/go/analysis API: just enough surface for the
+// dewsvet analyzers and their golden tests. The toolchain image this
+// repository builds in has no module proxy access, so the framework is
+// reimplemented on the standard library instead of imported.
+//
+// An Analyzer inspects one type-checked package (a Pass) and reports
+// Diagnostics. Drivers — the unitchecker that speaks the `go vet
+// -vettool` protocol, and the analysistest golden harness — construct
+// the Pass and collect the reports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in allowlist
+	// comments (//dewsvet:<name>-ok <reason>).
+	Name string
+	// Doc is the one-paragraph description shown by `dewsvet help`.
+	Doc string
+	// Run applies the check to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass hands an analyzer one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if not found.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}

@@ -1,0 +1,204 @@
+// Package analysistest is a dependency-free port of the
+// golang.org/x/tools/go/analysis/analysistest idea: run one analyzer
+// over a golden package under testdata/src/<dir>/ and compare its
+// diagnostics against `// want "regexp"` comments in the sources.
+//
+// Imports in golden packages are type-checked from GOROOT source (the
+// "source" importer), so tests run without export data or a module
+// proxy. Golden packages should stick to dependency-light stdlib
+// imports (os, sync, bufio, fmt, time, sync/atomic).
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/tools/dewsvet/analysis"
+)
+
+// The source importer re-type-checks stdlib packages from GOROOT; it is
+// slow and not safe for concurrent use, so every test in the process
+// shares one instance behind a mutex and profits from its cache.
+var (
+	impOnce sync.Once
+	imp     types.Importer
+	impMu   sync.Mutex
+)
+
+type lockedImporter struct{}
+
+func (lockedImporter) Import(path string) (*types.Package, error) {
+	impMu.Lock()
+	defer impMu.Unlock()
+	impOnce.Do(func() {
+		imp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	})
+	return imp.Import(path)
+}
+
+// Run analyzes testdata/src/<dir> (relative to the test's working
+// directory) as package path importPath and matches the diagnostics
+// against the want comments. importPath matters to analyzers that
+// scope by package path (wralerr).
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+
+	pkgDir := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", pkgDir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(pkgDir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", pkgDir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{Importer: lockedImporter{}}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("golden package %s does not type-check: %v", dir, err)
+	}
+
+	var got []diagAt
+	pass := &analysis.Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		Report: func(d analysis.Diagnostic) {
+			p := fset.Position(d.Pos)
+			got = append(got, diagAt{p.Filename, p.Line, d.Message})
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	want := collectWants(t, fset, files)
+
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].file != got[j].file {
+			return got[i].file < got[j].file
+		}
+		return got[i].line < got[j].line
+	})
+	for _, d := range got {
+		if !want.match(d) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.file, d.line, d.message)
+		}
+	}
+	for _, w := range want.unmatched() {
+		t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+	}
+}
+
+type diagAt struct {
+	file    string
+	line    int
+	message string
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      string
+	rx      *regexp.Regexp
+	matched bool
+}
+
+type wants struct{ list []*expectation }
+
+func (w *wants) match(d diagAt) bool {
+	for _, e := range w.list {
+		if !e.matched && e.file == d.file && e.line == d.line && e.rx.MatchString(d.message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (w *wants) unmatched() []*expectation {
+	var out []*expectation
+	for _, e := range w.list {
+		if !e.matched {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// collectWants parses `// want "re1" "re2"` comments. Each quoted
+// string is one expected diagnostic on the comment's line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) *wants {
+	t.Helper()
+	w := &wants{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for {
+					rest = strings.TrimSpace(rest)
+					if rest == "" {
+						break
+					}
+					if rest[0] != '"' && rest[0] != '`' {
+						t.Fatalf("%s:%d: malformed want comment near %q", p.Filename, p.Line, rest)
+					}
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want string: %v", p.Filename, p.Line, err)
+					}
+					rest = rest[len(q):]
+					unq, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: %v", p.Filename, p.Line, err)
+					}
+					rx, err := regexp.Compile(unq)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", p.Filename, p.Line, err)
+					}
+					w.list = append(w.list, &expectation{file: p.Filename, line: p.Line, re: unq, rx: rx})
+				}
+			}
+		}
+	}
+	return w
+}

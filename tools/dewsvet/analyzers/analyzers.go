@@ -1,0 +1,15 @@
+package analyzers
+
+import "repro/tools/dewsvet/analysis"
+
+// All returns the full dewsvet suite in the order findings are
+// documented: concurrency first, durability, then immutability.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Lockhold,
+		Rcusnap,
+		Hotalloc,
+		Wralerr,
+		Immutafter,
+	}
+}

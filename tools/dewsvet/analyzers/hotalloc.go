@@ -1,0 +1,146 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/dewsvet/analysis"
+)
+
+// Hotalloc reports constructs that force heap allocations inside
+// functions annotated //dewsvet:hotpath, locking in the alloc/op
+// budgets the publish and append paths were benchmarked to (1–2
+// allocs/op): map/slice/channel literals and makes, closure literals,
+// any call into package fmt, non-constant string concatenation, and
+// concrete-to-interface argument conversions (boxing).
+//
+// Deliberate allocations — a batch-sized scratch slice amortized over
+// its batch, a closure that the escape analysis keeps on the stack —
+// carry //dewsvet:hotalloc-ok <reason> on their line.
+var Hotalloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "heap-allocating construct in a //dewsvet:hotpath function",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *analysis.Pass) error {
+	sup := newSuppressor(pass, "hotalloc")
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !docHasMarker(fd.Doc, "dewsvet:hotpath") {
+				continue
+			}
+			if docHasMarker(fd.Doc, "dewsvet:hotalloc-ok") {
+				continue
+			}
+			checkHotFunc(pass, sup, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *analysis.Pass, sup *suppressor, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			sup.report(pass, x.Pos(), "closure literal allocates on the hot path")
+			return false // the body runs when invoked, not here
+		case *ast.CompositeLit:
+			t := pass.Info.TypeOf(x)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				sup.report(pass, x.Pos(), "map literal allocates on the hot path")
+			case *types.Slice:
+				sup.report(pass, x.Pos(), "slice literal allocates on the hot path")
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if t := pass.Info.TypeOf(x); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						if tv, ok := pass.Info.Types[x]; ok && tv.Value == nil {
+							sup.report(pass, x.Pos(), "string concatenation allocates on the hot path")
+							return false // report a chain once, not per '+'
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, sup, x)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, sup *suppressor, call *ast.CallExpr) {
+	fun := unparen(call.Fun)
+
+	// Conversion to an interface type boxes its operand.
+	if tv, ok := pass.Info.Types[fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) {
+			sup.report(pass, call.Pos(), "conversion to interface type %s allocates (boxing) on the hot path", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+		}
+		return
+	}
+
+	// make(map/chan/[]T) allocate; len/cap/append and friends do not
+	// (append's growth is the slice's amortized cost, not a new one).
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "make" && len(call.Args) > 0 {
+				if t := pass.Info.TypeOf(call.Args[0]); t != nil {
+					switch t.Underlying().(type) {
+					case *types.Map:
+						sup.report(pass, call.Pos(), "make(map) allocates on the hot path")
+					case *types.Chan:
+						sup.report(pass, call.Pos(), "make(chan) allocates on the hot path")
+					case *types.Slice:
+						sup.report(pass, call.Pos(), "make(slice) allocates on the hot path")
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// Any call into package fmt allocates (reflection, boxing, buffer).
+	if callee := staticCallee(pass.Info, call); callee != nil {
+		if p := callee.Pkg(); p != nil && p.Path() == "fmt" {
+			sup.report(pass, call.Pos(), "fmt.%s allocates on the hot path", callee.Name())
+			return
+		}
+	}
+
+	// Concrete values passed to interface parameters are boxed.
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.Info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		sup.report(pass, arg.Pos(), "argument %s is boxed into interface %s on the hot path", types.ExprString(arg), types.TypeString(pt, types.RelativeTo(pass.Pkg)))
+	}
+}

@@ -1,0 +1,111 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/dewsvet/analysis"
+)
+
+// Immutafter enforces publish-then-freeze on types annotated
+// //dewsvet:immutable — trie nodes, rdf snapshot runs, shared SSE frame
+// caches: values that, once published to concurrent readers (via an
+// RCU Store, a shared message cache, an exposed snapshot), must never
+// see another field write.
+//
+// The machine-checkable proxy for "only during construction" is "only
+// in the file that declares the type": constructors live next to their
+// type, so any field assignment from another file is a mutation of a
+// potentially-published value. Composite literals are construction and
+// stay legal everywhere.
+var Immutafter = &analysis.Analyzer{
+	Name: "immutafter",
+	Doc:  "field write to a //dewsvet:immutable type outside its declaring file",
+	Run:  runImmutafter,
+}
+
+func runImmutafter(pass *analysis.Pass) error {
+	sup := newSuppressor(pass, "immutafter")
+
+	// Collect annotated type declarations and the file each lives in.
+	immutable := make(map[*types.TypeName]string)
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if !docHasMarker(ts.Doc, "dewsvet:immutable") &&
+					!(len(gd.Specs) == 1 && docHasMarker(gd.Doc, "dewsvet:immutable")) {
+					continue
+				}
+				if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok && tn != nil {
+					immutable[tn] = filename
+				}
+			}
+		}
+	}
+	if len(immutable) == 0 {
+		return nil
+	}
+
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		ast.Inspect(file, func(n ast.Node) bool {
+			var lhss []ast.Expr
+			var pos token.Pos
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				lhss, pos = x.Lhs, x.TokPos
+			case *ast.IncDecStmt:
+				lhss, pos = []ast.Expr{x.X}, x.TokPos
+			default:
+				return true
+			}
+			for _, lhs := range lhss {
+				field, tn := immutableFieldTarget(pass, lhs, immutable)
+				if tn == nil || immutable[tn] == filename {
+					continue
+				}
+				if sup.suppressed(pos) {
+					continue
+				}
+				pass.Reportf(pos, "write to field %s of immutable type %s outside its declaring file; construct a new value instead", field, tn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// immutableFieldTarget walks an assignment target's selector/index
+// chain and reports the first field selection that belongs to an
+// annotated immutable type. `s.delta[i] = x`, `n.children[j].node = x`
+// and `(*p).n = x` all resolve through the chain.
+func immutableFieldTarget(pass *analysis.Pass, e ast.Expr, immutable map[*types.TypeName]string) (field string, tn *types.TypeName) {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if named := namedOf(sel.Recv()); named != nil {
+					if _, ok := immutable[named.Obj()]; ok {
+						return x.Sel.Name, named.Obj()
+					}
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return "", nil
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/tools/dewsvet/analysis"
+)
+
+// Wralerr flags discarded error results from Close, Flush, Sync, Write
+// and WriteString in the durability-critical packages — the WAL
+// (eventlog), the triple-store log (graphlog), the SSE gateway, and the
+// system wiring (dews) that tears them down. In those packages a
+// swallowed Close or Flush error is silent data loss: the write looked
+// durable and was not.
+//
+// Explicitly acknowledged discards (`_ = f.Close()`) are allowed — the
+// point is that the discard is a decision, not an accident. Read-only
+// handles may instead carry //dewsvet:wralerr-ok <reason>. Test files
+// and infallible writers (strings.Builder, bytes.Buffer) are exempt.
+var Wralerr = &analysis.Analyzer{
+	Name: "wralerr",
+	Doc:  "discarded Close/Flush/Sync/Write error in a durability-critical package",
+	Run:  runWralerr,
+}
+
+// durabilityCritical names the package paths whose write/teardown
+// errors must not vanish.
+var durabilityCritical = regexp.MustCompile(`/internal/(eventlog|graphlog|gateway|dews)$`)
+
+// wralerrMethods are the checked method names.
+var wralerrMethods = map[string]bool{
+	"Close":       true,
+	"Flush":       true,
+	"Sync":        true,
+	"Write":       true,
+	"WriteString": true,
+}
+
+func runWralerr(pass *analysis.Pass) error {
+	if !durabilityCritical.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	sup := newSuppressor(pass, "wralerr")
+	for _, file := range pass.Files {
+		// Tests exercise the durable paths, they are not one: an
+		// idiomatic `defer l.Close()` in a test cannot lose user data.
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+					checkDiscard(pass, sup, call, false)
+				}
+			case *ast.DeferStmt:
+				checkDiscard(pass, sup, s.Call, true)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDiscard(pass *analysis.Pass, sup *suppressor, call *ast.CallExpr, deferred bool) {
+	callee := staticCallee(pass.Info, call)
+	if callee == nil || !wralerrMethods[callee.Name()] {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !returnsError(sig) {
+		return
+	}
+	if infallibleWriter(sig.Recv().Type()) {
+		return
+	}
+	if deferred {
+		sup.report(pass, call.Pos(), "deferred %s discards its error; use a named return or close explicitly on the success path", callee.FullName())
+		return
+	}
+	sup.report(pass, call.Pos(), "result of %s is discarded; a swallowed %s error here is silent data loss", callee.FullName(), callee.Name())
+}
+
+// infallibleWriter reports receivers whose write methods are
+// documented to always return a nil error; flagging them is noise.
+func infallibleWriter(recv types.Type) bool {
+	n := namedOf(recv)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named := namedOf(res.At(i).Type()); named != nil {
+			if named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+// Package hotalloc is the golden fixture for the hotalloc analyzer.
+package hotalloc
+
+import "fmt"
+
+func consume(v any) { _ = v }
+
+//dewsvet:hotpath
+func hot(xs []int, name string) string {
+	m := map[int]bool{} // want `map literal allocates`
+	_ = m
+	sl := []int{1, 2} // want `slice literal allocates`
+	_ = sl
+	mm := make(map[string]int) // want `make\(map\) allocates`
+	_ = mm
+	ch := make(chan int, 1) // want `make\(chan\) allocates`
+	_ = ch
+	bs := make([]byte, 8) // want `make\(slice\) allocates`
+	_ = bs
+	s := fmt.Sprintf("%d", len(xs)) // want `fmt\.Sprintf allocates`
+	_ = s
+	f := func() int { return 1 } // want `closure literal allocates`
+	_ = f
+	consume(42)       // want `argument 42 is boxed into interface`
+	return name + "!" // want `string concatenation allocates`
+}
+
+// cold has no hotpath annotation: nothing is reported.
+func cold(name string) string {
+	m := map[int]bool{}
+	_ = m
+	return name + "!"
+}
+
+//dewsvet:hotpath
+func hotAllowed(n int) []int {
+	out := make([]int, n) //dewsvet:hotalloc-ok amortized over the batch
+	return out
+}
+
+// hotClean stays within the alloc budget: append into caller-owned
+// capacity, constant concatenation, interface-typed pass-through.
+//
+//dewsvet:hotpath
+func hotClean(dst []byte, v any) []byte {
+	const suffix = "a" + "b" // constant concat folds at compile time
+	consume(v)               // already an interface: no boxing
+	dst = append(dst, suffix...)
+	return dst
+}

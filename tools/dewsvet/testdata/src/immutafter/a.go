@@ -1,0 +1,21 @@
+// Package immutafter is the golden fixture for the immutafter
+// analyzer; this file declares the immutable type and its constructor.
+package immutafter
+
+// frame is published to concurrent readers after construction.
+//
+//dewsvet:immutable
+type frame struct {
+	n    int
+	data []byte
+	next *frame
+}
+
+// mutable carries no annotation.
+type mutable struct{ n int }
+
+func newFrame(n int) *frame {
+	f := &frame{n: n, data: make([]byte, n)}
+	f.n++ // declaring file: construction may mutate
+	return f
+}

@@ -1,0 +1,21 @@
+package immutafter
+
+func mutate(f *frame) {
+	f.n = 2       // want `write to field n of immutable type frame`
+	f.data[0] = 1 // want `write to field data of immutable type frame`
+	f.next.n++    // want `write to field n of immutable type frame`
+}
+
+// construct: composite literals are construction, legal anywhere.
+func construct(n int) *frame {
+	return &frame{n: n}
+}
+
+func mutateOther(m *mutable) {
+	m.n = 3
+}
+
+func allowlisted(f *frame) {
+	//dewsvet:immutafter-ok test fixture, unpublished single-owner value
+	f.n = 9
+}

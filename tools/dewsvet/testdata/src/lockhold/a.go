@@ -1,0 +1,165 @@
+// Package lockhold is the golden fixture for the lockhold analyzer.
+package lockhold
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// S pairs mutexes with blocking surfaces: a file, a callback, a channel.
+type S struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	f   *os.File
+	cb  func() error
+	ch  chan int
+	buf []byte
+}
+
+func (s *S) directSync() {
+	s.mu.Lock()
+	s.f.Sync() // want `blocking call to \(\*os\.File\)\.Sync \(fsync\) while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *S) deferHeld() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want `channel receive while s\.mu is held`
+	return 0
+}
+
+func (s *S) send() {
+	s.rw.Lock()
+	s.ch <- 1 // want `channel send while s\.rw is held`
+	s.rw.Unlock()
+}
+
+func (s *S) rlockSelect() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	select { // want `select while s\.rw is held`
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+func (s *S) callback() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `blocking call to time\.Sleep \(sleep\) while s\.mu is held`
+	return s.cb()                // want `call of function value s\.cb \(user callback\) while s\.mu is held`
+}
+
+func (s *S) waits(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `blocking call to \(\*sync\.WaitGroup\)\.Wait \(WaitGroup wait\) while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *S) drains() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want `range over channel while s\.mu is held`
+		_ = v
+	}
+}
+
+func (s *S) iife() {
+	s.mu.Lock()
+	func() {
+		s.f.Sync() // want `blocking call to \(\*os\.File\)\.Sync \(fsync\) while s\.mu is held`
+	}()
+	s.mu.Unlock()
+}
+
+// unlockedOK: the blocking work happens after the critical section.
+func (s *S) unlockedOK() {
+	s.mu.Lock()
+	n := len(s.buf)
+	s.mu.Unlock()
+	_ = n
+	s.f.Sync()
+}
+
+// branch: a lock acquired and released inside a branch does not leak.
+func (s *S) branch(cond bool) {
+	if cond {
+		s.mu.Lock()
+		s.buf = nil
+		s.mu.Unlock()
+	}
+	s.f.Sync()
+}
+
+// spawns: a goroutine does not inherit the spawner's lock.
+func (s *S) spawns() {
+	s.mu.Lock()
+	go s.doSync()
+	s.mu.Unlock()
+}
+
+// funcLitNotHere: a literal's body blocks its invoker, not its definer.
+func (s *S) funcLitNotHere() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() { s.f.Sync() }
+}
+
+// handoff: a reasoned allowlist comment on the line suppresses.
+func (s *S) handoff() {
+	s.mu.Lock()
+	s.f.Sync() //dewsvet:lockhold-ok deliberate sequencer handoff
+	s.mu.Unlock()
+}
+
+// mailboxSpin drains under the ring lock by design.
+//
+//dewsvet:lockhold-ok mailbox ring op, bounded by capacity
+func (s *S) mailboxSpin() {
+	s.mu.Lock()
+	s.f.Sync()
+	s.mu.Unlock()
+}
+
+func (s *S) doSync() {
+	s.f.Sync()
+}
+
+// propagated: calling a function that blocks is as bad as blocking.
+func (s *S) propagated() {
+	s.mu.Lock()
+	s.doSync() // want `call to doSync, which blocks .* while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// flushLocked runs with the caller's lock (name convention): its own
+// blocking op is reported here, once, not at every call site.
+func (s *S) flushLocked() {
+	s.f.Sync() // want `blocking call to \(\*os\.File\)\.Sync \(fsync\) while the caller's lock is held`
+}
+
+func (s *S) callerOfLocked() {
+	s.mu.Lock()
+	s.flushLocked()
+	s.mu.Unlock()
+}
+
+// sealSegment rotates the file. Caller holds s.mu.
+func (s *S) sealSegment() {
+	s.f.Sync() // want `blocking call to \(\*os\.File\)\.Sync \(fsync\) while s\.mu is held`
+}
+
+// ringPush hands the frame over deliberately; the allowlisted op must
+// not propagate blockingness to callers holding the lock.
+func (s *S) ringPush() {
+	s.f.Sync() //dewsvet:lockhold-ok ring handoff is bounded
+}
+
+func (s *S) callsRingPush() {
+	s.mu.Lock()
+	s.ringPush()
+	s.mu.Unlock()
+}

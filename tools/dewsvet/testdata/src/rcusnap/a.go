@@ -1,0 +1,104 @@
+// Package rcusnap is the golden fixture for the rcusnap analyzer.
+package rcusnap
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type node struct {
+	next *node
+	val  int
+}
+
+// B publishes an RCU pointer guarded by mu.
+type B struct {
+	mu sync.Mutex
+	// index is the RCU-published root.
+	//dewsvet:rcu
+	index atomic.Pointer[node]
+	// plain carries no annotation: no discipline enforced.
+	plain atomic.Pointer[node]
+}
+
+func (b *B) goodStore(n *node) {
+	b.mu.Lock()
+	b.index.Store(n)
+	b.mu.Unlock()
+}
+
+func (b *B) badStore(n *node) {
+	b.index.Store(n) // want `Store of RCU field index without holding its guard mutex`
+}
+
+func (b *B) badCAS(old, n *node) {
+	b.index.CompareAndSwap(old, n) // want `CompareAndSwap of RCU field index without holding its guard mutex`
+}
+
+// swapLocked installs n; caller holds b.mu.
+func (b *B) swapLocked(n *node) {
+	b.index.Store(n)
+}
+
+func (b *B) plainStore(n *node) {
+	b.plain.Store(n)
+}
+
+// hotDouble violates the one-snapshot rule: the two Loads can observe
+// two different generations.
+//
+//dewsvet:hotpath
+func (b *B) hotDouble() int {
+	a := b.index.Load()
+	c := b.index.Load() // want `hot-path function hotDouble Loads RCU field index more than once`
+	if a == nil || c == nil {
+		return 0
+	}
+	return a.val + c.val
+}
+
+// coldDouble is not hot-path annotated: the Load budget does not apply.
+func (b *B) coldDouble() int {
+	a := b.index.Load()
+	c := b.index.Load()
+	if a == nil || c == nil {
+		return 0
+	}
+	return a.val + c.val
+}
+
+//dewsvet:hotpath
+func (b *B) hotSingle() int {
+	root := b.index.Load()
+	if root == nil {
+		return 0
+	}
+	return root.val
+}
+
+func (b *B) writeThrough() {
+	s := b.index.Load()
+	s.val = 1 // want `write through RCU snapshot s`
+	b.mu.Lock()
+	b.index.Store(s)
+	b.mu.Unlock()
+}
+
+// rebind: reassigning the snapshot variable itself walks the structure
+// and is fine; only writes through it are mutations.
+func (b *B) rebind() int {
+	s := b.index.Load()
+	for s != nil && s.next != nil {
+		s = s.next
+	}
+	if s == nil {
+		return 0
+	}
+	return s.val
+}
+
+func (b *B) allowlisted() {
+	s := b.index.Load()
+	//dewsvet:rcusnap-ok single-owner before first publish
+	s.val = 2
+}

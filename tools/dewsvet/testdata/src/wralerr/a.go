@@ -1,0 +1,47 @@
+// Package eventlog is the golden fixture for the wralerr analyzer; the
+// harness type-checks it under the durability-critical import path
+// repro/internal/eventlog.
+package eventlog
+
+import (
+	"bufio"
+	"os"
+)
+
+func bad(f *os.File) {
+	f.Close() // want `result of \(\*os\.File\)\.Close is discarded`
+}
+
+func badFlush(w *bufio.Writer) {
+	w.Flush() // want `result of \(\*bufio\.Writer\)\.Flush is discarded`
+}
+
+func badWrite(f *os.File, b []byte) {
+	f.Write(b) // want `result of \(\*os\.File\)\.Write is discarded`
+}
+
+func deferred(f *os.File) error {
+	defer f.Close() // want `deferred \(\*os\.File\)\.Close discards its error`
+	return nil
+}
+
+func checked(f *os.File) error {
+	return f.Close()
+}
+
+func acknowledged(f *os.File) {
+	_ = f.Close()
+}
+
+func allowlisted(f *os.File) {
+	f.Close() //dewsvet:wralerr-ok read-only handle, nothing to lose
+}
+
+type noErr struct{}
+
+func (noErr) Flush() {}
+
+// flushNoError: no error result means nothing can be swallowed.
+func flushNoError(n noErr) {
+	n.Flush()
+}

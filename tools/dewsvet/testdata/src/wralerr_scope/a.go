@@ -1,0 +1,9 @@
+// Package cep is the wralerr scoping fixture: type-checked under a
+// non-durability-critical import path, so nothing is reported.
+package cep
+
+import "os"
+
+func teardown(f *os.File) {
+	f.Close()
+}

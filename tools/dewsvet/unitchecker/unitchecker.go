@@ -1,0 +1,213 @@
+// Package unitchecker implements the driver side of the `go vet
+// -vettool` protocol on the standard library, mirroring the contract of
+// golang.org/x/tools/go/analysis/unitchecker: cmd/go invokes the tool
+// once per package with a JSON *.cfg file naming the source files and
+// the export data of every dependency, and expects diagnostics on
+// stderr with exit status 2 when there are findings.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/tools/dewsvet/analysis"
+)
+
+// Config mirrors the JSON structure cmd/go writes into the vet.cfg
+// file. Unknown fields are ignored so the driver keeps working as
+// cmd/go grows the schema.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standalone                bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run processes one vet.cfg invocation and exits the process with the
+// vet-tool status convention: 0 clean, 1 driver failure, 2 findings.
+func Run(cfgFile string, analyzers []*analysis.Analyzer) {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dewsvet: %v\n", err)
+		os.Exit(1)
+	}
+
+	// cmd/go demands a facts file for every package, dependencies
+	// included, before it runs the tool on importers. The dewsvet
+	// analyzers are all package-local (no cross-package facts), so the
+	// facts file is always empty — and a VetxOnly run can return
+	// without looking at the source at all.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "dewsvet: writing facts: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if cfg.VetxOnly {
+		os.Exit(0)
+	}
+
+	diags, err := analyze(cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "dewsvet: %s: %v\n", cfg.ImportPath, err)
+		os.Exit(1)
+	}
+	if len(diags) == 0 {
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	os.Exit(2)
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", path, err)
+	}
+	if len(cfg.GoFiles) == 0 && !cfg.VetxOnly {
+		return nil, fmt.Errorf("package has no Go files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// analyze parses and type-checks the package described by cfg, runs
+// every analyzer over it, and returns the rendered diagnostics sorted
+// by position.
+func analyze(cfg *Config, analyzers []*analysis.Analyzer) ([]string, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	// Resolve each import to the export data cmd/go staged for it:
+	// vendor/aliased paths go through ImportMap, the .a/.x file through
+	// PackageFile. "unsafe" has no export data.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+
+	goarch := os.Getenv("GOARCH")
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(compiler, goarch),
+		GoVersion: versionFor(cfg.GoVersion),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []diag
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			diags = append(diags, diag{fset.Position(d.Pos), name, d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].pos, diags[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out, nil
+}
+
+type diag struct {
+	pos      token.Position
+	analyzer string
+	message  string
+}
+
+func (d diag) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.pos, d.analyzer, d.message)
+}
+
+// versionFor maps cmd/go's GoVersion field ("go1.22.4", "local", a
+// toolchain name, ...) onto something go/types accepts; unparseable
+// values fall back to the language default (empty string).
+func versionFor(v string) string {
+	if !strings.HasPrefix(v, "go1") {
+		return ""
+	}
+	// go/types wants a release version like "go1.22", not a point
+	// release; trim a third dot-component when present.
+	parts := strings.SplitN(v, ".", 3)
+	if len(parts) >= 2 {
+		return parts[0] + "." + parts[1]
+	}
+	return v
+}
